@@ -1,0 +1,50 @@
+"""Shared benchmark fixtures.
+
+Benchmarks regenerate the paper's artefacts at laptop scale: trace
+durations default to a fraction of the paper's (1 h / 20 min) since the
+effect sizes are duration-stable; RESULTS_DIR collects the regenerated
+tables so ``bench_output.txt`` plus ``benchmarks/results/`` together record
+a full run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.trace import presets
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist a regenerated table next to the benchmarks."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / name).write_text(text + "\n")
+    print(f"\n--- {name} ---")
+    print(text)
+
+
+@pytest.fixture(scope="session")
+def fig2_traces():
+    """The four synthetic days at benchmark scale (90 s each)."""
+    return presets.all_days(duration=90.0)
+
+
+@pytest.fixture(scope="session")
+def fig3_trace():
+    """The sensitivity trace at benchmark scale (240 s)."""
+    return presets.sensitivity_trace(duration=240.0)
+
+
+@pytest.fixture(scope="session")
+def sec3_trace():
+    """The Section 3 comparison trace (60 s of day 0)."""
+    return presets.caida_like_day(0, duration=60.0)
+
+
+@pytest.fixture(scope="session")
+def throughput_trace():
+    """A small trace for update-throughput measurements."""
+    return presets.caida_like_day(0, duration=20.0)

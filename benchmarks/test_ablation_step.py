@@ -1,0 +1,40 @@
+"""Ablation: sliding-window step size (DESIGN.md call-out).
+
+The paper slides by 1 s.  A finer step reveals at least as many HHHs (more
+window placements), so the hidden percentage is monotone non-decreasing as
+the step shrinks; this bench quantifies how fast the number saturates.
+"""
+
+from benchmarks.conftest import write_result
+from repro.analysis import HiddenHHHExperiment
+from repro.analysis.render import format_table
+
+
+def run_steps(trace, steps=(2.0, 1.0, 0.5)):
+    rows = []
+    for step in steps:
+        experiment = HiddenHHHExperiment(
+            window_sizes=(10.0,), thresholds=(0.05,), step=step
+        )
+        row = experiment.run(trace, label=f"step={step}").rows[0]
+        rows.append(
+            {
+                "step_s": step,
+                "sliding_total": row.total,
+                "hidden": row.hidden,
+                "hidden_%": round(row.hidden_percent, 1),
+            }
+        )
+    return rows
+
+
+def test_ablation_sliding_step(benchmark, sec3_trace):
+    rows = benchmark.pedantic(
+        run_steps, args=(sec3_trace,), rounds=1, iterations=1
+    )
+    write_result("ablation_step.txt", format_table(rows))
+    by_step = {r["step_s"]: r for r in rows}
+    # Finer steps see at least as many unique HHHs.
+    assert by_step[0.5]["sliding_total"] >= by_step[2.0]["sliding_total"]
+    # The effect exists at every step.
+    assert all(r["hidden"] > 0 for r in rows)

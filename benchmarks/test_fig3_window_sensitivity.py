@@ -1,0 +1,40 @@
+"""Figure 3 regeneration: Jaccard similarity vs micro window shrinkage.
+
+Paper series: baseline 10 s windows, shrunk variants 10-100 ms shorter,
+Jaccard similarity CDF at a 5% threshold.  Expected shape: similarity
+degrades monotonically with the shrink delta, with a visible fraction of
+windows already changed at small deltas.
+"""
+
+from benchmarks.conftest import write_result
+from repro.analysis import WindowSensitivityExperiment
+
+
+def run_fig3(trace):
+    experiment = WindowSensitivityExperiment(baseline_size=10.0, phi=0.05)
+    return experiment.run(trace)
+
+
+def test_fig3_window_sensitivity(benchmark, fig3_trace):
+    result = benchmark.pedantic(
+        run_fig3, args=(fig3_trace,), rounds=1, iterations=1
+    )
+    write_result(
+        "fig3_window_sensitivity.txt",
+        result.to_table()
+        + "\n\n" + result.to_cdf_plot(0.04)
+        + "\n\n" + result.to_cdf_plot(0.10),
+    )
+
+    rows = {r.delta_s: r for r in result.rows()}
+    # Monotone-ish: the largest delta changes at least as much as the smallest.
+    assert rows[0.10].mean_similarity <= rows[0.01].mean_similarity + 1e-9
+    assert (
+        rows[0.10].fraction_not_identical
+        >= rows[0.01].fraction_not_identical
+    )
+    # The 100 ms shave visibly changes the reported sets (paper: 25%
+    # dissimilarity for >=70% of windows; our synthetic traffic's weaker
+    # long-range dependence yields a smaller but clearly nonzero effect).
+    assert rows[0.10].fraction_not_identical >= 0.15
+    assert rows[0.10].mean_similarity < 1.0

@@ -1,0 +1,121 @@
+"""Update throughput of every detector (packets/second on CPython).
+
+The paper's target is line rate on a switch; in Python we report *relative*
+update cost, which is what distinguishes the algorithm classes:
+
+- O(1)/packet: Space-Saving, HashPipe, sampled RHHH, TDBF;
+- O(levels)/packet: full per-level updates (RHHH full, TD-HHH full).
+"""
+
+import pytest
+
+from repro.decay.laws import ExponentialDecay
+from repro.decay.ondemand_tdbf import OnDemandTDBF
+from repro.decay.td_hhh import TimeDecayingHHH
+from repro.sketch.countmin import CountMinSketch
+from repro.sketch.hashpipe import HashPipe
+from repro.sketch.rhhh import RHHH
+from repro.sketch.spacesaving import SpaceSaving
+
+
+@pytest.fixture(scope="module")
+def packets(throughput_trace):
+    """(src, length, ts) triples, pre-extracted so the benchmark measures
+    detector cost, not numpy access."""
+    t = throughput_trace
+    n = min(len(t), 20_000)
+    return [
+        (int(t.src[i]), int(t.length[i]), float(t.ts[i])) for i in range(n)
+    ]
+
+
+def test_throughput_spacesaving(benchmark, packets):
+    def run():
+        det = SpaceSaving(256)
+        for src, length, _ in packets:
+            det.update(src, length)
+        return det
+
+    det = benchmark(run)
+    assert det.total > 0
+
+
+def test_throughput_countmin(benchmark, packets):
+    def run():
+        det = CountMinSketch(width=1024, rows=4)
+        for src, length, _ in packets:
+            det.update(src, length)
+        return det
+
+    det = benchmark(run)
+    assert det.total > 0
+
+
+def test_throughput_hashpipe(benchmark, packets):
+    def run():
+        det = HashPipe(stage_slots=256, stages=4)
+        for src, length, _ in packets:
+            det.update(src, length)
+        return det
+
+    det = benchmark(run)
+    assert det.total > 0
+
+
+def test_throughput_rhhh_sampled(benchmark, packets):
+    def run():
+        det = RHHH(counters_per_level=128, seed=1, sample_levels=True)
+        for src, length, _ in packets:
+            det.update(src, length)
+        return det
+
+    det = benchmark(run)
+    assert det.updates == len(packets)
+
+
+def test_throughput_rhhh_full(benchmark, packets):
+    def run():
+        det = RHHH(counters_per_level=128, sample_levels=False)
+        for src, length, _ in packets:
+            det.update(src, length)
+        return det
+
+    det = benchmark(run)
+    assert det.updates == len(packets) * det.hierarchy.num_levels
+
+
+def test_throughput_ondemand_tdbf(benchmark, packets):
+    def run():
+        det = OnDemandTDBF(cells=4096, hashes=4, law=ExponentialDecay(tau=10.0))
+        for src, length, ts in packets:
+            det.update(src, length, ts)
+        return det
+
+    benchmark(run)
+
+
+def test_throughput_td_hhh_full(benchmark, packets):
+    def run():
+        det = TimeDecayingHHH(
+            law=ExponentialDecay(tau=10.0), counters_per_level=128
+        )
+        for src, length, ts in packets:
+            det.update(src, length, ts)
+        return det
+
+    det = benchmark(run)
+    assert det.packets == len(packets)
+
+
+def test_throughput_td_hhh_sampled(benchmark, packets):
+    def run():
+        det = TimeDecayingHHH(
+            law=ExponentialDecay(tau=10.0), counters_per_level=128,
+            sample_levels=True, seed=2,
+        )
+        for src, length, ts in packets:
+            det.update(src, length, ts)
+        return det
+
+    det = benchmark(run)
+    assert det.packets == len(packets)

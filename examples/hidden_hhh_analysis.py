@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Figure 2 reproduction: percentage of hidden HHHs.
+
+Replicates the paper's grid — window sizes {5, 10, 20} s, thresholds
+{1%, 5%, 10%}, sliding step 1 s, one-dimensional source-IP HHH weighted by
+bytes — over the four synthetic "CAIDA days".
+
+Run with::
+
+    python examples/hidden_hhh_analysis.py [duration_seconds]
+
+Duration defaults to 120 s per day (the paper uses 1 h; the effect is
+duration-stable, see EXPERIMENTS.md).
+"""
+
+import sys
+
+from repro.analysis import HiddenHHHExperiment
+from repro.trace import presets
+
+
+def main() -> None:
+    duration = float(sys.argv[1]) if len(sys.argv) > 1 else 120.0
+    print(f"generating 4 synthetic days x {duration:.0f}s ...")
+    traces = presets.all_days(duration=duration)
+
+    experiment = HiddenHHHExperiment(
+        window_sizes=(5.0, 10.0, 20.0),
+        thresholds=(0.01, 0.05, 0.10),
+        step=1.0,
+    )
+    result = experiment.run_days(traces)
+
+    print("\nFigure 2 — percentage of hidden HHHs")
+    print(result.to_table())
+    print("\nbar view:")
+    print(result.to_bars())
+    print(
+        f"\nmax hidden: {result.max_hidden_percent():.1f}% "
+        "(paper: up to 34%; 24-34% at 1% and 18-24% at 5% thresholds)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""repro — reproduction of *Revealing Hidden Hierarchical Heavy Hitters in
+network traffic* (Galea et al., SIGCOMM Posters and Demos 2018).
+
+The package provides, from the bottom up:
+
+- :mod:`repro.net` — IPv4 address and prefix algebra;
+- :mod:`repro.hashing` — seeded, deterministic hash families for sketches;
+- :mod:`repro.packet` — packet records, flow keys and pcap I/O;
+- :mod:`repro.trace` — synthetic Tier-1-like trace generation (the CAIDA
+  substitute) and trace statistics;
+- :mod:`repro.hierarchy` — prefix hierarchies (1D and 2D);
+- :mod:`repro.hhh` — exact heavy-hitter and hierarchical-heavy-hitter
+  ground-truth algorithms;
+- :mod:`repro.windows` — the three window models of the paper's Figure 1
+  (disjoint, sliding, micro-shrunk) and streaming drivers;
+- :mod:`repro.sketch` — the prior-work detectors the poster positions itself
+  against (Count-Min, Space-Saving, HashPipe, RHHH, ...);
+- :mod:`repro.decay` — the direction the paper advocates in Section 3:
+  time-decaying Bloom filters and a windowless time-decaying HHH detector;
+- :mod:`repro.dataplane` — a match-action pipeline resource model used to
+  judge "match-action friendliness";
+- :mod:`repro.metrics` and :mod:`repro.analysis` — the measurement
+  methodology itself: hidden-HHH accounting (Figure 2), window-size
+  sensitivity (Figure 3) and the Section 3 comparison.
+
+Quickstart::
+
+    from repro import presets, HiddenHHHExperiment
+
+    trace = presets.caida_like_day(day=0, duration=60.0)
+    exp = HiddenHHHExperiment(window_sizes=(5.0,), thresholds=(0.05,))
+    result = exp.run(trace)
+    print(result.to_table())
+"""
+
+from repro.net import IPv4Address, Prefix
+from repro.packet import Packet
+from repro.hierarchy import SourceHierarchy
+from repro.hhh import ExactHHH, HHHResult, exact_heavy_hitters
+from repro.windows import DisjointWindows, SlidingWindows, NestedShrunkWindows
+from repro.decay import TimeDecayingBloomFilter, TimeDecayingHHH
+from repro.analysis import (
+    HiddenHHHExperiment,
+    WindowSensitivityExperiment,
+    DecayComparisonExperiment,
+)
+from repro.trace import presets
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "IPv4Address",
+    "Prefix",
+    "Packet",
+    "SourceHierarchy",
+    "ExactHHH",
+    "HHHResult",
+    "exact_heavy_hitters",
+    "DisjointWindows",
+    "SlidingWindows",
+    "NestedShrunkWindows",
+    "TimeDecayingBloomFilter",
+    "TimeDecayingHHH",
+    "HiddenHHHExperiment",
+    "WindowSensitivityExperiment",
+    "DecayComparisonExperiment",
+    "presets",
+    "__version__",
+]

@@ -1,0 +1,46 @@
+"""Experiment harnesses reproducing the paper's evaluation.
+
+- :class:`HiddenHHHExperiment` — Figure 2: percentage of hidden HHHs for
+  window sizes {5, 10, 20} s and thresholds {1 %, 5 %, 10 %};
+- :class:`WindowSensitivityExperiment` — Figure 3: Jaccard-similarity CDFs
+  of a 10 s baseline window vs windows 10–100 ms shorter;
+- :class:`DecayComparisonExperiment` — the comparison Section 3 commits to:
+  the time-decaying detector vs disjoint-window solutions on accuracy,
+  resource utilisation and update cost.
+
+Each experiment consumes a :class:`repro.trace.Trace`, returns a result
+object with typed rows, and renders the same table/series the paper plots
+via ``to_table()``.
+"""
+
+from repro.analysis.hidden_experiment import (
+    HiddenHHHExperiment,
+    HiddenHHHResultSet,
+    HiddenHHHRow,
+)
+from repro.analysis.sensitivity_experiment import (
+    SensitivityResult,
+    SensitivityRow,
+    WindowSensitivityExperiment,
+)
+from repro.analysis.decay_experiment import (
+    DecayComparisonExperiment,
+    DecayComparisonResult,
+    DetectorScore,
+)
+from repro.analysis.render import format_table, ascii_cdf, ascii_bars
+
+__all__ = [
+    "HiddenHHHExperiment",
+    "HiddenHHHResultSet",
+    "HiddenHHHRow",
+    "WindowSensitivityExperiment",
+    "SensitivityResult",
+    "SensitivityRow",
+    "DecayComparisonExperiment",
+    "DecayComparisonResult",
+    "DetectorScore",
+    "format_table",
+    "ascii_cdf",
+    "ascii_bars",
+]

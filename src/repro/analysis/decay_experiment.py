@@ -1,0 +1,309 @@
+"""The Section 3 comparison: time-decaying vs disjoint-window detection.
+
+The poster commits to "compare [the time-decaying approach] with existing
+solutions in terms of performance, resource utilization and result's
+accuracy".  This harness does exactly that:
+
+- **reference truth**: exact HHH over a sliding window (size = the disjoint
+  window, step = 1 s) — the detections a window-free observer should see;
+- **detectors**: the disjoint-window practice (exact per window, RHHH, and
+  per-level Space-Saving — all reset at boundaries) against the
+  time-decaying HHH detector (exponential decay with ``tau`` equal to the
+  window size, queried every step, never reset);
+- **accuracy**: occurrence recall against the truth (was each truth
+  detection reported at the right time?), precision, and *hidden recall* —
+  the share of hidden HHHs (truth detections the disjoint-exact schedule
+  misses) each detector recovers;
+- **resources**: counters, and for data-plane-mappable detectors the
+  pipeline stages / SRAM from :mod:`repro.dataplane`.
+
+Update performance is measured separately in ``benchmarks/`` (wall-clock
+packets/second); this module reports per-packet update operation counts.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.analysis.render import format_table
+from repro.dataplane.mappings import map_ondemand_tdbf, map_rhhh
+from repro.decay.laws import ExponentialDecay
+from repro.decay.td_hhh import TimeDecayingHHH
+from repro.hhh.exact_hhh import ExactHHH
+from repro.hierarchy.domain import SourceHierarchy
+from repro.net.prefix import Prefix
+from repro.sketch.rhhh import RHHH
+from repro.trace.container import Trace
+from repro.windows.disjoint import DisjointWindows
+from repro.windows.schedule import Window
+from repro.windows.sliding import SlidingWindows
+
+#: A detection series: time-ordered (window, reported prefixes) pairs.
+Series = list[tuple[Window, frozenset[Prefix]]]
+
+
+@dataclass(frozen=True)
+class DetectorScore:
+    """Accuracy + resource summary for one detector."""
+
+    name: str
+    occurrence_recall: float
+    precision: float
+    hidden_recall: float
+    counters: int
+    stages: int | None = None
+    sram_kib: float | None = None
+    window_reset: bool = False
+
+    def to_dict(self) -> dict[str, object]:
+        """Flatten for table rendering."""
+        return {
+            "detector": self.name,
+            "recall": round(self.occurrence_recall, 3),
+            "precision": round(self.precision, 3),
+            "hidden_recall": round(self.hidden_recall, 3),
+            "counters": self.counters,
+            "stages": self.stages if self.stages is not None else "-",
+            "sram_kib": (
+                round(self.sram_kib, 1) if self.sram_kib is not None else "-"
+            ),
+            "window_reset": "yes" if self.window_reset else "no",
+        }
+
+
+@dataclass
+class DecayComparisonResult:
+    """All detector scores for one run."""
+
+    window_size: float
+    phi: float
+    num_truth_occurrences: int
+    num_hidden_occurrences: int
+    scores: list[DetectorScore] = field(default_factory=list)
+
+    def to_table(self) -> str:
+        """The Section 3 comparison table."""
+        return format_table([s.to_dict() for s in self.scores])
+
+    def score_for(self, name: str) -> DetectorScore:
+        """Look a detector's score up by name."""
+        for score in self.scores:
+            if score.name == name:
+                return score
+        raise KeyError(f"no detector named {name!r}")
+
+
+def _covered(
+    detections: Series, window: Window, prefix: Prefix
+) -> bool:
+    """True when ``prefix`` is reported by a series entry overlapping
+    ``window``."""
+    starts = [w.t0 for w, _ in detections]
+    lo = bisect.bisect_left(starts, window.t0 - _max_len(detections))
+    for i in range(lo, len(detections)):
+        w, prefixes = detections[i]
+        if w.t0 >= window.t1:
+            break
+        if window.overlap(w) > 0 and prefix in prefixes:
+            return True
+    return False
+
+
+def _max_len(detections: Series) -> float:
+    return max((w.length for w, _ in detections), default=0.0)
+
+
+def _score_series(
+    truth: Series, hidden: set[tuple[int, Prefix]], detected: Series
+) -> tuple[float, float, float]:
+    """(occurrence recall, precision, hidden recall) of ``detected``."""
+    total = covered = 0
+    hidden_total = hidden_covered = 0
+    for window, prefixes in truth:
+        for prefix in prefixes:
+            total += 1
+            hit = _covered(detected, window, prefix)
+            covered += hit
+            if (window.index, prefix) in hidden:
+                hidden_total += 1
+                hidden_covered += hit
+    # Precision: detector detections that match some truth occurrence.
+    reported = matched = 0
+    for window, prefixes in detected:
+        for prefix in prefixes:
+            reported += 1
+            matched += _covered(truth, window, prefix)
+    recall = covered / total if total else 1.0
+    precision = matched / reported if reported else 1.0
+    hidden_recall = hidden_covered / hidden_total if hidden_total else 1.0
+    return recall, precision, hidden_recall
+
+
+class DecayComparisonExperiment:
+    """The Section 3 harness."""
+
+    def __init__(
+        self,
+        window_size: float = 10.0,
+        phi: float = 0.05,
+        step: float = 1.0,
+        counters_per_level: int = 128,
+        hierarchy: SourceHierarchy | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.window_size = window_size
+        self.phi = phi
+        self.step = step
+        self.counters_per_level = counters_per_level
+        self.hierarchy = hierarchy or SourceHierarchy()
+        self.seed = seed
+
+    # -- series builders ---------------------------------------------------
+
+    def _exact_series(self, trace: Trace, windows: list[Window]) -> Series:
+        detector = ExactHHH(self.phi, self.hierarchy)
+        return [
+            (w, detector.detect_window(trace, w.t0, w.t1).prefixes)
+            for w in windows
+        ]
+
+    def _windowed_rhhh_series(
+        self, trace: Trace, sample_levels: bool
+    ) -> Series:
+        """Disjoint windows, RHHH reset at each boundary."""
+        series: Series = []
+        windows = list(DisjointWindows(self.window_size).over_trace(trace))
+        for window in windows:
+            i, j = trace.index_range(window.t0, window.t1)
+            detector = RHHH(
+                self.hierarchy,
+                self.counters_per_level,
+                seed=self.seed + window.index,
+                sample_levels=sample_levels,
+            )
+            window_bytes = 0
+            src, length = trace.src, trace.length
+            for p in range(i, j):
+                weight = int(length[p])
+                detector.update(int(src[p]), weight)
+                window_bytes += weight
+            result = detector.query_hhh(self.phi * window_bytes)
+            series.append((window, result.prefixes))
+        return series
+
+    def _td_series(
+        self, trace: Trace, sample_levels: bool = False
+    ) -> tuple[Series, TimeDecayingHHH]:
+        """The time-decaying detector, queried every ``step`` seconds.
+
+        Returns the detection series plus the detector itself (for
+        resource accounting)."""
+        detector = TimeDecayingHHH(
+            law=ExponentialDecay(tau=self.window_size),
+            hierarchy=self.hierarchy,
+            counters_per_level=self.counters_per_level,
+            sample_levels=sample_levels,
+            seed=self.seed,
+        )
+        series: Series = []
+        start = trace.start_time
+        next_query = start + self.window_size
+        ts, src, length = trace.ts, trace.src, trace.length
+        index = 0
+        for p in range(len(trace)):
+            now = float(ts[p])
+            while now >= next_query:
+                result = detector.query(self.phi, next_query)
+                series.append(
+                    (
+                        Window(
+                            next_query - self.window_size, next_query, index
+                        ),
+                        result.prefixes,
+                    )
+                )
+                index += 1
+                next_query += self.step
+            detector.update(int(src[p]), int(length[p]), now)
+        return series, detector
+
+    # -- main ---------------------------------------------------------------
+
+    def run(self, trace: Trace) -> DecayComparisonResult:
+        """Run the full comparison on one trace."""
+        sliding = list(
+            SlidingWindows(self.window_size, self.step).over_trace(trace)
+        )
+        disjoint = list(DisjointWindows(self.window_size).over_trace(trace))
+        truth = self._exact_series(trace, sliding)
+        disjoint_exact = self._exact_series(trace, disjoint)
+
+        # Hidden occurrences: truth detections the disjoint-exact schedule
+        # does not report in any overlapping window.
+        hidden: set[tuple[int, Prefix]] = set()
+        for window, prefixes in truth:
+            for prefix in prefixes:
+                if not _covered(disjoint_exact, window, prefix):
+                    hidden.add((window.index, prefix))
+
+        num_truth = sum(len(p) for _, p in truth)
+        result = DecayComparisonResult(
+            window_size=self.window_size,
+            phi=self.phi,
+            num_truth_occurrences=num_truth,
+            num_hidden_occurrences=len(hidden),
+        )
+
+        levels = self.hierarchy.num_levels
+
+        def add(name: str, series: Series, counters: int,
+                stages: int | None = None, sram_kib: float | None = None,
+                reset: bool = False) -> None:
+            recall, precision, hidden_recall = _score_series(
+                truth, hidden, series
+            )
+            result.scores.append(
+                DetectorScore(
+                    name, recall, precision, hidden_recall,
+                    counters, stages, sram_kib, reset,
+                )
+            )
+
+        add(
+            "disjoint-exact", disjoint_exact,
+            counters=0, reset=True,
+        )
+
+        rhhh_profile = map_rhhh(self.counters_per_level, levels).profile()
+        add(
+            "disjoint-rhhh",
+            self._windowed_rhhh_series(trace, sample_levels=True),
+            counters=self.counters_per_level * levels,
+            stages=rhhh_profile.stages,
+            sram_kib=rhhh_profile.sram_kib,
+            reset=True,
+        )
+        add(
+            "disjoint-perlevel-ss",
+            self._windowed_rhhh_series(trace, sample_levels=False),
+            counters=self.counters_per_level * levels,
+            stages=rhhh_profile.stages,
+            sram_kib=rhhh_profile.sram_kib,
+            reset=True,
+        )
+
+        td_series, td_detector = self._td_series(trace)
+        td_profile = map_ondemand_tdbf(
+            cells=self.counters_per_level * levels, hashes=levels
+        ).profile()
+        add(
+            "td-hhh",
+            td_series,
+            counters=td_detector.num_counters,
+            stages=td_profile.stages,
+            sram_kib=td_profile.sram_kib,
+            reset=False,
+        )
+        return result

@@ -1,0 +1,168 @@
+"""Figure 2: percentage of hidden HHHs.
+
+"We compared the outputs of 5, 10 and 20 seconds time windows against one
+that uses a sliding window of the same length and with a step of 1 second.
+We consider one-dimension HHH (based on source IP addresses), the flows
+which exceed 1%, 5%, 10% of the total bytes measured in a specific
+time-window."
+
+For each (window size, threshold) pair the experiment computes exact HHH
+sets for the disjoint schedule and for the sliding schedule and reports the
+fraction of sliding-side detections the disjoint schedule misses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.analysis.render import ascii_bars, format_table
+from repro.hhh.exact_hhh import ExactHHH, HHHResult
+from repro.hierarchy.domain import SourceHierarchy
+from repro.metrics.hidden import (
+    HiddenHHHReport,
+    hidden_hhh_occurrences,
+    hidden_hhh_unique,
+)
+from repro.trace.container import Trace
+from repro.windows.disjoint import DisjointWindows
+from repro.windows.schedule import Window
+from repro.windows.sliding import SlidingWindows
+
+
+@dataclass(frozen=True)
+class HiddenHHHRow:
+    """One bar of Figure 2: a (trace, window size, threshold) cell."""
+
+    label: str
+    window_size: float
+    phi: float
+    mode: str
+    total: int
+    hidden: int
+
+    @property
+    def hidden_percent(self) -> float:
+        """Percentage of HHHs the disjoint schedule misses."""
+        return 100.0 * self.hidden / self.total if self.total else 0.0
+
+    def to_dict(self) -> dict[str, object]:
+        """Flatten for table rendering."""
+        return {
+            "trace": self.label,
+            "window_s": self.window_size,
+            "phi_%": round(self.phi * 100, 1),
+            "mode": self.mode,
+            "sliding_total": self.total,
+            "hidden": self.hidden,
+            "hidden_%": round(self.hidden_percent, 1),
+        }
+
+
+@dataclass
+class HiddenHHHResultSet:
+    """All rows of a Figure 2 run."""
+
+    rows: list[HiddenHHHRow] = field(default_factory=list)
+
+    def to_table(self) -> str:
+        """The Figure 2 numbers as a text table."""
+        return format_table([r.to_dict() for r in self.rows])
+
+    def to_bars(self) -> str:
+        """The Figure 2 numbers as ASCII bars (one per row)."""
+        labels = [
+            f"{r.label} W={r.window_size:g}s phi={r.phi * 100:g}%"
+            for r in self.rows
+        ]
+        return ascii_bars(labels, [r.hidden_percent for r in self.rows])
+
+    def max_hidden_percent(self) -> float:
+        """The headline number (the paper reports up to 34 %)."""
+        return max((r.hidden_percent for r in self.rows), default=0.0)
+
+    def rows_for(
+        self, window_size: float | None = None, phi: float | None = None
+    ) -> list[HiddenHHHRow]:
+        """Filter rows by window size and/or threshold."""
+        out = self.rows
+        if window_size is not None:
+            out = [r for r in out if r.window_size == window_size]
+        if phi is not None:
+            out = [r for r in out if r.phi == phi]
+        return list(out)
+
+
+class HiddenHHHExperiment:
+    """The Figure 2 harness."""
+
+    def __init__(
+        self,
+        window_sizes: Sequence[float] = (5.0, 10.0, 20.0),
+        thresholds: Sequence[float] = (0.01, 0.05, 0.10),
+        step: float = 1.0,
+        mode: str = "unique",
+        hierarchy: SourceHierarchy | None = None,
+    ) -> None:
+        if mode not in ("unique", "occurrences"):
+            raise ValueError(f"unknown accounting mode {mode!r}")
+        self.window_sizes = tuple(window_sizes)
+        self.thresholds = tuple(thresholds)
+        self.step = step
+        self.mode = mode
+        self.hierarchy = hierarchy or SourceHierarchy()
+
+    def _series(
+        self, trace: Trace, windows: list[Window], phi: float
+    ) -> list[tuple[Window, HHHResult]]:
+        detector = ExactHHH(phi, self.hierarchy)
+        out = []
+        for window in windows:
+            counts = trace.bytes_by_key(window.t0, window.t1)
+            out.append((window, detector.detect(counts)))
+        return out
+
+    def run(self, trace: Trace, label: str = "trace") -> HiddenHHHResultSet:
+        """Run the full (window size x threshold) grid on one trace."""
+        result = HiddenHHHResultSet()
+        for window_size in self.window_sizes:
+            disjoint_windows = list(DisjointWindows(window_size).over_trace(trace))
+            sliding_windows = list(
+                SlidingWindows(window_size, self.step).over_trace(trace)
+            )
+            for phi in self.thresholds:
+                disjoint = self._series(trace, disjoint_windows, phi)
+                sliding = self._series(trace, sliding_windows, phi)
+                report = self._account(disjoint, sliding)
+                result.rows.append(
+                    HiddenHHHRow(
+                        label=label,
+                        window_size=window_size,
+                        phi=phi,
+                        mode=self.mode,
+                        total=report.total,
+                        hidden=report.hidden,
+                    )
+                )
+        return result
+
+    def _account(
+        self,
+        disjoint: list[tuple[Window, HHHResult]],
+        sliding: list[tuple[Window, HHHResult]],
+    ) -> HiddenHHHReport:
+        if self.mode == "unique":
+            return hidden_hhh_unique(disjoint, sliding)
+        return hidden_hhh_occurrences(disjoint, sliding)
+
+    def run_days(
+        self, traces: Sequence[Trace], labels: Sequence[str] | None = None
+    ) -> HiddenHHHResultSet:
+        """Run on several traces (the paper's four days), pooling rows."""
+        labels = labels or [f"day{i}" for i in range(len(traces))]
+        if len(labels) != len(traces):
+            raise ValueError("labels and traces must align")
+        result = HiddenHHHResultSet()
+        for trace, label in zip(traces, labels):
+            result.rows.extend(self.run(trace, label).rows)
+        return result

@@ -1,0 +1,83 @@
+"""Plain-text rendering of experiment results.
+
+No plotting dependency is available offline, so experiments render their
+tables and curves as aligned text / ASCII art; the same row dictionaries
+are trivially exportable to CSV by callers.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_table(rows: Sequence[Mapping[str, object]]) -> str:
+    """Align a list of uniform dict rows into a text table."""
+    if not rows:
+        return "(no rows)"
+    columns = list(rows[0].keys())
+    cells = [[_fmt(row.get(c, "")) for c in columns] for row in rows]
+    widths = [
+        max(len(c), max(len(r[i]) for r in cells))
+        for i, c in enumerate(columns)
+    ]
+    lines = [
+        "  ".join(c.ljust(w) for c, w in zip(columns, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def ascii_cdf(
+    points: Sequence[tuple[float, float]],
+    width: int = 60,
+    height: int = 12,
+    title: str = "",
+) -> str:
+    """Render (value, cumulative_fraction) points as an ASCII curve."""
+    if not points:
+        return "(empty CDF)"
+    xs = [p[0] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    span = (x_max - x_min) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in points:
+        col = min(width - 1, int((x - x_min) / span * (width - 1)))
+        row = min(height - 1, int((1.0 - y) * (height - 1)))
+        grid[row][col] = "*"
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        frac = 1.0 - i / (height - 1)
+        lines.append(f"{frac:4.2f} |" + "".join(row))
+    lines.append("     +" + "-" * width)
+    lines.append(f"      {x_min:<10.3f}{'':^{max(0, width - 20)}}{x_max:>10.3f}")
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    unit: str = "%",
+) -> str:
+    """Horizontal bar chart (used for the Figure 2 style summary)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not labels:
+        return "(no bars)"
+    peak = max(values) or 1.0
+    label_w = max(len(l) for l in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * int(round(value / peak * width))
+        lines.append(f"{label.ljust(label_w)} | {bar} {value:.1f}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,136 @@
+"""Command-line interface.
+
+Subcommands mirror the paper's artefacts::
+
+    repro-hhh stats   [--day N] [--duration S]        # trace summary
+    repro-hhh fig2    [--duration S] [--days N] [--mode unique|occurrences]
+    repro-hhh fig3    [--duration S] [--deltas ...]
+    repro-hhh sec3    [--duration S] [--window W] [--phi P]
+    repro-hhh pcap    --out FILE [--day N] [--duration S]
+
+Every command is deterministic (seeded presets) and prints plain-text
+tables; see EXPERIMENTS.md for the recorded reference outputs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.decay_experiment import DecayComparisonExperiment
+from repro.analysis.hidden_experiment import HiddenHHHExperiment
+from repro.analysis.sensitivity_experiment import WindowSensitivityExperiment
+from repro.packet.pcap import write_pcap
+from repro.trace import presets
+from repro.trace.stats import compute_stats
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    trace = presets.caida_like_day(args.day, args.duration)
+    print(f"synthetic CAIDA-like day {args.day}:")
+    for line in compute_stats(trace).to_lines():
+        print("  " + line)
+    return 0
+
+
+def _cmd_fig2(args: argparse.Namespace) -> int:
+    traces = [
+        presets.caida_like_day(day, args.duration) for day in range(args.days)
+    ]
+    experiment = HiddenHHHExperiment(mode=args.mode)
+    result = experiment.run_days(traces)
+    print("Figure 2 — percentage of hidden HHHs")
+    print(result.to_table())
+    print()
+    print(f"max hidden: {result.max_hidden_percent():.1f}% "
+          "(paper reports up to 34%)")
+    return 0
+
+
+def _cmd_fig3(args: argparse.Namespace) -> int:
+    trace = presets.sensitivity_trace(args.duration)
+    experiment = WindowSensitivityExperiment(phi=args.phi)
+    result = experiment.run(trace)
+    print("Figure 3 — Jaccard similarity vs baseline window")
+    print(result.to_table())
+    if args.plot:
+        for delta in (0.04, 0.10):
+            print()
+            print(result.to_cdf_plot(delta))
+    return 0
+
+
+def _cmd_sec3(args: argparse.Namespace) -> int:
+    trace = presets.caida_like_day(0, args.duration)
+    experiment = DecayComparisonExperiment(
+        window_size=args.window, phi=args.phi
+    )
+    result = experiment.run(trace)
+    print("Section 3 — time-decaying vs disjoint-window detection")
+    print(f"truth occurrences: {result.num_truth_occurrences}, "
+          f"hidden: {result.num_hidden_occurrences}")
+    print(result.to_table())
+    return 0
+
+
+def _cmd_pcap(args: argparse.Namespace) -> int:
+    trace = presets.caida_like_day(args.day, args.duration)
+    count = write_pcap(args.out, trace.packets())
+    print(f"wrote {count} packets to {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-hhh",
+        description=(
+            "Reproduction of 'Revealing Hidden Hierarchical Heavy Hitters "
+            "in network traffic' (SIGCOMM Posters 2018)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("stats", help="summarise a synthetic trace")
+    p.add_argument("--day", type=int, default=0)
+    p.add_argument("--duration", type=float, default=120.0)
+    p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser("fig2", help="hidden-HHH percentages (Figure 2)")
+    p.add_argument("--duration", type=float, default=120.0)
+    p.add_argument("--days", type=int, default=4)
+    p.add_argument("--mode", choices=("unique", "occurrences"),
+                   default="unique")
+    p.set_defaults(func=_cmd_fig2)
+
+    p = sub.add_parser("fig3", help="window-size sensitivity (Figure 3)")
+    p.add_argument("--duration", type=float, default=240.0)
+    p.add_argument("--phi", type=float, default=0.05)
+    p.add_argument("--plot", action="store_true",
+                   help="also print ASCII CDF curves")
+    p.set_defaults(func=_cmd_fig3)
+
+    p = sub.add_parser("sec3", help="decay-vs-windows comparison (Section 3)")
+    p.add_argument("--duration", type=float, default=120.0)
+    p.add_argument("--window", type=float, default=10.0)
+    p.add_argument("--phi", type=float, default=0.05)
+    p.set_defaults(func=_cmd_sec3)
+
+    p = sub.add_parser("pcap", help="export a synthetic trace to pcap")
+    p.add_argument("--out", required=True)
+    p.add_argument("--day", type=int, default=0)
+    p.add_argument("--duration", type=float, default=30.0)
+    p.set_defaults(func=_cmd_pcap)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""Match-action pipeline resource model.
+
+The poster's closing argument is a "call for a new set of match-action
+friendly algorithms".  This package makes "match-action friendly"
+measurable: a small model of a programmable switch pipeline (stages, each
+with register arrays, a hash unit budget, and single-access-per-stage
+semantics), mappings of each detector in the library onto that model, and
+the resulting resource profiles (stages, SRAM bits, actions per packet)
+used in the Section 3 comparison bench.
+"""
+
+from repro.dataplane.resources import ResourceProfile
+from repro.dataplane.pipeline import (
+    PipelineConstraints,
+    PipelineProgram,
+    RegisterArray,
+    StageSpec,
+)
+from repro.dataplane.mappings import (
+    map_hashpipe,
+    map_ondemand_tdbf,
+    map_rhhh,
+    map_spacesaving_cache,
+    map_sliding_window_hh,
+)
+
+__all__ = [
+    "ResourceProfile",
+    "PipelineConstraints",
+    "PipelineProgram",
+    "RegisterArray",
+    "StageSpec",
+    "map_hashpipe",
+    "map_rhhh",
+    "map_ondemand_tdbf",
+    "map_spacesaving_cache",
+    "map_sliding_window_hh",
+]

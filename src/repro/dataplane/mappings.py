@@ -1,0 +1,141 @@
+"""Mappings of the library's detectors onto the pipeline model.
+
+Each function turns a detector configuration into a
+:class:`repro.dataplane.PipelineProgram`, making the Section 3 comparison
+("performance, resource utilization") concrete: the same configurations
+benchmarked for accuracy are costed for stages and SRAM here.
+
+Widths follow common practice: 32-bit keys and byte counters, 48-bit
+timestamps (the ingress MAC timestamp width on Tofino-class hardware).
+"""
+
+from __future__ import annotations
+
+from repro.dataplane.pipeline import PipelineProgram, RegisterArray, StageSpec
+
+KEY_BITS = 32
+COUNTER_BITS = 32
+TIMESTAMP_BITS = 48
+
+
+def map_hashpipe(stage_slots: int, stages: int) -> PipelineProgram:
+    """HashPipe: one (key, count) table per stage, reset every window."""
+    program = PipelineProgram(
+        name=f"HashPipe({stage_slots}x{stages})",
+        needs_control_plane_reset=True,
+    )
+    for _ in range(stages):
+        program.add_stage(
+            StageSpec(
+                arrays=(
+                    RegisterArray(
+                        "kv", stage_slots, KEY_BITS + COUNTER_BITS
+                    ),
+                ),
+                hash_units=1,
+            )
+        )
+    return program
+
+
+def map_rhhh(counters_per_level: int, num_levels: int) -> PipelineProgram:
+    """RHHH: one Space-Saving-approximating table per level; a packet
+    updates a single randomly-chosen level, so one stage carries the RNG
+    and each level table occupies its own stage (they could be packed, but
+    per-level placement mirrors the published P4 implementation)."""
+    program = PipelineProgram(
+        name=f"RHHH({counters_per_level}x{num_levels})",
+        needs_control_plane_reset=True,
+    )
+    # Stage 0: random level draw (hash of packet metadata).
+    program.add_stage(StageSpec(arrays=(), hash_units=1))
+    for _ in range(num_levels):
+        program.add_stage(
+            StageSpec(
+                arrays=(
+                    RegisterArray(
+                        "level_kv", counters_per_level,
+                        KEY_BITS + COUNTER_BITS,
+                    ),
+                ),
+                hash_units=1,
+            )
+        )
+    return program
+
+
+def map_ondemand_tdbf(cells: int, hashes: int) -> PipelineProgram:
+    """On-demand TDBF: ``hashes`` cell arrays, one per stage, each cell a
+    (value, timestamp) pair decayed in the stage ALU — no reset, no sweep.
+
+    The lazy decay is a read-modify-write of a single cell using the packet
+    timestamp already in the pipeline metadata, which is why this structure
+    is match-action friendly where a synchronous sweep is not.
+    """
+    per_stage = max(1, cells // hashes)
+    program = PipelineProgram(
+        name=f"OnDemandTDBF({cells}c/{hashes}h)",
+        needs_timestamps=True,
+    )
+    for _ in range(hashes):
+        program.add_stage(
+            StageSpec(
+                arrays=(
+                    RegisterArray(
+                        "decay_cell", per_stage,
+                        COUNTER_BITS + TIMESTAMP_BITS,
+                    ),
+                ),
+                hash_units=1,
+            )
+        )
+    return program
+
+
+def map_spacesaving_cache(capacity: int) -> PipelineProgram:
+    """Space-Saving as deployed in practice: an exact-match key table plus
+    counter array, with control-plane-assisted eviction and window reset."""
+    program = PipelineProgram(
+        name=f"SpaceSaving({capacity})",
+        needs_control_plane_reset=True,
+    )
+    program.add_stage(
+        StageSpec(
+            arrays=(
+                RegisterArray("keys", capacity, KEY_BITS),
+                RegisterArray("counts", capacity, COUNTER_BITS),
+            ),
+            hash_units=1,
+        )
+    )
+    return program
+
+
+def map_sliding_window_hh(
+    num_buckets: int, capacity_per_bucket: int
+) -> PipelineProgram:
+    """Bucketed sliding-window HH: one (key, count) table per bucket plus a
+    bucket-rotation register; rotation is timestamp-driven, no full reset."""
+    program = PipelineProgram(
+        name=f"SlidingHH({capacity_per_bucket}x{num_buckets})",
+        needs_timestamps=True,
+    )
+    program.add_stage(
+        StageSpec(
+            arrays=(RegisterArray("bucket_clock", 1, TIMESTAMP_BITS),),
+            hash_units=0,
+        )
+    )
+    for _ in range(num_buckets):
+        program.add_stage(
+            StageSpec(
+                arrays=(
+                    RegisterArray(
+                        "bucket_kv", capacity_per_bucket,
+                        KEY_BITS + COUNTER_BITS,
+                    ),
+                ),
+                hash_units=1,
+            )
+        )
+    return program

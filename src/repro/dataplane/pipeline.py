@@ -1,0 +1,138 @@
+"""A small match-action pipeline model.
+
+Captures the constraints that decide whether an algorithm is "match-action
+friendly" (the property the poster asks future algorithms to have):
+
+- a fixed number of stages traversed once per packet, in order;
+- per stage, register arrays of fixed-width cells;
+- each register array can be accessed (read-modify-write) **at most once**
+  per packet, at one hash-derived index;
+- no loops, no second pass, a bounded number of hash computations.
+
+:class:`PipelineProgram` validates a declarative description of a detector
+against :class:`PipelineConstraints` and derives its
+:class:`repro.dataplane.ResourceProfile`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dataplane.resources import ResourceProfile
+
+
+@dataclass(frozen=True)
+class PipelineConstraints:
+    """What the target switch offers (defaults are Tofino-like)."""
+
+    max_stages: int = 12
+    sram_bits_per_stage: int = 128 * 8 * 1024 * 8  # 128 KiB * 8 blocks
+    max_hash_units_per_stage: int = 2
+    max_register_arrays_per_stage: int = 4
+
+    def __post_init__(self) -> None:
+        if self.max_stages < 1:
+            raise ValueError("a pipeline needs at least one stage")
+
+
+@dataclass(frozen=True)
+class RegisterArray:
+    """One register array: ``entries`` cells of ``cell_bits`` each.
+
+    ``accesses_per_packet`` must be 0 or 1 — the single-access rule is the
+    defining match-action constraint.
+    """
+
+    name: str
+    entries: int
+    cell_bits: int
+    accesses_per_packet: int = 1
+
+    def __post_init__(self) -> None:
+        if self.entries < 1 or self.cell_bits < 1:
+            raise ValueError(f"register array {self.name}: bad geometry")
+        if self.accesses_per_packet not in (0, 1):
+            raise ValueError(
+                f"register array {self.name}: {self.accesses_per_packet} "
+                "accesses/packet violates the single-access rule"
+            )
+
+    @property
+    def sram_bits(self) -> int:
+        """SRAM consumed by this array."""
+        return self.entries * self.cell_bits
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """One pipeline stage: its register arrays and hash computations."""
+
+    arrays: tuple[RegisterArray, ...]
+    hash_units: int = 1
+
+    @property
+    def sram_bits(self) -> int:
+        """SRAM consumed by the stage."""
+        return sum(a.sram_bits for a in self.arrays)
+
+    @property
+    def register_accesses(self) -> int:
+        """Register accesses this stage performs per packet."""
+        return sum(a.accesses_per_packet for a in self.arrays)
+
+
+@dataclass
+class PipelineProgram:
+    """A detector expressed as a sequence of stages."""
+
+    name: str
+    stages: list[StageSpec] = field(default_factory=list)
+    needs_timestamps: bool = False
+    needs_control_plane_reset: bool = False
+
+    def add_stage(self, stage: StageSpec) -> "PipelineProgram":
+        """Append a stage (fluent)."""
+        self.stages.append(stage)
+        return self
+
+    def validate(self, constraints: PipelineConstraints) -> list[str]:
+        """All constraint violations (empty list = fits the target)."""
+        problems: list[str] = []
+        if len(self.stages) > constraints.max_stages:
+            problems.append(
+                f"{self.name}: needs {len(self.stages)} stages, target has "
+                f"{constraints.max_stages}"
+            )
+        for i, stage in enumerate(self.stages):
+            if stage.sram_bits > constraints.sram_bits_per_stage:
+                problems.append(
+                    f"{self.name} stage {i}: {stage.sram_bits} SRAM bits "
+                    f"exceed {constraints.sram_bits_per_stage}"
+                )
+            if stage.hash_units > constraints.max_hash_units_per_stage:
+                problems.append(
+                    f"{self.name} stage {i}: {stage.hash_units} hash units "
+                    f"exceed {constraints.max_hash_units_per_stage}"
+                )
+            if len(stage.arrays) > constraints.max_register_arrays_per_stage:
+                problems.append(
+                    f"{self.name} stage {i}: {len(stage.arrays)} register "
+                    f"arrays exceed {constraints.max_register_arrays_per_stage}"
+                )
+        return problems
+
+    def fits(self, constraints: PipelineConstraints) -> bool:
+        """True when the program satisfies every constraint."""
+        return not self.validate(constraints)
+
+    def profile(self) -> ResourceProfile:
+        """The program's aggregate resource profile."""
+        return ResourceProfile(
+            name=self.name,
+            stages=len(self.stages),
+            sram_bits=sum(s.sram_bits for s in self.stages),
+            hash_units=sum(s.hash_units for s in self.stages),
+            register_accesses=sum(s.register_accesses for s in self.stages),
+            needs_timestamps=self.needs_timestamps,
+            needs_control_plane_reset=self.needs_control_plane_reset,
+        )

@@ -1,0 +1,57 @@
+"""Resource profiles: what a detector costs on a match-action target."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ResourceProfile:
+    """Aggregate cost of one detector mapped onto a pipeline.
+
+    Attributes
+    ----------
+    name:
+        Detector name (for tables).
+    stages:
+        Pipeline stages consumed; the scarcest switch resource (a Tofino
+        has 12 per pipe, shared with forwarding logic).
+    sram_bits:
+        Total register SRAM.
+    hash_units:
+        Hash computations per packet.
+    register_accesses:
+        Register reads+writes per packet (must be <= 1 array access per
+        stage on real hardware; the mapping enforces it).
+    needs_timestamps:
+        Whether per-cell timestamps are required (time-decaying schemes).
+    needs_control_plane_reset:
+        Whether the scheme relies on the controller zeroing state at window
+        boundaries — exactly the disjoint-window practice the paper
+        critiques, so the Section 3 table calls it out explicitly.
+    """
+
+    name: str
+    stages: int
+    sram_bits: int
+    hash_units: int
+    register_accesses: int
+    needs_timestamps: bool = False
+    needs_control_plane_reset: bool = False
+
+    @property
+    def sram_kib(self) -> float:
+        """SRAM in KiB, for readable tables."""
+        return self.sram_bits / 8 / 1024
+
+    def to_row(self) -> dict[str, object]:
+        """Flatten for table rendering."""
+        return {
+            "detector": self.name,
+            "stages": self.stages,
+            "sram_kib": round(self.sram_kib, 1),
+            "hash/pkt": self.hash_units,
+            "reg access/pkt": self.register_accesses,
+            "timestamps": "yes" if self.needs_timestamps else "no",
+            "window reset": "yes" if self.needs_control_plane_reset else "no",
+        }

@@ -1,0 +1,88 @@
+"""Per-key decayed counters.
+
+:class:`DecayedCounter` is one lazily-decayed scalar;
+:class:`ExactDecayedCounts` keeps one per key with no memory bound — the
+ground truth that the bounded structures (TDBF, decayed Space-Saving) are
+tested and benchmarked against.
+"""
+
+from __future__ import annotations
+
+from repro.decay.laws import DecayLaw
+
+
+class DecayedCounter:
+    """A single counter with lazy (on-demand) decay."""
+
+    __slots__ = ("law", "value", "stamp")
+
+    def __init__(self, law: DecayLaw, value: float = 0.0, stamp: float = 0.0
+                 ) -> None:
+        self.law = law
+        self.value = value
+        self.stamp = stamp
+
+    def add(self, weight: float, ts: float) -> None:
+        """Decay to ``ts`` then add ``weight``."""
+        if weight < 0:
+            raise ValueError(f"negative weight {weight}")
+        if ts >= self.stamp:
+            self.value = self.law.decay(self.value, ts - self.stamp) + weight
+            self.stamp = ts
+        else:
+            # Late (reordered) observation: decay the contribution instead.
+            self.value += self.law.decay(weight, self.stamp - ts)
+
+    def read(self, now: float) -> float:
+        """Decayed value at time ``now`` (does not rewrite state)."""
+        if now <= self.stamp:
+            return self.value
+        return self.law.decay(self.value, now - self.stamp)
+
+
+class ExactDecayedCounts:
+    """Unbounded per-key decayed counters (the decayed ground truth).
+
+    Implements the streaming-detector protocol extended with timestamps:
+    ``update(key, weight, ts)`` and ``query(threshold, now)``.
+    """
+
+    def __init__(self, law: DecayLaw) -> None:
+        self.law = law
+        self._counters: dict[int, DecayedCounter] = {}
+
+    def update(self, key: int, weight: float, ts: float) -> None:
+        """Account ``weight`` for ``key`` at time ``ts``."""
+        counter = self._counters.get(key)
+        if counter is None:
+            counter = DecayedCounter(self.law)
+            self._counters[key] = counter
+        counter.add(weight, ts)
+
+    def estimate(self, key: int, now: float) -> float:
+        """Exact decayed volume of ``key`` at ``now`` (0 when unseen)."""
+        counter = self._counters.get(key)
+        return counter.read(now) if counter is not None else 0.0
+
+    def query(self, threshold: float, now: float) -> dict[int, float]:
+        """Keys whose decayed volume at ``now`` reaches ``threshold``."""
+        out: dict[int, float] = {}
+        for key, counter in self._counters.items():
+            value = counter.read(now)
+            if value >= threshold:
+                out[key] = value
+        return out
+
+    def compact(self, now: float, floor: float) -> int:
+        """Drop keys whose decayed value fell below ``floor``; returns how
+        many were dropped.  Call periodically to bound memory in practice."""
+        dead = [
+            key for key, counter in self._counters.items()
+            if counter.read(now) < floor
+        ]
+        for key in dead:
+            del self._counters[key]
+        return len(dead)
+
+    def __len__(self) -> int:
+        return len(self._counters)

@@ -1,0 +1,127 @@
+"""Decay laws: how a counter's value erodes with time.
+
+A law maps ``(value, age_seconds) -> decayed_value``.  Two properties
+matter to the detectors built on top:
+
+- *monotone in age*: older observations never count more;
+- *composable*: ``decay(decay(v, a), b) == decay(v, a + b)``, so lazy
+  ("on-demand") application at irregular touch times is exact.
+
+Linear decay (Bianchi et al.'s choice: subtract ``rate * age``) and
+exponential decay both compose; hard sliding expiry composes trivially.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Protocol
+
+
+class DecayLaw(Protocol):
+    """Protocol for decay laws."""
+
+    def decay(self, value: float, age: float) -> float:
+        """``value`` after ``age`` seconds without updates."""
+        ...
+
+    def horizon(self) -> float:
+        """Seconds after which any bounded value is effectively zero.
+
+        Used by detectors to size candidate retention; may be ``inf``.
+        """
+        ...
+
+
+class LinearDecay:
+    """Subtract ``rate`` units per second, floored at zero.
+
+    This is the law of the original time-decaying Bloom filter: with rate
+    ``r`` and threshold ``T``, a burst of volume ``V`` stays visible for
+    ``(V - T) / r`` seconds — a straight-line memory of recent traffic.
+    """
+
+    def __init__(self, rate: float) -> None:
+        if rate <= 0:
+            raise ValueError(f"decay rate must be positive, got {rate}")
+        self.rate = rate
+
+    def decay(self, value: float, age: float) -> float:
+        """Linear erosion, floored at zero."""
+        if age < 0:
+            raise ValueError(f"negative age {age}")
+        return max(0.0, value - self.rate * age)
+
+    def horizon(self) -> float:
+        """Conservative horizon: unbounded values decay eventually but we
+        report infinity since the bound depends on the value."""
+        return math.inf
+
+    def __repr__(self) -> str:
+        return f"LinearDecay(rate={self.rate})"
+
+
+class ExponentialDecay:
+    """Multiply by ``exp(-age / tau)``; ``half_life = tau * ln 2``.
+
+    Exponential decay weights a byte observed ``a`` seconds ago by
+    ``e^(-a/tau)``, which makes a decayed counter an *exponentially
+    weighted moving volume* — the continuous-time analogue of a window of
+    effective length ``tau``.
+    """
+
+    def __init__(self, tau: float | None = None, half_life: float | None = None
+                 ) -> None:
+        if (tau is None) == (half_life is None):
+            raise ValueError("give exactly one of tau or half_life")
+        if half_life is not None:
+            tau = half_life / math.log(2)
+        assert tau is not None
+        if tau <= 0:
+            raise ValueError(f"tau must be positive, got {tau}")
+        self.tau = tau
+
+    @property
+    def half_life(self) -> float:
+        """Seconds for a value to halve."""
+        return self.tau * math.log(2)
+
+    def decay(self, value: float, age: float) -> float:
+        """Exponential erosion."""
+        if age < 0:
+            raise ValueError(f"negative age {age}")
+        return value * math.exp(-age / self.tau)
+
+    def horizon(self) -> float:
+        """~40 time constants: anything is < 1e-17 of its original value."""
+        return 40.0 * self.tau
+
+    def __repr__(self) -> str:
+        return f"ExponentialDecay(tau={self.tau:.3f})"
+
+
+class SlidingExpiry:
+    """All-or-nothing: full value within ``window`` seconds, zero after.
+
+    Makes a decayed counter approximate a continuously-sliding window
+    (coarsely: the whole accumulated value expires ``window`` after the
+    *last* touch; exact per-byte expiry needs the bucketed structure in
+    :mod:`repro.decay.sliding_hh`).
+    """
+
+    def __init__(self, window: float) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.window = window
+
+    def decay(self, value: float, age: float) -> float:
+        """Step function at ``window`` seconds."""
+        if age < 0:
+            raise ValueError(f"negative age {age}")
+        return value if age < self.window else 0.0
+
+    def horizon(self) -> float:
+        """Exactly the window."""
+        return self.window
+
+    def __repr__(self) -> str:
+        return f"SlidingExpiry(window={self.window})"

@@ -1,0 +1,86 @@
+"""On-demand time-decaying Bloom filter (Bianchi, d'Heureuse, Niccolini 2011).
+
+The key idea of the cited paper: instead of a background sweep decaying all
+cells, each cell stores ``(value, last_update_ts)`` and the decay is applied
+*lazily* — only when the cell is next touched by an update or a query.  With
+a composable decay law (linear, exponential) lazy application is exact, and
+every packet costs exactly ``k`` reads + ``k`` writes with no timers: the
+formulation that fits a match-action pipeline, where registers can only be
+touched by packets passing through.
+
+This structure is the concrete "proof of concept" the poster's Section 3
+commits to evaluating; :class:`repro.decay.TimeDecayingHHH` lifts it (via
+enumerable decayed summaries) to hierarchical detection.
+"""
+
+from __future__ import annotations
+
+from repro.decay.laws import DecayLaw
+from repro.hashing.families import HashFamily, pairwise_indep_family
+
+
+class OnDemandTDBF:
+    """Lazy-decay cell array: no ticks, no sweeps, exact decayed estimates."""
+
+    def __init__(
+        self,
+        cells: int = 8192,
+        hashes: int = 4,
+        law: DecayLaw | None = None,
+        family: HashFamily | None = None,
+    ) -> None:
+        if cells < 1 or hashes < 1:
+            raise ValueError(f"need cells, hashes >= 1; got {cells}, {hashes}")
+        if law is None:
+            raise ValueError("a DecayLaw is required (e.g. ExponentialDecay)")
+        self.cells = cells
+        self.hashes = hashes
+        self.law = law
+        family = family or pairwise_indep_family()
+        self._funcs = [family.function(i, cells) for i in range(hashes)]
+        self._values = [0.0] * cells
+        self._stamps = [0.0] * cells
+
+    def update(self, key: int, weight: float, ts: float) -> None:
+        """Insert ``weight`` at time ``ts``: decay each touched cell to
+        ``ts``, then add."""
+        if weight < 0:
+            raise ValueError(f"negative weight {weight}")
+        values, stamps, decay = self._values, self._stamps, self.law.decay
+        for f in self._funcs:
+            i = f(key)
+            age = ts - stamps[i]
+            if age < 0:
+                # A cell may carry a newer stamp than this (slightly
+                # reordered) packet; decaying the *update* backwards is the
+                # standard resolution and keeps estimates one-sided.
+                values[i] += self.law.decay(weight, -age)
+                continue
+            values[i] = decay(values[i], age) + weight
+            stamps[i] = ts
+
+    def estimate(self, key: int, now: float) -> float:
+        """Decayed volume overestimate at time ``now`` (min over cells).
+
+        Read-only: cells are decayed virtually, not rewritten, so queries
+        never interfere with concurrent update paths.
+        """
+        values, stamps, decay = self._values, self._stamps, self.law.decay
+        best = None
+        for f in self._funcs:
+            i = f(key)
+            age = now - stamps[i]
+            v = decay(values[i], age) if age > 0 else values[i]
+            if best is None or v < best:
+                best = v
+        return best if best is not None else 0.0
+
+    def contains(self, key: int, now: float, threshold: float = 0.0) -> bool:
+        """Membership with an optional volume threshold."""
+        return self.estimate(key, now) > threshold
+
+    @property
+    def num_counters(self) -> int:
+        """Cells allocated; each cell is (value, stamp), twice the state of
+        a plain counting-Bloom cell."""
+        return self.cells

@@ -1,0 +1,83 @@
+"""Time-decaying Bloom filter, synchronous-tick variant.
+
+The straightforward reading of Bianchi et al. 2011: a counting-Bloom-style
+cell array whose cells all erode according to a decay law.  This variant
+applies the decay to *every* cell on an explicit :meth:`tick` (as a software
+implementation with a background timer would); the lazy per-cell variant
+that avoids the sweep — the form suitable for match-action hardware — is
+:class:`repro.decay.OnDemandTDBF`.
+
+Queries estimate the *decayed volume* of a key (minimum over its cells,
+exactly like a counting Bloom filter), so a key is "currently heavy" when
+its estimate is above a threshold — no window, no reset, no counter
+overflow: decay continuously drains what insertions add.
+"""
+
+from __future__ import annotations
+
+from repro.decay.laws import DecayLaw
+from repro.hashing.families import HashFamily, pairwise_indep_family
+
+
+class TimeDecayingBloomFilter:
+    """Cell array + decay law with explicit synchronous ticks."""
+
+    def __init__(
+        self,
+        cells: int = 8192,
+        hashes: int = 4,
+        law: DecayLaw | None = None,
+        family: HashFamily | None = None,
+    ) -> None:
+        if cells < 1 or hashes < 1:
+            raise ValueError(f"need cells, hashes >= 1; got {cells}, {hashes}")
+        if law is None:
+            raise ValueError("a DecayLaw is required (e.g. ExponentialDecay)")
+        self.cells = cells
+        self.hashes = hashes
+        self.law = law
+        family = family or pairwise_indep_family()
+        self._funcs = [family.function(i, cells) for i in range(hashes)]
+        self._array = [0.0] * cells
+        self._clock = 0.0
+
+    @property
+    def clock(self) -> float:
+        """Time up to which all cells have been decayed."""
+        return self._clock
+
+    def tick(self, now: float) -> None:
+        """Advance the filter's clock, decaying every cell."""
+        age = now - self._clock
+        if age < 0:
+            raise ValueError(f"clock moving backwards: {self._clock} -> {now}")
+        if age == 0:
+            return
+        decay = self.law.decay
+        self._array = [decay(v, age) if v else 0.0 for v in self._array]
+        self._clock = now
+
+    def update(self, key: int, weight: float, ts: float) -> None:
+        """Insert ``weight`` for ``key`` at time ``ts`` (ticks forward first)."""
+        if weight < 0:
+            raise ValueError(f"negative weight {weight}")
+        if ts > self._clock:
+            self.tick(ts)
+        for f in self._funcs:
+            self._array[f(key)] += weight
+
+    def estimate(self, key: int, now: float | None = None) -> float:
+        """Decayed volume overestimate (minimum over the key's cells)."""
+        if now is not None and now > self._clock:
+            self.tick(now)
+        return min(self._array[f(key)] for f in self._funcs)
+
+    def contains(self, key: int, now: float | None = None,
+                 threshold: float = 0.0) -> bool:
+        """Membership with an optional volume threshold."""
+        return self.estimate(key, now) > threshold
+
+    @property
+    def num_counters(self) -> int:
+        """Cells allocated (for resource accounting)."""
+        return self.cells

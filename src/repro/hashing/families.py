@@ -1,0 +1,107 @@
+"""Seeded hash families.
+
+A *hash family* hands out independent hash functions ``h_i: int -> [0, m)``
+from a single seed.  Sketches ask for ``rows`` functions at construction time
+and keep them for their lifetime, so the family objects are tiny and the
+returned callables close over plain integers only.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from repro.hashing.mixers import splitmix64
+
+_MASK64 = (1 << 64) - 1
+
+# A Mersenne prime; multiply-shift style universal hashing mod p.
+_PRIME = (1 << 61) - 1
+
+HashFunc = Callable[[int], int]
+
+
+class HashFamily(Protocol):
+    """Protocol for seeded hash families used by sketches."""
+
+    def function(self, index: int, range_size: int) -> HashFunc:
+        """The ``index``-th function of the family, mapping into
+        ``[0, range_size)``."""
+        ...
+
+    def sign_function(self, index: int) -> HashFunc:
+        """A +/-1 valued function (for Count-Sketch style estimators)."""
+        ...
+
+
+class MultiplyShiftFamily:
+    """Classic ``(a*x + b) mod p mod m`` 2-universal hashing.
+
+    Parameters are derived deterministically from the seed via splitmix64,
+    so the same seed always yields the same functions.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    def _params(self, index: int) -> tuple[int, int]:
+        base = splitmix64(self.seed * 0x1000193 + index * 2 + 1)
+        a = (splitmix64(base) % (_PRIME - 1)) + 1
+        b = splitmix64(base ^ 0xDEADBEEF) % _PRIME
+        return a, b
+
+    def function(self, index: int, range_size: int) -> HashFunc:
+        """2-universal function into ``[0, range_size)``."""
+        if range_size <= 0:
+            raise ValueError(f"range_size must be positive, got {range_size}")
+        a, b = self._params(index)
+
+        def h(key: int, _a: int = a, _b: int = b, _m: int = range_size) -> int:
+            return ((_a * key + _b) % _PRIME) % _m
+
+        return h
+
+    def sign_function(self, index: int) -> HashFunc:
+        """Pairwise-independent +/-1 function."""
+        a, b = self._params(index ^ 0x5A5A5A5A)
+
+        def s(key: int, _a: int = a, _b: int = b) -> int:
+            return 1 if ((_a * key + _b) % _PRIME) & 1 else -1
+
+        return s
+
+
+class MixerFamily:
+    """Hash family built from the splitmix64 mixer.
+
+    Faster than :class:`MultiplyShiftFamily` in CPython (no modulo by a big
+    prime) and empirically well distributed; has no formal universality
+    guarantee, which is why sketches accept the family as a parameter.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    def function(self, index: int, range_size: int) -> HashFunc:
+        """Mixer-based function into ``[0, range_size)``."""
+        if range_size <= 0:
+            raise ValueError(f"range_size must be positive, got {range_size}")
+        salt = splitmix64((self.seed << 8) ^ (index * 0x9E37 + 0x79B9))
+
+        def h(key: int, _salt: int = salt, _m: int = range_size) -> int:
+            return splitmix64(key ^ _salt) % _m
+
+        return h
+
+    def sign_function(self, index: int) -> HashFunc:
+        """Mixer-based +/-1 function."""
+        salt = splitmix64((self.seed << 8) ^ (index * 0x85EB + 0xCA6B))
+
+        def s(key: int, _salt: int = salt) -> int:
+            return 1 if splitmix64(key ^ _salt) & 1 else -1
+
+        return s
+
+
+def pairwise_indep_family(seed: int = 0) -> MultiplyShiftFamily:
+    """The default family sketches use when the caller does not care."""
+    return MultiplyShiftFamily(seed)

@@ -1,0 +1,46 @@
+"""64-bit integer mixing functions.
+
+These are the standard public-domain finalisers (splitmix64, xorshift64*)
+restricted to 64-bit arithmetic with explicit masking.  They are used both
+directly (as fast stateless hashes of integer keys) and as the seed expanders
+for the hash families in :mod:`repro.hashing.families`.
+"""
+
+from __future__ import annotations
+
+_MASK64 = (1 << 64) - 1
+
+# 2^64 / golden ratio, the classic Fibonacci hashing multiplier.
+_FIB_MULT = 0x9E3779B97F4A7C15
+
+
+def splitmix64(value: int) -> int:
+    """The splitmix64 finaliser: a strong 64-bit bijective mixer.
+
+    >>> splitmix64(0) != 0
+    True
+    """
+    z = (value + _FIB_MULT) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (z ^ (z >> 31)) & _MASK64
+
+
+def xorshift64star(value: int) -> int:
+    """xorshift64* mixer; weaker than splitmix64 but cheaper.
+
+    Maps 0 to 0 (the xorshift core fixes 0), so callers hashing possibly-zero
+    keys should offset them first.
+    """
+    x = value & _MASK64
+    x ^= x >> 12
+    x ^= (x << 25) & _MASK64
+    x ^= x >> 27
+    return (x * 0x2545F4914F6CDD1D) & _MASK64
+
+
+def fibonacci_hash(value: int, bits: int) -> int:
+    """Fibonacci (golden-ratio) hashing of ``value`` into ``bits`` bits."""
+    if not 0 < bits <= 64:
+        raise ValueError(f"bits must be in 1..64, got {bits}")
+    return ((value * _FIB_MULT) & _MASK64) >> (64 - bits)

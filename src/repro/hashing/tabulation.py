@@ -1,0 +1,75 @@
+"""Simple tabulation hashing.
+
+Tabulation hashing splits a 32-bit key into four bytes and XORs together four
+random 64-bit table entries, one per byte.  It is 3-independent (and much
+stronger in practice), making it a good fit for the Bloom-filter variants
+where clustering under weak hashing would distort false-positive behaviour.
+"""
+
+from __future__ import annotations
+
+import random
+
+_MASK64 = (1 << 64) - 1
+
+
+class TabulationHash:
+    """One tabulation hash function over 32-bit keys.
+
+    ``tables`` is a 4x256 matrix of random 64-bit entries, generated from the
+    seed at construction.
+    """
+
+    __slots__ = ("tables",)
+
+    def __init__(self, seed: int = 0) -> None:
+        rng = random.Random(seed)
+        self.tables = [
+            [rng.getrandbits(64) for _ in range(256)] for _ in range(4)
+        ]
+
+    def __call__(self, key: int) -> int:
+        t = self.tables
+        return (
+            t[0][key & 0xFF]
+            ^ t[1][(key >> 8) & 0xFF]
+            ^ t[2][(key >> 16) & 0xFF]
+            ^ t[3][(key >> 24) & 0xFF]
+        )
+
+    def bounded(self, key: int, range_size: int) -> int:
+        """Hash ``key`` into ``[0, range_size)``."""
+        return self(key) % range_size
+
+
+class TabulationFamily:
+    """Family view over tabulation hashing (same protocol as the others)."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._cache: dict[int, TabulationHash] = {}
+
+    def _hash(self, index: int) -> TabulationHash:
+        if index not in self._cache:
+            self._cache[index] = TabulationHash(self.seed * 1009 + index)
+        return self._cache[index]
+
+    def function(self, index: int, range_size: int):
+        """Tabulation function into ``[0, range_size)``."""
+        if range_size <= 0:
+            raise ValueError(f"range_size must be positive, got {range_size}")
+        th = self._hash(index)
+
+        def h(key: int, _th: TabulationHash = th, _m: int = range_size) -> int:
+            return _th(key) % _m
+
+        return h
+
+    def sign_function(self, index: int):
+        """Tabulation-based +/-1 function."""
+        th = self._hash(index ^ 0x0F0F)
+
+        def s(key: int, _th: TabulationHash = th) -> int:
+            return 1 if _th(key) & 1 else -1
+
+        return s

@@ -1,0 +1,25 @@
+"""Per-window ground truth over a window schedule.
+
+Bridges the exact detector and the window engines: given a trace and any
+iterable of ``(t0, t1)`` windows, produce the exact HHH result for each.
+Both figures of the paper are comparisons between two such series.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.hhh.exact_hhh import ExactHHH, HHHResult
+from repro.trace.container import Trace
+from repro.windows.schedule import Window
+
+
+def window_ground_truth(
+    trace: Trace,
+    windows: Iterable[Window],
+    detector: ExactHHH,
+    key: str = "src",
+) -> Iterator[tuple[Window, HHHResult]]:
+    """Yield ``(window, exact HHH result)`` for each window in order."""
+    for window in windows:
+        yield window, detector.detect_window(trace, window.t0, window.t1, key=key)

@@ -1,0 +1,85 @@
+"""Exact two-dimensional (source x destination) HHH.
+
+2D HHH generalises the discounted-count semantics to the src x dst lattice.
+Following the "full ancestry" variant of Cormode et al. (the one RHHH and
+most data-plane systems implement), a lattice element is an HHH when its
+conditioned volume — the bytes of leaf flows under it that are not under
+any already-declared HHH descendant — reaches the threshold.
+
+Leaf flows are (src/32, dst/32) pairs packed into 64-bit keys.  Because an
+element of the lattice has two parents, a leaf discounted at one node must
+not re-appear via the other parent; we therefore track, per lattice node,
+the *set of surviving leaves* rather than scalar residuals.  This is
+O(leaves * lattice_size) and exact; it is the test oracle and ground truth
+for the 2D extension, not a line-rate algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.hierarchy.lattice import LatticeNode, TwoDHierarchy
+from repro.net.prefix import Prefix
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class HHH2DItem:
+    """One detected 2D HHH: (src_prefix, dst_prefix) and discounted bytes."""
+
+    src_prefix: Prefix
+    dst_prefix: Prefix
+    discounted_bytes: int
+
+
+class ExactHHH2D:
+    """Exact offline 2D HHH detector over packed (src<<32|dst) leaf counts."""
+
+    def __init__(
+        self,
+        phi: float = 0.05,
+        hierarchy: TwoDHierarchy | None = None,
+    ) -> None:
+        if not 0.0 < phi <= 1.0:
+            raise ValueError(f"phi must be in (0, 1], got {phi}")
+        self.phi = phi
+        self.hierarchy = hierarchy or TwoDHierarchy()
+
+    def detect(self, counts: Mapping[int, int]) -> list[HHH2DItem]:
+        """Run detection over ``{(src<<32|dst): bytes}`` counts."""
+        total = sum(counts.values())
+        threshold = self.phi * total
+        if threshold <= 0:
+            return []
+        lattice = self.hierarchy
+        # Leaves that are not yet covered by any declared HHH.
+        surviving: dict[int, int] = {
+            key: count for key, count in counts.items() if count > 0
+        }
+        # Per declared HHH we remember which generalized cell it owns, so a
+        # leaf is covered once it generalises into any declared cell.
+        declared: list[tuple[LatticeNode, int]] = []
+        items: list[HHH2DItem] = []
+        for node in lattice.nodes_bottom_up():
+            # Conditioned volume per generalized cell at this node, counting
+            # only leaves not covered by a declared descendant HHH.
+            cells: dict[int, int] = {}
+            for key, count in surviving.items():
+                cell = lattice.generalize(key, node)
+                cells[cell] = cells.get(cell, 0) + count
+            newly: list[int] = []
+            for cell, volume in cells.items():
+                if volume >= threshold:
+                    src_p, dst_p = lattice.prefixes_of(cell, node)
+                    items.append(HHH2DItem(src_p, dst_p, volume))
+                    newly.append(cell)
+            if newly:
+                newly_set = set(newly)
+                surviving = {
+                    key: count
+                    for key, count in surviving.items()
+                    if lattice.generalize(key, node) not in newly_set
+                }
+                declared.extend((node, cell) for cell in newly)
+        items.sort()
+        return items

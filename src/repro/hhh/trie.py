@@ -1,0 +1,131 @@
+"""A binary prefix trie over 32-bit keys.
+
+The dict-rollup in :mod:`repro.hhh.exact_hhh` is the fast path for a fixed
+level set; the trie is the general structure: it supports bit-granularity
+HHH at any level subset, longest-prefix queries, and subtree volume
+queries.  Tests use it as an independent oracle against the rollup
+implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from repro.net.ipv4 import IPV4_BITS
+from repro.net.prefix import Prefix
+
+
+@dataclass
+class _Node:
+    count: int = 0          # volume recorded exactly at this node's key
+    subtree: int = 0        # cached subtree volume (maintained on insert)
+    children: list["_Node | None"] = field(default_factory=lambda: [None, None])
+
+
+class PrefixTrie:
+    """Binary trie accumulating byte volumes at /32 leaves."""
+
+    def __init__(self) -> None:
+        self._root = _Node()
+        self._total = 0
+
+    @property
+    def total(self) -> int:
+        """Total volume inserted."""
+        return self._total
+
+    def insert(self, key: int, count: int = 1) -> None:
+        """Add ``count`` volume at address ``key``."""
+        if not 0 <= key < (1 << IPV4_BITS):
+            raise ValueError(f"key {key} not a 32-bit value")
+        if count < 0:
+            raise ValueError(f"negative count {count}")
+        node = self._root
+        node.subtree += count
+        for bit_pos in range(IPV4_BITS - 1, -1, -1):
+            bit = (key >> bit_pos) & 1
+            child = node.children[bit]
+            if child is None:
+                child = _Node()
+                node.children[bit] = child
+            child.subtree += count
+            node = child
+        node.count += count
+        self._total += count
+
+    def insert_counts(self, counts: Mapping[int, int]) -> None:
+        """Bulk-insert a ``{key: count}`` mapping."""
+        for key, count in counts.items():
+            self.insert(key, count)
+
+    def subtree_volume(self, prefix: Prefix) -> int:
+        """Total volume under ``prefix`` (0 when absent)."""
+        node = self._node_at(prefix)
+        return node.subtree if node is not None else 0
+
+    def _node_at(self, prefix: Prefix) -> _Node | None:
+        node = self._root
+        for bit_pos in range(IPV4_BITS - 1, IPV4_BITS - 1 - prefix.length, -1):
+            bit = (prefix.value >> bit_pos) & 1
+            node = node.children[bit]
+            if node is None:
+                return None
+        return node
+
+    def leaves(self) -> Iterator[tuple[int, int]]:
+        """Yield ``(key, count)`` for every key with non-zero volume."""
+        stack: list[tuple[_Node, int, int]] = [(self._root, 0, 0)]
+        while stack:
+            node, value, depth = stack.pop()
+            if depth == IPV4_BITS:
+                if node.count:
+                    yield value, node.count
+                continue
+            for bit in (0, 1):
+                child = node.children[bit]
+                if child is not None:
+                    stack.append(
+                        (child, value | (bit << (IPV4_BITS - 1 - depth)), depth + 1)
+                    )
+
+    def hhh(self, threshold: float, lengths: tuple[int, ...] | None = None
+            ) -> dict[Prefix, int]:
+        """Exact HHH over the trie, at the given level lengths.
+
+        ``lengths`` is leaf-first (e.g. ``(32, 24, 16, 8, 0)``); default is
+        every bit length 32..0.  Returns ``{prefix: discounted_volume}``.
+
+        This walks the full trie once per call and implements the same
+        discounted-count recursion as :class:`repro.hhh.ExactHHH`; it exists
+        as the independent oracle for cross-checking.
+        """
+        if threshold <= 0:
+            raise ValueError(f"threshold must be positive, got {threshold}")
+        if lengths is None:
+            lengths = tuple(range(IPV4_BITS, -1, -1))
+        level_set = set(lengths)
+        result: dict[Prefix, int] = {}
+
+        def walk(node: _Node, value: int, depth: int) -> int:
+            """Residual (non-HHH-covered) volume of this subtree."""
+            if depth == IPV4_BITS:
+                residual = node.count
+            else:
+                residual = 0
+                for bit in (0, 1):
+                    child = node.children[bit]
+                    if child is not None:
+                        residual += walk(
+                            child,
+                            value | (bit << (IPV4_BITS - 1 - depth)),
+                            depth + 1,
+                        )
+            # depth equals the prefix length at this node.
+            if depth in level_set and residual >= threshold:
+                result[Prefix(value, depth)] = residual
+                return 0
+            return residual
+
+        walk(self._root, 0, 0)
+        return result

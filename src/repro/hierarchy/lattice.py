@@ -1,0 +1,104 @@
+"""Two-dimensional (source x destination) hierarchy lattice.
+
+The 2D generalisation structure is a lattice, not a chain: a node is a pair
+``(src_level, dst_level)`` and has up to two parents (generalise the source
+one step, or the destination one step).  Keys are 64-bit integers packing
+``(src << 32) | dst`` (see :func:`repro.packet.flowkey.source_dest_key`).
+
+The paper's experiments are 1D; the lattice is provided because every HHH
+system the poster cites (and the exact algorithm in :mod:`repro.hhh`)
+generalises to 2D, and the DDoS example uses it to localise attacks by
+victim as well as attacker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.net.prefix import Prefix, mask_for_length
+from repro.hierarchy.domain import BYTE_LENGTHS
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class LatticeNode:
+    """A lattice level: how many bits of source and destination survive."""
+
+    src_level: int
+    dst_level: int
+
+
+class TwoDHierarchy:
+    """The src x dst generalisation lattice at configurable granularity."""
+
+    def __init__(
+        self,
+        src_lengths: Sequence[int] = BYTE_LENGTHS,
+        dst_lengths: Sequence[int] = BYTE_LENGTHS,
+    ) -> None:
+        self.src_lengths = tuple(src_lengths)
+        self.dst_lengths = tuple(dst_lengths)
+        for lengths in (self.src_lengths, self.dst_lengths):
+            if not lengths or lengths[0] != 32 or lengths[-1] != 0:
+                raise ValueError(f"lengths must run 32..0, got {lengths}")
+        self._src_masks = tuple(mask_for_length(l) for l in self.src_lengths)
+        self._dst_masks = tuple(mask_for_length(l) for l in self.dst_lengths)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of lattice levels."""
+        return len(self.src_lengths) * len(self.dst_lengths)
+
+    def nodes_bottom_up(self) -> Iterator[LatticeNode]:
+        """All lattice nodes ordered by decreasing total specificity.
+
+        This is a valid processing order for bottom-up HHH: every node
+        appears after both of its children directions.
+        """
+        nodes = [
+            LatticeNode(i, j)
+            for i in range(len(self.src_lengths))
+            for j in range(len(self.dst_lengths))
+        ]
+        nodes.sort(
+            key=lambda nd: -(
+                self.src_lengths[nd.src_level] + self.dst_lengths[nd.dst_level]
+            )
+        )
+        return iter(nodes)
+
+    def generalize(self, key: int, node: LatticeNode) -> int:
+        """Mask a packed (src<<32|dst) key to ``node``'s levels."""
+        src = (key >> 32) & self._src_masks[node.src_level]
+        dst = key & self._dst_masks[node.dst_level]
+        return (src << 32) | dst
+
+    def parents(self, node: LatticeNode) -> list[LatticeNode]:
+        """The (up to two) immediate generalisations of ``node``."""
+        out = []
+        if node.src_level + 1 < len(self.src_lengths):
+            out.append(LatticeNode(node.src_level + 1, node.dst_level))
+        if node.dst_level + 1 < len(self.dst_lengths):
+            out.append(LatticeNode(node.src_level, node.dst_level + 1))
+        return out
+
+    def is_root(self, node: LatticeNode) -> bool:
+        """True for the fully-generalised (0,0-bit) node."""
+        return (
+            node.src_level == len(self.src_lengths) - 1
+            and node.dst_level == len(self.dst_lengths) - 1
+        )
+
+    def prefixes_of(self, key: int, node: LatticeNode) -> tuple[Prefix, Prefix]:
+        """The (src, dst) prefixes of a generalized key at ``node``."""
+        src_len = self.src_lengths[node.src_level]
+        dst_len = self.dst_lengths[node.dst_level]
+        return (
+            Prefix((key >> 32) & 0xFFFFFFFF, src_len),
+            Prefix(key & 0xFFFFFFFF, dst_len),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TwoDHierarchy(src={self.src_lengths}, dst={self.dst_lengths})"
+        )

@@ -1,0 +1,31 @@
+"""Comparison metrics for detection results.
+
+- :mod:`repro.metrics.sets` — Jaccard similarity (the paper's Figure 3
+  metric) and set differences;
+- :mod:`repro.metrics.hidden` — hidden-HHH accounting (the paper's
+  Figure 2 metric);
+- :mod:`repro.metrics.classification` — precision/recall/F1 of a detector
+  against ground truth;
+- :mod:`repro.metrics.cdf` — empirical CDFs for reporting distributions
+  across windows.
+"""
+
+from repro.metrics.sets import jaccard, set_difference_report
+from repro.metrics.hidden import (
+    HiddenHHHReport,
+    hidden_hhh_occurrences,
+    hidden_hhh_unique,
+)
+from repro.metrics.classification import ClassificationReport, classify_sets
+from repro.metrics.cdf import EmpiricalCDF
+
+__all__ = [
+    "jaccard",
+    "set_difference_report",
+    "HiddenHHHReport",
+    "hidden_hhh_unique",
+    "hidden_hhh_occurrences",
+    "ClassificationReport",
+    "classify_sets",
+    "EmpiricalCDF",
+]

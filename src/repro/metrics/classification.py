@@ -1,0 +1,59 @@
+"""Precision / recall / F1 of a detector against ground truth.
+
+Used by the Section 3 comparison to score approximate detectors (sketches,
+the time-decaying detector) against exact HHH sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import AbstractSet, Hashable, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+@dataclass(frozen=True)
+class ClassificationReport:
+    """Confusion counts and the derived rates."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        """TP / (TP + FP); 1.0 when nothing was reported."""
+        denom = self.true_positives + self.false_positives
+        return self.true_positives / denom if denom else 1.0
+
+    @property
+    def recall(self) -> float:
+        """TP / (TP + FN); 1.0 when there was nothing to find."""
+        denom = self.true_positives + self.false_negatives
+        return self.true_positives / denom if denom else 1.0
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    def merged(self, other: "ClassificationReport") -> "ClassificationReport":
+        """Pool confusion counts with another report (micro-averaging)."""
+        return ClassificationReport(
+            self.true_positives + other.true_positives,
+            self.false_positives + other.false_positives,
+            self.false_negatives + other.false_negatives,
+        )
+
+
+def classify_sets(
+    truth: AbstractSet[T], reported: AbstractSet[T]
+) -> ClassificationReport:
+    """Score a reported set against a ground-truth set."""
+    tp = len(truth & reported)
+    return ClassificationReport(
+        true_positives=tp,
+        false_positives=len(reported) - tp,
+        false_negatives=len(truth) - tp,
+    )

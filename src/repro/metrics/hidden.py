@@ -1,0 +1,100 @@
+"""Hidden-HHH accounting — the paper's Figure 2 metric.
+
+A *hidden* HHH is one the sliding-window analysis reveals but the disjoint
+schedule misses.  The poster reports "up to 34% of the total number of the
+HHH might not be detected", where the total is what the sliding analysis
+finds.  Two accounting conventions are provided (and compared in the
+ablation bench):
+
+- **unique**: identity is the prefix itself; hidden fraction is
+  ``|prefixes seen by sliding \\ prefixes seen by disjoint| / |sliding|``
+  over the whole trace;
+- **occurrences**: identity is a (sliding window, prefix) detection; it
+  counts as covered when the prefix is also reported by *some* disjoint
+  window overlapping that sliding window.  This credits the disjoint
+  schedule for detections at roughly the right time, not just anywhere in
+  the trace, and is the stricter reading of "not detected".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.hhh.exact_hhh import HHHResult
+from repro.net.prefix import Prefix
+from repro.windows.schedule import Window
+
+
+@dataclass(frozen=True)
+class HiddenHHHReport:
+    """Outcome of hidden-HHH accounting.
+
+    ``total`` counts sliding-side detections (unique prefixes or
+    occurrences depending on the mode); ``hidden`` the subset the disjoint
+    schedule misses.
+    """
+
+    total: int
+    hidden: int
+    mode: str
+    hidden_prefixes: frozenset[Prefix] = frozenset()
+
+    @property
+    def hidden_fraction(self) -> float:
+        """hidden / total (0 when nothing was detected at all)."""
+        return self.hidden / self.total if self.total else 0.0
+
+    @property
+    def hidden_percent(self) -> float:
+        """Hidden fraction in percent, as plotted in Figure 2."""
+        return 100.0 * self.hidden_fraction
+
+
+def hidden_hhh_unique(
+    disjoint: Sequence[tuple[Window, HHHResult]],
+    sliding: Sequence[tuple[Window, HHHResult]],
+) -> HiddenHHHReport:
+    """Unique-prefix accounting of hidden HHHs."""
+    seen_disjoint: set[Prefix] = set()
+    for _, result in disjoint:
+        seen_disjoint |= result.prefixes
+    seen_sliding: set[Prefix] = set()
+    for _, result in sliding:
+        seen_sliding |= result.prefixes
+    hidden = seen_sliding - seen_disjoint
+    return HiddenHHHReport(
+        total=len(seen_sliding),
+        hidden=len(hidden),
+        mode="unique",
+        hidden_prefixes=frozenset(hidden),
+    )
+
+
+def hidden_hhh_occurrences(
+    disjoint: Sequence[tuple[Window, HHHResult]],
+    sliding: Sequence[tuple[Window, HHHResult]],
+) -> HiddenHHHReport:
+    """Occurrence accounting: per sliding detection, is the prefix reported
+    by any overlapping disjoint window?"""
+    total = 0
+    hidden = 0
+    hidden_prefixes: set[Prefix] = set()
+    disjoint_list = [(w, r.prefixes) for w, r in disjoint]
+    for window, result in sliding:
+        if not result.items:
+            continue
+        overlapping = [
+            prefixes for w, prefixes in disjoint_list if window.overlap(w) > 0
+        ]
+        for item in result.items:
+            total += 1
+            if not any(item.prefix in prefixes for prefixes in overlapping):
+                hidden += 1
+                hidden_prefixes.add(item.prefix)
+    return HiddenHHHReport(
+        total=total,
+        hidden=hidden,
+        mode="occurrences",
+        hidden_prefixes=frozenset(hidden_prefixes),
+    )

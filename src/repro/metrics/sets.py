@@ -1,0 +1,52 @@
+"""Set similarity metrics.
+
+The paper's Figure 3: "The results produced by the baseline window have
+been compared against the one obtained with different windows sizes using
+the Jaccard similarity coefficient."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import AbstractSet, Hashable, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+def jaccard(a: AbstractSet[T], b: AbstractSet[T]) -> float:
+    """Jaccard similarity |a & b| / |a | b|.
+
+    Two empty sets are defined as identical (similarity 1.0): two windows
+    that both report "no HHHs" agree perfectly.
+    """
+    if not a and not b:
+        return 1.0
+    union = len(a | b)
+    return len(a & b) / union
+
+
+@dataclass(frozen=True)
+class SetDifferenceReport:
+    """Breakdown of how set ``observed`` differs from set ``reference``."""
+
+    common: int
+    only_reference: int
+    only_observed: int
+
+    @property
+    def jaccard(self) -> float:
+        """Jaccard similarity implied by the breakdown."""
+        union = self.common + self.only_reference + self.only_observed
+        return self.common / union if union else 1.0
+
+
+def set_difference_report(
+    reference: AbstractSet[T], observed: AbstractSet[T]
+) -> SetDifferenceReport:
+    """Count common and one-sided elements between two sets."""
+    common = len(reference & observed)
+    return SetDifferenceReport(
+        common=common,
+        only_reference=len(reference) - common,
+        only_observed=len(observed) - common,
+    )

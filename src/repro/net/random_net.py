@@ -1,0 +1,97 @@
+"""Structured random address generation.
+
+Real Tier-1 traffic does not draw source addresses uniformly: addresses
+cluster into networks, so the per-/8, /16, /24 aggregates that hierarchical
+heavy hitters are made of exist at all levels.  :class:`RandomAddressSpace`
+draws a population of host addresses nested under a configurable number of
+top-level networks so that synthetic traces produce non-degenerate prefix
+hierarchies.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.net.ipv4 import IPV4_BITS
+from repro.net.prefix import Prefix, truncate
+
+
+class RandomAddressSpace:
+    """Draw host addresses clustered under random networks.
+
+    Parameters
+    ----------
+    num_networks:
+        How many distinct top-level networks to create.
+    network_length:
+        Prefix length of the top-level networks (default /8-like 8 bits).
+    subnets_per_network:
+        How many distinct subnets to carve inside each network.
+    subnet_length:
+        Prefix length of the subnets (must be >= ``network_length``).
+    rng:
+        Seeded :class:`random.Random`; all draws flow through it.
+    """
+
+    def __init__(
+        self,
+        num_networks: int = 16,
+        network_length: int = 8,
+        subnets_per_network: int = 16,
+        subnet_length: int = 24,
+        rng: random.Random | None = None,
+    ) -> None:
+        if not 0 < network_length <= subnet_length <= IPV4_BITS:
+            raise ValueError(
+                "need 0 < network_length <= subnet_length <= 32, got "
+                f"{network_length}/{subnet_length}"
+            )
+        if num_networks < 1 or subnets_per_network < 1:
+            raise ValueError("need at least one network and one subnet")
+        self._rng = rng or random.Random(0)
+        self.network_length = network_length
+        self.subnet_length = subnet_length
+        self.networks = self._draw_distinct(num_networks, network_length)
+        self.subnets: list[int] = []
+        host_bits_in_net = subnet_length - network_length
+        for net in self.networks:
+            seen: set[int] = set()
+            # Cap at the number of distinct subnets that actually fit.
+            want = min(subnets_per_network, 1 << host_bits_in_net)
+            while len(seen) < want:
+                offset = self._rng.getrandbits(host_bits_in_net) if host_bits_in_net else 0
+                subnet = net | (offset << (IPV4_BITS - subnet_length))
+                seen.add(subnet)
+            self.subnets.extend(sorted(seen))
+
+    def _draw_distinct(self, count: int, length: int) -> list[int]:
+        """Draw ``count`` distinct prefix values of ``length`` bits."""
+        if count > (1 << min(length, 62)):
+            raise ValueError(f"cannot draw {count} distinct /{length} networks")
+        seen: set[int] = set()
+        while len(seen) < count:
+            value = self._rng.getrandbits(length) << (IPV4_BITS - length)
+            seen.add(value)
+        return sorted(seen)
+
+    def draw_host(self) -> int:
+        """A uniformly random host inside a uniformly random subnet."""
+        subnet = self._rng.choice(self.subnets)
+        host_bits = IPV4_BITS - self.subnet_length
+        return subnet | (self._rng.getrandbits(host_bits) if host_bits else 0)
+
+    def draw_hosts(self, count: int) -> list[int]:
+        """``count`` independent draws of :meth:`draw_host`."""
+        return [self.draw_host() for _ in range(count)]
+
+    def subnet_prefixes(self) -> list[Prefix]:
+        """All subnets as :class:`Prefix` objects."""
+        return [Prefix(v, self.subnet_length) for v in self.subnets]
+
+    def network_prefixes(self) -> list[Prefix]:
+        """All top-level networks as :class:`Prefix` objects."""
+        return [Prefix(v, self.network_length) for v in self.networks]
+
+    def network_of(self, address: int) -> Prefix:
+        """The top-level network containing ``address``."""
+        return Prefix(truncate(address, self.network_length), self.network_length)

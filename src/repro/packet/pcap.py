@@ -1,0 +1,180 @@
+"""Classic libpcap file format, from scratch.
+
+Writes and reads the 24-byte global header + per-packet record format used by
+tcpdump (magic ``0xA1B2C3D4``, microsecond timestamps).  Packets are
+serialised as minimal Ethernet + IPv4 (+ TCP/UDP stub) frames carrying the
+5-tuple; the IP ``total length`` field preserves the byte count even though
+we do not materialise payload bytes on disk.
+
+This is enough to (a) round-trip synthetic traces bit-exactly at the
+granularity the experiments care about and (b) ingest simple real captures.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import BinaryIO, Iterable, Iterator
+
+from repro.packet.model import PROTO_TCP, PROTO_UDP, Packet
+
+PCAP_MAGIC = 0xA1B2C3D4
+PCAP_MAGIC_SWAPPED = 0xD4C3B2A1
+PCAP_VERSION = (2, 4)
+LINKTYPE_ETHERNET = 1
+
+_GLOBAL_HDR = struct.Struct("<IHHiIII")
+_RECORD_HDR = struct.Struct("<IIII")
+_ETH_HDR = struct.Struct("!6s6sH")
+_IP_HDR = struct.Struct("!BBHHHBBHII")
+_PORTS = struct.Struct("!HH")
+
+_ETH_TYPE_IPV4 = 0x0800
+_ETH_LEN = 14
+_IP_LEN = 20
+_SNAPLEN = 262144
+
+
+def _ip_checksum(header: bytes) -> int:
+    """RFC 1071 ones-complement checksum of an IPv4 header."""
+    if len(header) % 2:
+        header += b"\x00"
+    total = sum(struct.unpack(f"!{len(header) // 2}H", header))
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def _encode_frame(pkt: Packet) -> bytes:
+    """Minimal Ethernet/IPv4(/ports) frame carrying the packet's 5-tuple."""
+    eth = _ETH_HDR.pack(b"\x02" * 6, b"\x04" * 6, _ETH_TYPE_IPV4)
+    total_len = max(pkt.length, _IP_LEN)
+    ip_no_cksum = _IP_HDR.pack(
+        0x45, 0, min(total_len, 0xFFFF), 0, 0, 64, pkt.proto, 0, pkt.src, pkt.dst
+    )
+    cksum = _ip_checksum(ip_no_cksum)
+    ip = _IP_HDR.pack(
+        0x45, 0, min(total_len, 0xFFFF), 0, 0, 64, pkt.proto, cksum,
+        pkt.src, pkt.dst,
+    )
+    frame = eth + ip
+    if pkt.proto in (PROTO_TCP, PROTO_UDP):
+        frame += _PORTS.pack(pkt.sport, pkt.dport)
+    return frame
+
+
+class PcapWriter:
+    """Stream packets into a pcap file.
+
+    Use as a context manager::
+
+        with PcapWriter(path) as w:
+            for pkt in trace:
+                w.write(pkt)
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._fh: BinaryIO | None = None
+
+    def __enter__(self) -> "PcapWriter":
+        self._fh = open(self.path, "wb")
+        self._fh.write(
+            _GLOBAL_HDR.pack(
+                PCAP_MAGIC, *PCAP_VERSION, 0, 0, _SNAPLEN, LINKTYPE_ETHERNET
+            )
+        )
+        return self
+
+    def write(self, pkt: Packet) -> None:
+        """Append one packet record."""
+        if self._fh is None:
+            raise RuntimeError("PcapWriter used outside its context manager")
+        frame = _encode_frame(pkt)
+        sec = int(pkt.ts)
+        usec = int(round((pkt.ts - sec) * 1_000_000))
+        if usec >= 1_000_000:
+            sec, usec = sec + 1, usec - 1_000_000
+        # orig_len records the true wire length; cap_len what we stored.
+        self._fh.write(
+            _RECORD_HDR.pack(sec, usec, len(frame), max(pkt.length, len(frame)))
+        )
+        self._fh.write(frame)
+
+    def __exit__(self, *exc: object) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+class PcapReader:
+    """Iterate packets out of a pcap file written by any libpcap tool.
+
+    Non-IPv4 frames are skipped.  Handles both byte orders.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    def __iter__(self) -> Iterator[Packet]:
+        with open(self.path, "rb") as fh:
+            header = fh.read(_GLOBAL_HDR.size)
+            if len(header) < _GLOBAL_HDR.size:
+                raise ValueError(f"{self.path}: truncated pcap global header")
+            magic = struct.unpack("<I", header[:4])[0]
+            if magic == PCAP_MAGIC:
+                endian = "<"
+            elif magic == PCAP_MAGIC_SWAPPED:
+                endian = ">"
+            else:
+                raise ValueError(f"{self.path}: not a classic pcap file")
+            record_hdr = struct.Struct(endian + "IIII")
+            while True:
+                raw = fh.read(record_hdr.size)
+                if len(raw) < record_hdr.size:
+                    return
+                sec, usec, cap_len, orig_len = record_hdr.unpack(raw)
+                frame = fh.read(cap_len)
+                if len(frame) < cap_len:
+                    return
+                pkt = self._decode(sec + usec / 1_000_000, frame, orig_len)
+                if pkt is not None:
+                    yield pkt
+
+    @staticmethod
+    def _decode(ts: float, frame: bytes, orig_len: int) -> Packet | None:
+        if len(frame) < _ETH_LEN + _IP_LEN:
+            return None
+        eth_type = struct.unpack("!H", frame[12:14])[0]
+        if eth_type != _ETH_TYPE_IPV4:
+            return None
+        ip = frame[_ETH_LEN : _ETH_LEN + _IP_LEN]
+        ver_ihl, _tos, _total, _id, _frag, _ttl, proto, _ck, src, dst = (
+            _IP_HDR.unpack(ip)
+        )
+        if ver_ihl >> 4 != 4:
+            return None
+        ihl = (ver_ihl & 0xF) * 4
+        sport = dport = 0
+        ports_off = _ETH_LEN + ihl
+        if proto in (PROTO_TCP, PROTO_UDP) and len(frame) >= ports_off + 4:
+            sport, dport = _PORTS.unpack(frame[ports_off : ports_off + 4])
+        return Packet(
+            ts=ts, src=src, dst=dst, length=orig_len,
+            sport=sport, dport=dport, proto=proto,
+        )
+
+
+def write_pcap(path: str | Path, packets: Iterable[Packet]) -> int:
+    """Write ``packets`` to ``path``; returns how many were written."""
+    count = 0
+    with PcapWriter(path) as writer:
+        for pkt in packets:
+            writer.write(pkt)
+            count += 1
+    return count
+
+
+def read_pcap(path: str | Path) -> list[Packet]:
+    """Read an entire pcap file into a list of packets."""
+    return list(PcapReader(path))

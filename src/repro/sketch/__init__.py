@@ -1,0 +1,42 @@
+"""Streaming sketches: the disjoint-window detectors of prior work.
+
+These are the algorithms the poster positions itself against — the ones
+deployed per-window in programmable data planes:
+
+- :class:`SpaceSaving` / :class:`MisraGries` — counter-based top-k;
+- :class:`CountMinSketch` / :class:`CountSketch` — linear sketches (with a
+  top-k candidate tracker for heavy-hitter reporting);
+- :class:`HashPipe` — the SOSR'17 in-switch pipeline of d hash stages
+  (reference [5] of the paper);
+- :class:`RHHH` — randomized HHH (per-level Space-Saving with one random
+  level updated per packet), the representative data-plane HHH scheme;
+- :class:`BloomFilter` / :class:`CountingBloomFilter` — the membership
+  substrate the time-decaying structures of Section 3 extend.
+
+All point detectors implement ``update(key, weight)`` and
+``query(threshold) -> {key: estimate}`` so they can be driven by
+:class:`repro.windows.WindowedDetectorDriver`.
+"""
+
+from repro.sketch.countmin import CountMinSketch, CountMinHeavyHitters
+from repro.sketch.countsketch import CountSketch
+from repro.sketch.spacesaving import SpaceSaving
+from repro.sketch.misragries import MisraGries
+from repro.sketch.bloom import BloomFilter
+from repro.sketch.counting_bloom import CountingBloomFilter
+from repro.sketch.hashpipe import HashPipe
+from repro.sketch.rhhh import RHHH
+from repro.sketch.univmon import UnivMon
+
+__all__ = [
+    "UnivMon",
+    "CountMinSketch",
+    "CountMinHeavyHitters",
+    "CountSketch",
+    "SpaceSaving",
+    "MisraGries",
+    "BloomFilter",
+    "CountingBloomFilter",
+    "HashPipe",
+    "RHHH",
+]

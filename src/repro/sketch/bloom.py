@@ -1,0 +1,88 @@
+"""Standard Bloom filter.
+
+The membership substrate that Section 3's time-decaying extension builds
+on; also used by tests as the non-decaying baseline whose saturation
+behaviour motivates windowed resets in the first place.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.hashing.families import HashFamily, pairwise_indep_family
+
+
+def optimal_parameters(
+    expected_items: int, false_positive_rate: float
+) -> tuple[int, int]:
+    """Optimal (bits, hashes) for a target false-positive rate.
+
+    >>> bits, hashes = optimal_parameters(1000, 0.01)
+    >>> bits > 9000 and hashes == 7
+    True
+    """
+    if expected_items < 1:
+        raise ValueError("expected_items must be >= 1")
+    if not 0.0 < false_positive_rate < 1.0:
+        raise ValueError("false_positive_rate must be in (0, 1)")
+    bits = math.ceil(
+        -expected_items * math.log(false_positive_rate) / (math.log(2) ** 2)
+    )
+    hashes = max(1, round(bits / expected_items * math.log(2)))
+    return bits, hashes
+
+
+class BloomFilter:
+    """Fixed-size bit array with ``hashes`` independent hash functions."""
+
+    def __init__(
+        self,
+        bits: int = 8192,
+        hashes: int = 4,
+        family: HashFamily | None = None,
+    ) -> None:
+        if bits < 1 or hashes < 1:
+            raise ValueError(f"need bits, hashes >= 1; got {bits}, {hashes}")
+        self.bits = bits
+        self.hashes = hashes
+        family = family or pairwise_indep_family()
+        self._funcs = [family.function(i, bits) for i in range(hashes)]
+        self._array = bytearray((bits + 7) // 8)
+        self.inserted = 0
+
+    @classmethod
+    def for_capacity(
+        cls,
+        expected_items: int,
+        false_positive_rate: float = 0.01,
+        family: HashFamily | None = None,
+    ) -> "BloomFilter":
+        """A filter sized for ``expected_items`` at the target FP rate."""
+        bits, hashes = optimal_parameters(expected_items, false_positive_rate)
+        return cls(bits, hashes, family)
+
+    def add(self, key: int) -> None:
+        """Insert ``key``."""
+        for f in self._funcs:
+            i = f(key)
+            self._array[i >> 3] |= 1 << (i & 7)
+        self.inserted += 1
+
+    def __contains__(self, key: int) -> bool:
+        return all(
+            self._array[(i := f(key)) >> 3] & (1 << (i & 7)) for f in self._funcs
+        )
+
+    def fill_ratio(self) -> float:
+        """Fraction of bits set (saturation indicator)."""
+        set_bits = sum(bin(b).count("1") for b in self._array)
+        return set_bits / self.bits
+
+    def expected_false_positive_rate(self) -> float:
+        """FP probability implied by the current fill ratio."""
+        return self.fill_ratio() ** self.hashes
+
+    @property
+    def size_bytes(self) -> int:
+        """Memory footprint of the bit array."""
+        return len(self._array)

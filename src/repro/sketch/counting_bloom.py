@@ -1,0 +1,61 @@
+"""Counting Bloom filter.
+
+Each cell is a small counter instead of a bit, so deletions are possible
+and the *minimum* cell value doubles as a Count-Min-style frequency
+overestimate.  This is the stepping stone between the plain Bloom filter
+and the time-decaying variant of Section 3 (which replaces "decrement on
+delete" with "decay with time").
+"""
+
+from __future__ import annotations
+
+from repro.hashing.families import HashFamily, pairwise_indep_family
+
+
+class CountingBloomFilter:
+    """Bloom filter with integer cells supporting add/remove/estimate."""
+
+    def __init__(
+        self,
+        cells: int = 8192,
+        hashes: int = 4,
+        family: HashFamily | None = None,
+    ) -> None:
+        if cells < 1 or hashes < 1:
+            raise ValueError(f"need cells, hashes >= 1; got {cells}, {hashes}")
+        self.cells = cells
+        self.hashes = hashes
+        family = family or pairwise_indep_family()
+        self._funcs = [family.function(i, cells) for i in range(hashes)]
+        self._array = [0] * cells
+
+    def add(self, key: int, weight: int = 1) -> None:
+        """Add ``weight`` to ``key``'s cells."""
+        if weight < 0:
+            raise ValueError(f"negative weight {weight}")
+        for f in self._funcs:
+            self._array[f(key)] += weight
+
+    def remove(self, key: int, weight: int = 1) -> None:
+        """Subtract ``weight`` from ``key``'s cells (floored at zero).
+
+        Removing keys that were never added can produce false negatives,
+        as with any counting Bloom filter; callers own that contract.
+        """
+        if weight < 0:
+            raise ValueError(f"negative weight {weight}")
+        for f in self._funcs:
+            i = f(key)
+            self._array[i] = max(0, self._array[i] - weight)
+
+    def estimate(self, key: int) -> int:
+        """Count-Min style overestimate: the minimum cell value."""
+        return min(self._array[f(key)] for f in self._funcs)
+
+    def __contains__(self, key: int) -> bool:
+        return self.estimate(key) > 0
+
+    @property
+    def num_counters(self) -> int:
+        """Cells allocated (for resource accounting)."""
+        return self.cells

@@ -1,0 +1,114 @@
+"""Count-Min sketch (Cormode & Muthukrishnan 2005).
+
+``rows x width`` counters; each row hashes the key independently and the
+estimate is the minimum over rows, giving a one-sided overestimate with
+error at most ``e * N / width`` with probability ``1 - e^-rows``.
+
+A plain Count-Min cannot *enumerate* heavy keys, so
+:class:`CountMinHeavyHitters` pairs it with a candidate map of keys whose
+estimate has ever crossed a tracking threshold — the standard arrangement
+used when a Count-Min backs a heavy-hitter report.
+"""
+
+from __future__ import annotations
+
+from repro.hashing.families import HashFamily, pairwise_indep_family
+
+
+class CountMinSketch:
+    """The counter array; supports point updates and point queries."""
+
+    def __init__(
+        self,
+        width: int = 1024,
+        rows: int = 4,
+        family: HashFamily | None = None,
+        conservative: bool = False,
+    ) -> None:
+        if width < 1 or rows < 1:
+            raise ValueError(f"need width, rows >= 1; got {width}x{rows}")
+        self.width = width
+        self.rows = rows
+        self.conservative = conservative
+        family = family or pairwise_indep_family()
+        self._hashes = [family.function(r, width) for r in range(rows)]
+        self._tables = [[0] * width for _ in range(rows)]
+        self.total = 0
+
+    def update(self, key: int, weight: int = 1) -> None:
+        """Add ``weight`` to ``key``'s counters."""
+        if weight < 0:
+            raise ValueError(f"negative weight {weight}")
+        self.total += weight
+        if self.conservative:
+            # Conservative update: raise only the minimal counters.
+            cells = [(t, h(key)) for t, h in zip(self._tables, self._hashes)]
+            new_estimate = min(t[i] for t, i in cells) + weight
+            for t, i in cells:
+                if t[i] < new_estimate:
+                    t[i] = new_estimate
+        else:
+            for t, h in zip(self._tables, self._hashes):
+                t[h(key)] += weight
+
+    def estimate(self, key: int) -> int:
+        """Point estimate (never underestimates)."""
+        return min(t[h(key)] for t, h in zip(self._tables, self._hashes))
+
+    @property
+    def num_counters(self) -> int:
+        """Total counters allocated (for resource accounting)."""
+        return self.width * self.rows
+
+
+class CountMinHeavyHitters:
+    """Count-Min plus a candidate map, reporting keys above a threshold.
+
+    ``track_phi`` sets how early a key enters the candidate map as a
+    fraction of the stream's running total; anything that could reach a
+    final report threshold above that fraction is guaranteed to be tracked.
+    """
+
+    def __init__(
+        self,
+        width: int = 1024,
+        rows: int = 4,
+        track_phi: float = 0.001,
+        family: HashFamily | None = None,
+        conservative: bool = False,
+    ) -> None:
+        if not 0.0 < track_phi < 1.0:
+            raise ValueError(f"track_phi must be in (0, 1), got {track_phi}")
+        self.sketch = CountMinSketch(width, rows, family, conservative)
+        self.track_phi = track_phi
+        self._candidates: dict[int, int] = {}
+
+    def update(self, key: int, weight: int = 1) -> None:
+        """Account one packet."""
+        self.sketch.update(key, weight)
+        estimate = self.sketch.estimate(key)
+        if estimate >= self.track_phi * self.sketch.total:
+            self._candidates[key] = estimate
+        # Lazily prune candidates that can no longer qualify, bounding the
+        # candidate map at ~1/track_phi live entries plus stragglers.
+        if len(self._candidates) > 4 / self.track_phi:
+            floor = self.track_phi * self.sketch.total
+            self._candidates = {
+                k: self.sketch.estimate(k)
+                for k in self._candidates
+                if self.sketch.estimate(k) >= floor
+            }
+
+    def query(self, threshold: float) -> dict[int, float]:
+        """Tracked keys whose current estimate reaches ``threshold``."""
+        out: dict[int, float] = {}
+        for key in self._candidates:
+            estimate = self.sketch.estimate(key)
+            if estimate >= threshold:
+                out[key] = float(estimate)
+        return out
+
+    @property
+    def num_counters(self) -> int:
+        """Counters used, including candidate map entries."""
+        return self.sketch.num_counters + len(self._candidates)

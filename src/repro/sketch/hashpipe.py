@@ -1,0 +1,99 @@
+"""HashPipe (Sivaraman et al., SOSR 2017) — reference [5] of the paper.
+
+Heavy-hitter detection entirely in the data plane: ``d`` pipeline stages,
+each a hash-indexed table of (key, count) slots.  Per packet:
+
+- stage 1 *always* inserts the incoming key; if the slot held a different
+  key, that (key, count) pair is evicted and carried down the pipeline;
+- at later stages the carried key merges on match, takes an empty slot, or
+  swaps with the slot's occupant when the occupant's count is smaller (the
+  carried minimum continues onward);
+- whatever is still carried after the last stage is dropped.
+
+This matches the match-action constraint of one memory access per stage and
+is the canonical "disjoint window, reset every interval" detector the
+poster critiques.
+"""
+
+from __future__ import annotations
+
+from repro.hashing.families import HashFamily, pairwise_indep_family
+
+_EMPTY = -1
+
+
+class HashPipe:
+    """d-stage pipeline of hash tables with smallest-carried eviction."""
+
+    def __init__(
+        self,
+        stage_slots: int = 256,
+        stages: int = 4,
+        family: HashFamily | None = None,
+    ) -> None:
+        if stage_slots < 1 or stages < 1:
+            raise ValueError(
+                f"need stage_slots, stages >= 1; got {stage_slots}, {stages}"
+            )
+        self.stage_slots = stage_slots
+        self.stages = stages
+        family = family or pairwise_indep_family()
+        self._hashes = [family.function(s, stage_slots) for s in range(stages)]
+        self._keys = [[_EMPTY] * stage_slots for _ in range(stages)]
+        self._counts = [[0] * stage_slots for _ in range(stages)]
+        self.total = 0
+
+    def update(self, key: int, weight: int = 1) -> None:
+        """Process one packet through the pipeline."""
+        if weight < 0:
+            raise ValueError(f"negative weight {weight}")
+        self.total += weight
+        # Stage 0: always insert.
+        slot = self._hashes[0](key)
+        keys0, counts0 = self._keys[0], self._counts[0]
+        if keys0[slot] == key:
+            counts0[slot] += weight
+            return
+        carried_key, carried_count = keys0[slot], counts0[slot]
+        keys0[slot] = key
+        counts0[slot] = weight
+        if carried_key == _EMPTY:
+            return
+        # Later stages: merge / fill / swap-with-smaller.
+        for stage in range(1, self.stages):
+            slot = self._hashes[stage](carried_key)
+            keys, counts = self._keys[stage], self._counts[stage]
+            if keys[slot] == carried_key:
+                counts[slot] += carried_count
+                return
+            if keys[slot] == _EMPTY:
+                keys[slot] = carried_key
+                counts[slot] = carried_count
+                return
+            if counts[slot] < carried_count:
+                keys[slot], carried_key = carried_key, keys[slot]
+                counts[slot], carried_count = carried_count, counts[slot]
+        # Carried minimum falls off the end of the pipeline.
+
+    def estimate(self, key: int) -> int:
+        """Sum of the key's counts across stages (it may be split)."""
+        total = 0
+        for stage in range(self.stages):
+            slot = self._hashes[stage](key)
+            if self._keys[stage][slot] == key:
+                total += self._counts[stage][slot]
+        return total
+
+    def query(self, threshold: float) -> dict[int, float]:
+        """All keys whose summed estimate reaches ``threshold``."""
+        totals: dict[int, int] = {}
+        for stage in range(self.stages):
+            for key, count in zip(self._keys[stage], self._counts[stage]):
+                if key != _EMPTY:
+                    totals[key] = totals.get(key, 0) + count
+        return {k: float(c) for k, c in totals.items() if c >= threshold}
+
+    @property
+    def num_counters(self) -> int:
+        """(key, count) slots allocated (for resource accounting)."""
+        return self.stage_slots * self.stages

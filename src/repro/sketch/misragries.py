@@ -1,0 +1,70 @@
+"""Misra-Gries frequent-items summary (1982).
+
+The decrement-based ancestor of Space-Saving: with ``capacity`` counters the
+estimate *underestimates* by at most N/(capacity+1).  Weighted updates
+decrement all counters by the smallest amount that frees a slot, which keeps
+the classic guarantee for byte-weighted streams.
+"""
+
+from __future__ import annotations
+
+
+class MisraGries:
+    """Fixed-capacity frequent-items summary with one-sided underestimates."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._counts: dict[int, int] = {}
+        self.total = 0
+        self.decremented = 0
+
+    def update(self, key: int, weight: int = 1) -> None:
+        """Account ``weight`` for ``key``."""
+        if weight < 0:
+            raise ValueError(f"negative weight {weight}")
+        self.total += weight
+        counts = self._counts
+        if key in counts:
+            counts[key] += weight
+            return
+        if len(counts) < self.capacity:
+            counts[key] = weight
+            return
+        # Table full: decrement everyone by the amount that exhausts either
+        # the new key's weight or the smallest existing counter.
+        min_count = min(counts.values())
+        dec = min(weight, min_count)
+        self.decremented += dec
+        for k in list(counts):
+            counts[k] -= dec
+            if counts[k] == 0:
+                del counts[k]
+        remaining = weight - dec
+        if remaining > 0 and len(counts) < self.capacity:
+            counts[key] = remaining
+
+    def estimate(self, key: int) -> int:
+        """Underestimate of ``key``'s count (0 when untracked)."""
+        return self._counts.get(key, 0)
+
+    def query(self, threshold: float) -> dict[int, float]:
+        """Tracked keys whose (under)estimate reaches ``threshold``."""
+        return {
+            key: float(count)
+            for key, count in self._counts.items()
+            if count >= threshold
+        }
+
+    def items(self) -> dict[int, int]:
+        """A copy of the live counter table."""
+        return dict(self._counts)
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    @property
+    def num_counters(self) -> int:
+        """Counters allocated (for resource accounting)."""
+        return self.capacity

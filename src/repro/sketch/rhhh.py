@@ -1,0 +1,117 @@
+"""Randomized HHH (Ben Basat et al., SIGCOMM 2017), simplified.
+
+RHHH keeps one heavy-hitter summary (Space-Saving here) per hierarchy
+level.  Per packet it draws one level uniformly at random and updates only
+that level's summary with the packet's generalized key — a constant-time
+update, which is what made HHH feasible at line rate and in data planes.
+Estimates are scaled back up by the number of levels.
+
+At query time, HHHs are extracted bottom-up with conditioned counts: a
+prefix's estimate is discounted by the scaled estimates of the HHHs already
+declared below it, mirroring the exact semantics of
+:class:`repro.hhh.ExactHHH` (we omit the paper's Z-score confidence
+correction; with byte weights and laptop-scale streams the plain estimator
+is the behaviourally relevant part).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.hhh.exact_hhh import HHHItem, HHHResult
+from repro.hierarchy.domain import SourceHierarchy
+from repro.net.prefix import Prefix
+from repro.sketch.spacesaving import SpaceSaving
+
+
+class RHHH:
+    """Per-level Space-Saving with randomised level updates."""
+
+    def __init__(
+        self,
+        hierarchy: SourceHierarchy | None = None,
+        counters_per_level: int = 256,
+        seed: int = 0,
+        sample_levels: bool = True,
+    ) -> None:
+        self.hierarchy = hierarchy or SourceHierarchy()
+        if counters_per_level < 1:
+            raise ValueError(
+                f"counters_per_level must be >= 1, got {counters_per_level}"
+            )
+        self._levels = [
+            SpaceSaving(counters_per_level)
+            for _ in range(self.hierarchy.num_levels)
+        ]
+        self._rng = random.Random(seed)
+        self.sample_levels = sample_levels
+        self.total = 0
+        self.updates = 0
+
+    def update(self, key: int, weight: int = 1) -> None:
+        """Account one packet (updates one random level, or all levels when
+        ``sample_levels`` is off)."""
+        self.total += weight
+        if self.sample_levels:
+            level = self._rng.randrange(self.hierarchy.num_levels)
+            self._levels[level].update(
+                self.hierarchy.generalize(key, level), weight
+            )
+            self.updates += 1
+        else:
+            for level in range(self.hierarchy.num_levels):
+                self._levels[level].update(
+                    self.hierarchy.generalize(key, level), weight
+                )
+                self.updates += 1
+
+    def _scale(self) -> float:
+        """Estimate scale-up factor under level sampling."""
+        return float(self.hierarchy.num_levels) if self.sample_levels else 1.0
+
+    def estimate(self, key: int, level: int) -> float:
+        """Scaled volume estimate for ``key`` generalized at ``level``."""
+        value = self.hierarchy.generalize(key, level)
+        return self._levels[level].estimate(value) * self._scale()
+
+    def query_hhh(self, threshold: float) -> HHHResult:
+        """Extract HHHs with conditioned (discounted) estimates."""
+        if threshold <= 0:
+            return HHHResult((), max(threshold, 0.0), self.total)
+        hierarchy = self.hierarchy
+        scale = self._scale()
+        items: list[HHHItem] = []
+        # Discount mass accumulated from declared HHHs, keyed by the value
+        # they generalise to at each upper level.
+        declared: list[tuple[int, float]] = []  # (leaf-masked value, volume)
+        for level in range(hierarchy.num_levels):
+            summary = self._levels[level]
+            for value, count in summary.items().items():
+                estimate = count * scale
+                discount = sum(
+                    volume
+                    for masked, volume in declared
+                    if hierarchy.generalize(masked, level) == value
+                )
+                conditioned = estimate - discount
+                if conditioned >= threshold:
+                    prefix = hierarchy.prefix_at(value, level)
+                    items.append(HHHItem(prefix, int(conditioned)))
+                    declared.append((value, conditioned))
+        items.sort()
+        return HHHResult(tuple(items), threshold, self.total)
+
+    def query(self, threshold: float) -> dict[int, float]:
+        """Leaf-level heavy keys (StreamingDetector protocol)."""
+        leaf = self._levels[0]
+        scale = self._scale()
+        return {
+            key: count * scale
+            for key, count in leaf.items().items()
+            if count * scale >= threshold
+        }
+
+    @property
+    def num_counters(self) -> int:
+        """Counters across all levels (for resource accounting)."""
+        return sum(level.num_counters for level in self._levels)

@@ -1,0 +1,101 @@
+"""Space-Saving (Metwally, Agrawal, El Abbadi 2005).
+
+Maintains exactly ``capacity`` counters.  A new key evicts the current
+minimum counter and inherits its count as error.  Guarantees:
+
+- every key with true count > N/capacity is in the table;
+- each tracked estimate overestimates by at most the inherited error,
+  itself bounded by N/capacity.
+
+Eviction uses a lazy min-heap: stale heap entries (whose recorded count no
+longer matches the live counter) are popped and dropped, keeping updates
+amortised O(log capacity) without a linear min scan.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+
+class SpaceSaving:
+    """Fixed-capacity heavy-hitter counter table."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._counts: dict[int, int] = {}
+        self._errors: dict[int, int] = {}
+        self._heap: list[tuple[int, int]] = []  # (count_at_push, key)
+        self.total = 0
+
+    def update(self, key: int, weight: int = 1) -> None:
+        """Account ``weight`` for ``key``."""
+        if weight < 0:
+            raise ValueError(f"negative weight {weight}")
+        self.total += weight
+        counts = self._counts
+        if key in counts:
+            counts[key] += weight
+            heapq.heappush(self._heap, (counts[key], key))
+            return
+        if len(counts) < self.capacity:
+            counts[key] = weight
+            self._errors[key] = 0
+            heapq.heappush(self._heap, (weight, key))
+            return
+        victim, victim_count = self._pop_min()
+        del counts[victim]
+        del self._errors[victim]
+        counts[key] = victim_count + weight
+        self._errors[key] = victim_count
+        heapq.heappush(self._heap, (counts[key], key))
+
+    def _pop_min(self) -> tuple[int, int]:
+        """Pop the true minimum (skipping stale heap entries)."""
+        heap, counts = self._heap, self._counts
+        while heap:
+            count, key = heapq.heappop(heap)
+            if counts.get(key) == count:
+                return key, count
+        # The heap only runs dry if counts is empty, which cannot happen
+        # when called with a full table; guard anyway.
+        raise RuntimeError("Space-Saving heap out of sync with counters")
+
+    def estimate(self, key: int) -> int:
+        """Overestimate of ``key``'s count (min possible count if untracked)."""
+        if key in self._counts:
+            return self._counts[key]
+        return self._min_count() if len(self._counts) >= self.capacity else 0
+
+    def guaranteed(self, key: int) -> int:
+        """Lower bound on ``key``'s true count (estimate minus error)."""
+        if key in self._counts:
+            return self._counts[key] - self._errors[key]
+        return 0
+
+    def _min_count(self) -> int:
+        heap, counts = self._heap, self._counts
+        while heap and counts.get(heap[0][1]) != heap[0][0]:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else 0
+
+    def query(self, threshold: float) -> dict[int, float]:
+        """Tracked keys whose estimate reaches ``threshold``."""
+        return {
+            key: float(count)
+            for key, count in self._counts.items()
+            if count >= threshold
+        }
+
+    def items(self) -> dict[int, int]:
+        """A copy of the live counter table."""
+        return dict(self._counts)
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    @property
+    def num_counters(self) -> int:
+        """Counters allocated (for resource accounting)."""
+        return self.capacity

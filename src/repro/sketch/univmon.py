@@ -1,0 +1,138 @@
+"""UnivMon-style universal sketching (Liu et al., SIGCOMM 2016).
+
+Reference [4] of the paper.  UnivMon maintains ``levels`` Count-Sketches;
+a key is sampled into level ``i`` when ``i`` independent hash bits of the
+key are all 1 (so level i sees a ~2^-i subsample of the key space).  From
+the per-level top-k views, any G-sum statistic can be estimated by the
+recursive universal-sketching combination; for this library the relevant
+outputs are heavy hitters (the per-window detector role UnivMon plays in
+the paper's framing) and entropy (the canonical "one sketch, many tasks"
+demonstration).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.hashing.families import HashFamily, pairwise_indep_family
+from repro.sketch.countsketch import CountSketch
+
+
+class _TopK:
+    """A small exact top-k tracker refreshed from sketch estimates."""
+
+    def __init__(self, k: int) -> None:
+        self.k = k
+        self.estimates: dict[int, float] = {}
+
+    def offer(self, key: int, estimate: float) -> None:
+        self.estimates[key] = estimate
+        if len(self.estimates) > 4 * self.k:
+            self._shrink()
+
+    def _shrink(self) -> None:
+        keep = sorted(
+            self.estimates.items(), key=lambda kv: kv[1], reverse=True
+        )[: self.k]
+        self.estimates = dict(keep)
+
+    def top(self) -> dict[int, float]:
+        self._shrink()
+        return dict(self.estimates)
+
+
+class UnivMon:
+    """Universal sketch: layered, subsampled Count-Sketches + top-k."""
+
+    def __init__(
+        self,
+        levels: int = 8,
+        width: int = 512,
+        rows: int = 5,
+        top_k: int = 64,
+        family: HashFamily | None = None,
+    ) -> None:
+        if levels < 1:
+            raise ValueError(f"need at least one level, got {levels}")
+        self.levels = levels
+        family = family or pairwise_indep_family()
+        self._sample_bits = [
+            family.function(1000 + i, 2) for i in range(levels - 1)
+        ]
+        self._sketches = [
+            CountSketch(width=width, rows=rows, family=family)
+            for _ in range(levels)
+        ]
+        self._tops = [_TopK(top_k) for _ in range(levels)]
+        self.total = 0
+
+    def _level_of(self, key: int) -> int:
+        """Deepest level the key is sampled into (level 0 sees all)."""
+        level = 0
+        for bit in self._sample_bits:
+            if bit(key) == 0:
+                break
+            level += 1
+        return level
+
+    def update(self, key: int, weight: int = 1) -> None:
+        """Account one packet: update levels 0..level_of(key)."""
+        self.total += weight
+        deepest = self._level_of(key)
+        for level in range(deepest + 1):
+            sketch = self._sketches[level]
+            sketch.update(key, weight)
+            self._tops[level].offer(key, sketch.estimate(key))
+
+    def estimate(self, key: int) -> float:
+        """Point estimate from the level-0 Count-Sketch."""
+        return self._sketches[0].estimate(key)
+
+    def query(self, threshold: float) -> dict[int, float]:
+        """Heavy keys (StreamingDetector protocol): level-0 top-k filter."""
+        out: dict[int, float] = {}
+        for key in self._tops[0].top():
+            estimate = self._sketches[0].estimate(key)
+            if estimate >= threshold:
+                out[key] = estimate
+        return out
+
+    def g_sum(self, g) -> float:
+        """Universal-sketching estimator of ``sum(g(count))`` over keys.
+
+        Uses the standard recursion: Y_L = sum over level-L top keys;
+        Y_i = 2 * Y_{i+1} + sum over level-i top keys of g(w) * (1 - 2 *
+        sampled_deeper(key)).
+        """
+        deepest = self.levels - 1
+        y = 0.0
+        for level in range(deepest, -1, -1):
+            contribution = 0.0
+            for key, _ in self._tops[level].top().items():
+                w = self._sketches[level].estimate(key)
+                if w <= 0:
+                    continue
+                if level == deepest:
+                    contribution += g(w)
+                else:
+                    goes_deeper = self._sample_bits[level](key) == 1
+                    contribution += g(w) * (1.0 - 2.0 * goes_deeper)
+            y = contribution if level == deepest else 2.0 * y + contribution
+        return max(y, 0.0)
+
+    def entropy(self) -> float:
+        """Empirical Shannon entropy estimate of the key distribution."""
+        if self.total <= 0:
+            return 0.0
+        total = float(self.total)
+        plogp = self.g_sum(lambda w: w * math.log2(w))
+        return max(0.0, math.log2(total) - plogp / total)
+
+    def cardinality(self) -> float:
+        """Distinct-key (L0) estimate via g(w) = 1."""
+        return self.g_sum(lambda w: 1.0)
+
+    @property
+    def num_counters(self) -> int:
+        """Counters across all levels (for resource accounting)."""
+        return sum(s.num_counters for s in self._sketches)

@@ -1,0 +1,433 @@
+"""The synthetic trace generator.
+
+The generator works epoch by epoch (default 1 s):
+
+1. an MMPP state machine sets the epoch's aggregate packet rate;
+2. a churn process updates which sources are active;
+3. heavy-hitter *episodes* (transient boosts of one host or one subnet,
+   unaligned to any window grid) multiply the affected sources' weights;
+4. packet timestamps are drawn uniformly inside the epoch (a Poisson field),
+   sources are drawn from the boosted/censored Zipf law, sizes from a
+   40 B / 1500 B mixture;
+5. burst trains add sub-second clumps from single sources.
+
+Every random draw flows through one ``numpy`` generator seeded from the
+config, so traces are bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.net.random_net import RandomAddressSpace
+from repro.trace.config import SyntheticTraceConfig
+from repro.trace.container import Trace
+from repro.trace.zipf import ZipfSampler
+
+import random as _random
+
+_WELL_KNOWN_PORTS = np.array([80, 443, 53, 22, 123, 8080], dtype=np.uint16)
+_WELL_KNOWN_WEIGHTS = np.array([0.35, 0.35, 0.12, 0.05, 0.05, 0.08])
+
+
+@dataclass(frozen=True)
+class HeavyEpisode:
+    """One transient heavy-hitter episode injected into the trace.
+
+    ``source_ranks`` are the Zipf ranks whose weight is boosted; for subnet
+    episodes this covers every population member inside one /24.
+    ``target_share`` is the fraction of aggregate traffic the episode aims
+    to push through those sources while fully active; ``boost`` is the
+    weight multiplier derived from it at scheduling time.
+    """
+
+    start: float
+    duration: float
+    target_share: float
+    boost: float
+    source_ranks: tuple[int, ...]
+    is_subnet: bool
+
+    @property
+    def end(self) -> float:
+        """Episode end time."""
+        return self.start + self.duration
+
+    def overlap(self, t0: float, t1: float) -> float:
+        """Seconds of overlap between the episode and [t0, t1)."""
+        return max(0.0, min(self.end, t1) - max(self.start, t0))
+
+
+class SyntheticTraceGenerator:
+    """Generate reproducible CAIDA-like traces from a config.
+
+    After :meth:`generate` the injected :attr:`episodes` schedule is
+    available for ground-truth checks (e.g. the DDoS example verifies the
+    detector fires inside each episode's span).
+    """
+
+    def __init__(self, config: SyntheticTraceConfig) -> None:
+        self.config = config
+        self._rng = np.random.default_rng(config.seed)
+        address_rng = _random.Random(config.seed ^ 0xA5A5_5A5A)
+        self.space = RandomAddressSpace(
+            num_networks=config.num_networks,
+            network_length=8,
+            subnets_per_network=config.subnets_per_network,
+            subnet_length=24,
+            rng=address_rng,
+        )
+        # Source population: hosts clustered under the structured space.
+        self.sources = np.array(
+            self.space.draw_hosts(config.num_sources), dtype=np.uint32
+        )
+        dest_rng = _random.Random(config.seed ^ 0x0F0F_F0F0)
+        dest_space = RandomAddressSpace(
+            num_networks=max(4, config.num_networks // 2),
+            subnets_per_network=8,
+            rng=dest_rng,
+        )
+        self.destinations = np.array(
+            dest_space.draw_hosts(max(64, config.num_sources // 4)),
+            dtype=np.uint32,
+        )
+        self.zipf = ZipfSampler(config.num_sources, config.zipf_alpha, self._rng)
+        if config.head_shares:
+            self.zipf.reweight_head(list(config.head_shares))
+        self.churn_exempt = np.zeros(config.num_sources, dtype=bool)
+        self.churn_exempt[: len(config.head_shares)] = True
+        if config.band_subnets:
+            self._append_band_subnets(address_rng)
+        self.population = len(self.sources)
+        self.episodes: list[HeavyEpisode] = []
+
+    def _append_band_subnets(self, address_rng: _random.Random) -> None:
+        """Extend the population with dedicated borderline /24 bands.
+
+        Each band is a fresh /24 holding ``band_subnet_hosts`` equal
+        sources whose aggregate share is pinned; the remaining population's
+        probabilities shrink proportionally.
+        """
+        cfg = self.config
+        band_total = sum(cfg.band_subnets)
+        # Head-share pins stay absolute; only the unpinned tail shrinks to
+        # make room for the band subnets.
+        base = self.zipf.probabilities.copy()
+        num_heads = len(cfg.head_shares)
+        head_mass = float(base[:num_heads].sum())
+        tail_mass = float(base[num_heads:].sum())
+        target_tail = 1.0 - head_mass - band_total
+        if target_tail <= 0:
+            raise ValueError(
+                "head_shares + band_subnets leave no room for tail traffic"
+            )
+        base[num_heads:] *= target_tail / tail_mass
+        probs = [base]
+        new_sources: list[int] = []
+        used = {int(s) >> 8 for s in self.sources}
+        for share in cfg.band_subnets:
+            subnet = address_rng.getrandbits(24)
+            while subnet in used:
+                subnet = address_rng.getrandbits(24)
+            used.add(subnet)
+            hosts = address_rng.sample(range(256), cfg.band_subnet_hosts)
+            new_sources.extend((subnet << 8) | h for h in hosts)
+            probs.append(
+                np.full(
+                    cfg.band_subnet_hosts,
+                    share / cfg.band_subnet_hosts,
+                    dtype=np.float64,
+                )
+            )
+        self.sources = np.concatenate(
+            [self.sources, np.array(new_sources, dtype=np.uint32)]
+        )
+        self.zipf = ZipfSampler.from_probabilities(
+            np.concatenate(probs), self._rng
+        )
+        self.churn_exempt = np.concatenate(
+            [self.churn_exempt, np.ones(len(new_sources), dtype=bool)]
+        )
+
+    # -- the component processes ------------------------------------------
+
+    def _epoch_rates(self, num_epochs: int) -> np.ndarray:
+        """MMPP: aggregate packets/second for each epoch."""
+        cfg = self.config.rate
+        rates = np.empty(num_epochs, dtype=np.float64)
+        busy = False
+        remaining = float(
+            self._rng.exponential(cfg.mean_calm_s)
+        )
+        epoch_len = self.config.churn.epoch_s
+        for e in range(num_epochs):
+            rates[e] = cfg.base_rate * (cfg.busy_factor if busy else 1.0)
+            remaining -= epoch_len
+            while remaining <= 0:
+                busy = not busy
+                mean = cfg.mean_busy_s if busy else cfg.mean_calm_s
+                remaining += float(self._rng.exponential(mean))
+        return rates
+
+    def _initial_active(self) -> np.ndarray:
+        """Initial active-source mask (churn-exempt sources always active)."""
+        frac = self.config.churn.initially_active_fraction
+        active = self._rng.random(self.population) < frac
+        return active | self.churn_exempt
+
+    def _churn_step(self, active: np.ndarray) -> np.ndarray:
+        """One epoch of activate/deactivate churn."""
+        cfg = self.config.churn
+        u = self._rng.random(len(active))
+        flip_off = active & (u < cfg.deactivate_prob)
+        flip_on = ~active & (u < cfg.activate_prob)
+        return ((active & ~flip_off) | flip_on) | self.churn_exempt
+
+    def _schedule_episodes(self) -> list[HeavyEpisode]:
+        """Draw the heavy-episode schedule for the whole trace."""
+        cfg = self.config.episodes
+        expected = cfg.episodes_per_minute * self.config.duration_s / 60.0
+        count = int(self._rng.poisson(expected)) if expected > 0 else 0
+        episodes: list[HeavyEpisode] = []
+        src_by_subnet: dict[int, list[int]] = {}
+        subnet_shift = 8  # /24 grouping of the uint32 address
+        for rank, addr in enumerate(self.sources):
+            src_by_subnet.setdefault(int(addr) >> subnet_shift, []).append(rank)
+        subnet_keys = list(src_by_subnet)
+        probabilities = self.zipf.probabilities
+        for _ in range(count):
+            start = float(self._rng.uniform(0.0, self.config.duration_s))
+            # Log-uniform durations: most episodes are short relative to the
+            # analysis windows.  A short episode straddling a window boundary
+            # has its mass split across two disjoint windows — exactly the
+            # aggregate a sliding window reveals and a disjoint one hides.
+            duration = float(
+                np.exp(
+                    self._rng.uniform(
+                        np.log(cfg.min_duration_s), np.log(cfg.max_duration_s)
+                    )
+                )
+            )
+            if self._rng.random() < cfg.subnet_fraction and subnet_keys:
+                subnet = subnet_keys[int(self._rng.integers(len(subnet_keys)))]
+                ranks = tuple(src_by_subnet[subnet])
+                is_subnet = True
+            else:
+                ranks = (int(self._rng.integers(self.population)),)
+                is_subnet = False
+            # Inverse-square share law (p(s) ~ 1/s^2): the count of episodes
+            # above share s falls off like 1/s, mirroring the heavy-tailed
+            # aggregate-size distribution of backbone traffic — many
+            # borderline transients near the smallest detection threshold,
+            # rare violent spikes near max_share.
+            u = float(self._rng.random())
+            inv_lo, inv_hi = 1.0 / cfg.min_share, 1.0 / cfg.max_share
+            share = 1.0 / (inv_lo - u * (inv_lo - inv_hi))
+            base_mass = float(sum(probabilities[r] for r in ranks))
+            # Weight multiplier w so that w*m / (1 - m + w*m) ~= share,
+            # where m is the targets' base probability mass.
+            if base_mass > 0 and share < 1.0:
+                boost = max(
+                    1.0, share * (1.0 - base_mass) / (base_mass * (1.0 - share))
+                )
+            else:
+                boost = 1.0
+            episodes.append(
+                HeavyEpisode(start, duration, share, boost, ranks, is_subnet)
+            )
+        episodes.sort(key=lambda ep: ep.start)
+        return episodes
+
+    def _episode_weights(
+        self, episodes: list[HeavyEpisode], t0: float, t1: float
+    ) -> np.ndarray:
+        """Multiplicative weight vector from episodes overlapping [t0, t1)."""
+        weights = np.ones(self.population, dtype=np.float64)
+        span = t1 - t0
+        for ep in episodes:
+            frac = ep.overlap(t0, t1) / span
+            if frac > 0.0:
+                boost = 1.0 + (ep.boost - 1.0) * frac
+                weights[list(ep.source_ranks)] *= boost
+        return weights
+
+    def _packet_sizes(self, count: int) -> np.ndarray:
+        """Two-point 40 B / 1500 B size mixture hitting the configured mean."""
+        mtu_prob = (self.config.mean_packet_bytes - 40.0) / (1500.0 - 40.0)
+        big = self._rng.random(count) < mtu_prob
+        return np.where(big, 1500, 40).astype(np.int64)
+
+    # -- main loop ----------------------------------------------------------
+
+    def generate(self) -> Trace:
+        """Generate the trace; also populates :attr:`episodes`."""
+        cfg = self.config
+        epoch_len = cfg.churn.epoch_s
+        num_epochs = int(np.ceil(cfg.duration_s / epoch_len))
+        rates = self._epoch_rates(num_epochs)
+        active = self._initial_active()
+        self.episodes = self._schedule_episodes()
+
+        ts_parts: list[np.ndarray] = []
+        rank_parts: list[np.ndarray] = []
+        size_parts: list[np.ndarray] = []
+
+        for e in range(num_epochs):
+            t0 = e * epoch_len
+            t1 = min((e + 1) * epoch_len, cfg.duration_s)
+            span = t1 - t0
+            if span <= 0:
+                break
+            if not active.any():
+                active = self._initial_active()
+
+            weights = self._episode_weights(self.episodes, t0, t1)
+            weights *= active.astype(np.float64)
+            if weights.sum() <= 0:
+                weights = np.ones(self.population)
+
+            n = int(self._rng.poisson(rates[e] * span))
+            if n:
+                ranks = self.zipf.sample_weighted(n, weights)
+                ts = self._epoch_timestamps(ranks, t0, t1)
+                ts_parts.append(ts)
+                rank_parts.append(ranks)
+                size_parts.append(self._packet_sizes(n))
+
+            n_bursts = int(self._rng.poisson(cfg.bursts.bursts_per_epoch))
+            for _ in range(n_bursts):
+                b = self._burst(t0, t1, weights)
+                if b is not None:
+                    ts_parts.append(b[0])
+                    rank_parts.append(b[1])
+                    size_parts.append(b[2])
+
+            active = self._churn_step(active)
+
+        if not ts_parts:
+            return Trace.empty()
+        return self._assemble(
+            np.concatenate(ts_parts),
+            np.concatenate(rank_parts),
+            np.concatenate(size_parts),
+        )
+
+    def _epoch_timestamps(
+        self, ranks: np.ndarray, t0: float, t1: float
+    ) -> np.ndarray:
+        """Timestamps for one epoch's packets, aligned with ``ranks``.
+
+        Without clumping this is a uniform (Poisson) field.  With
+        ``train_packets > 0`` each source's packets are grouped into trains
+        of roughly that many packets, each train occupying a short
+        ``train_span_s`` interval at a random position — the TCP-like
+        micro-burstiness that makes the composition of any 100 ms of
+        traffic differ from the window average (the paper's Figure 3
+        effect).
+        """
+        n = len(ranks)
+        cfg = self.config.bursts
+        if cfg.train_packets <= 0 and cfg.gap_s <= 0 and cfg.slot_sigma <= 0:
+            return np.sort(self._rng.uniform(t0, t1, n))
+        if cfg.slot_sigma > 0:
+            return self._slot_modulated_timestamps(ranks, t0, t1)
+        ts = np.empty(n, dtype=np.float64)
+        span = cfg.train_span_s
+        epoch_len = t1 - t0
+        gap = min(cfg.gap_s, 0.9 * epoch_len)
+        order = np.argsort(ranks, kind="stable")
+        sorted_ranks = ranks[order]
+        boundaries = np.flatnonzero(np.diff(sorted_ranks)) + 1
+        groups = np.split(order, boundaries)
+        for group in groups:
+            k = len(group)
+            if cfg.train_packets > 0:
+                num_trains = max(1, int(np.ceil(k / cfg.train_packets)))
+                starts = self._rng.uniform(t0, max(t0, t1 - span), num_trains)
+                which = self._rng.integers(num_trains, size=k)
+                group_ts = starts[which] + self._rng.uniform(0.0, span, k)
+            else:
+                group_ts = self._rng.uniform(t0, t1, k)
+            if gap > 0:
+                # One silent interval per source per epoch: packets are
+                # placed in the epoch minus the gap, then shifted across it.
+                gap_start = float(self._rng.uniform(t0, t1 - gap))
+                squeezed = t0 + (group_ts - t0) * (1.0 - gap / epoch_len)
+                group_ts = np.where(
+                    squeezed >= gap_start, squeezed + gap, squeezed
+                )
+            ts[group] = group_ts
+        np.clip(ts, t0, t1 - 1e-9, out=ts)
+        # The caller sorts globally after concatenation; keep this epoch
+        # internally unsorted but time-bounded.
+        return ts
+
+    def _slot_modulated_timestamps(
+        self, ranks: np.ndarray, t0: float, t1: float
+    ) -> np.ndarray:
+        """Multifractal slot placement of one epoch's packets.
+
+        Each source's packets are spread over ``slot_s`` slots with i.i.d.
+        lognormal weights, so any given 100 ms holds anywhere between ~zero
+        and several times a source's average — the heavy small-timescale
+        variance of real backbone traffic.
+        """
+        cfg = self.config.bursts
+        n = len(ranks)
+        ts = np.empty(n, dtype=np.float64)
+        num_slots = max(1, int(round((t1 - t0) / cfg.slot_s)))
+        slot_edges = np.linspace(t0, t1, num_slots + 1)
+        order = np.argsort(ranks, kind="stable")
+        sorted_ranks = ranks[order]
+        boundaries = np.flatnonzero(np.diff(sorted_ranks)) + 1
+        for group in np.split(order, boundaries):
+            k = len(group)
+            weights = self._rng.lognormal(0.0, cfg.slot_sigma, num_slots)
+            weights /= weights.sum()
+            slots = self._rng.choice(num_slots, size=k, p=weights)
+            ts[group] = slot_edges[slots] + self._rng.uniform(
+                0.0, 1.0, k
+            ) * (slot_edges[slots + 1] - slot_edges[slots])
+        np.clip(ts, t0, t1 - 1e-9, out=ts)
+        return ts
+
+    def _burst(
+        self, t0: float, t1: float, weights: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray] | None:
+        """One burst train from a single (weighted-random) source."""
+        cfg = self.config.bursts
+        if cfg.burst_packets == 0:
+            return None
+        rank = int(self.zipf.sample_weighted(1, weights)[0])
+        start = float(self._rng.uniform(t0, max(t0, t1 - cfg.burst_span_s)))
+        ts = np.sort(
+            self._rng.uniform(start, start + cfg.burst_span_s, cfg.burst_packets)
+        )
+        ranks = np.full(cfg.burst_packets, rank, dtype=np.int64)
+        sizes = np.full(cfg.burst_packets, cfg.burst_size_bytes, dtype=np.int64)
+        return ts, ranks, sizes
+
+    def _assemble(
+        self, ts: np.ndarray, ranks: np.ndarray, sizes: np.ndarray
+    ) -> Trace:
+        """Sort by time, map ranks to addresses, and fill headers."""
+        order = np.argsort(ts, kind="stable")
+        ts = ts[order]
+        src = self.sources[ranks[order]]
+        sizes = sizes[order]
+        n = len(ts)
+        dst = self.destinations[self._rng.integers(len(self.destinations), size=n)]
+        sport = self._rng.integers(1024, 65536, size=n, dtype=np.uint32)
+        dport = self._rng.choice(_WELL_KNOWN_PORTS, size=n, p=_WELL_KNOWN_WEIGHTS)
+        proto = np.where(self._rng.random(n) < 0.8, 6, 17).astype(np.uint8)
+        return Trace(
+            ts, src, dst, sizes,
+            sport.astype(np.uint16), dport.astype(np.uint16), proto,
+        )
+
+
+def generate_trace(config: SyntheticTraceConfig) -> Trace:
+    """One-call convenience wrapper over :class:`SyntheticTraceGenerator`."""
+    return SyntheticTraceGenerator(config).generate()

@@ -1,0 +1,62 @@
+"""Trace transformations: slicing, shifting, concatenation, thinning."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.trace.container import Trace
+
+
+def slice_time(trace: Trace, t0: float, t1: float) -> Trace:
+    """The sub-trace in [t0, t1) (alias of :meth:`Trace.slice_time`)."""
+    return trace.slice_time(t0, t1)
+
+
+def shift_trace(trace: Trace, dt: float) -> Trace:
+    """The same trace with all timestamps moved by ``dt``."""
+    return Trace(
+        trace.ts + dt, trace.src, trace.dst, trace.length,
+        trace.sport, trace.dport, trace.proto,
+    )
+
+
+def concat_traces(traces: Sequence[Trace]) -> Trace:
+    """Merge traces into one, re-sorting by timestamp.
+
+    Use with :func:`shift_trace` to splice scenarios end to end.
+    """
+    parts = [t for t in traces if len(t)]
+    if not parts:
+        return Trace.empty()
+    ts = np.concatenate([t.ts for t in parts])
+    order = np.argsort(ts, kind="stable")
+    return Trace(
+        ts[order],
+        np.concatenate([t.src for t in parts])[order],
+        np.concatenate([t.dst for t in parts])[order],
+        np.concatenate([t.length for t in parts])[order],
+        np.concatenate([t.sport for t in parts])[order],
+        np.concatenate([t.dport for t in parts])[order],
+        np.concatenate([t.proto for t in parts])[order],
+    )
+
+
+def thin_trace(trace: Trace, keep_fraction: float, seed: int = 0) -> Trace:
+    """Independently keep each packet with probability ``keep_fraction``.
+
+    Models uniform packet sampling (as deployed in routers via sFlow-style
+    sampling); used by ablations to check how sampling interacts with the
+    hidden-HHH effect.
+    """
+    if not 0.0 < keep_fraction <= 1.0:
+        raise ValueError(f"keep_fraction must be in (0, 1], got {keep_fraction}")
+    if keep_fraction == 1.0 or len(trace) == 0:
+        return trace
+    rng = np.random.default_rng(seed)
+    mask = rng.random(len(trace)) < keep_fraction
+    return Trace(
+        trace.ts[mask], trace.src[mask], trace.dst[mask], trace.length[mask],
+        trace.sport[mask], trace.dport[mask], trace.proto[mask],
+    )

@@ -1,0 +1,153 @@
+"""Preset trace configurations mirroring the paper's datasets.
+
+The paper analyses one-hour CAIDA equinix-chicago traces from **four
+different days** (Figure 2) and a **20-minute** trace (Figure 3).  The four
+"days" below differ in seed, skew, burstiness and episode rate the way
+weekday/weekend backbone snapshots do, so cross-day variation shows up in
+the reproduced figures just as it does in the paper's.
+
+Durations default to laptop scale; pass ``duration`` explicitly to go
+longer (the generator is O(packets)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.trace.config import (
+    BurstConfig,
+    ChurnConfig,
+    HeavyEpisodeConfig,
+    RateConfig,
+    SyntheticTraceConfig,
+)
+from repro.trace.container import Trace
+from repro.trace.generator import generate_trace
+
+#: Per-day flavour: (seed, zipf_alpha, busy_factor, episodes_per_minute).
+_DAY_FLAVOURS = (
+    (101, 1.02, 2.2, 40.0),
+    (202, 1.08, 2.8, 50.0),
+    (303, 1.00, 2.0, 32.0),
+    (404, 1.12, 3.2, 45.0),
+)
+
+
+def caida_like_config(day: int = 0, duration: float = 120.0) -> SyntheticTraceConfig:
+    """Config for one synthetic "CAIDA day" (day in 0..3)."""
+    if not 0 <= day < len(_DAY_FLAVOURS):
+        raise ValueError(f"day must be 0..{len(_DAY_FLAVOURS) - 1}, got {day}")
+    seed, alpha, busy, episodes = _DAY_FLAVOURS[day]
+    return SyntheticTraceConfig(
+        duration_s=duration,
+        zipf_alpha=alpha,
+        seed=seed,
+        rate=RateConfig(busy_factor=busy),
+        churn=ChurnConfig(deactivate_prob=0.03, activate_prob=0.02),
+        bursts=BurstConfig(slot_sigma=1.0),
+        episodes=HeavyEpisodeConfig(episodes_per_minute=episodes),
+    )
+
+
+def caida_like_day(day: int = 0, duration: float = 120.0) -> Trace:
+    """One synthetic "CAIDA day" trace (day in 0..3)."""
+    return generate_trace(caida_like_config(day, duration))
+
+
+def all_days(duration: float = 120.0) -> list[Trace]:
+    """The four synthetic days, as used for Figure 2."""
+    return [caida_like_day(day, duration) for day in range(len(_DAY_FLAVOURS))]
+
+
+def sensitivity_config(
+    duration: float = 240.0, seed: int = 777
+) -> SyntheticTraceConfig:
+    """Config of the Figure 3 trace (see :func:`sensitivity_trace`)."""
+    return SyntheticTraceConfig(
+        duration_s=duration,
+        seed=seed,
+        num_sources=4000,
+        zipf_alpha=0.7,
+        num_networks=22,
+        subnets_per_network=16,
+        # A dense band of borderline aggregates straddling the 5 %
+        # threshold, at both the leaf and the /24 level — the population
+        # whose members flip in and out of the HHH set when the window is
+        # micro-shrunk.
+        head_shares=tuple(np.linspace(0.056, 0.046, 8)),
+        band_subnets=tuple(np.linspace(0.0555, 0.0465, 8)),
+        rate=RateConfig(base_rate=1200.0, busy_factor=1.0),
+        churn=ChurnConfig(deactivate_prob=0.002, activate_prob=0.0015),
+        # Multifractal 100 ms slots: the heavy small-timescale variance
+        # that makes the last 10-100 ms of a window compositionally
+        # different from the window average.
+        bursts=BurstConfig(
+            bursts_per_epoch=0.0, burst_packets=0, slot_sigma=1.8
+        ),
+        episodes=HeavyEpisodeConfig(episodes_per_minute=0.0),
+    )
+
+
+def sensitivity_trace(duration: float = 240.0, seed: int = 777) -> Trace:
+    """The Figure 3 trace: a dense borderline band + multifractal slots.
+
+    The paper uses 20 minutes; the default here is 4 minutes, which already
+    yields enough 10 s windows for a stable CDF.  Pass ``duration=1200`` for
+    the full-length version.
+    """
+    return generate_trace(sensitivity_config(duration, seed))
+
+
+def calm_trace(duration: float = 60.0, seed: int = 42) -> Trace:
+    """A deliberately calm trace: no bursts, no episodes, Poisson arrivals.
+
+    Used by tests and ablations as the negative control — with the
+    burstiness knobs off, hidden HHHs (and Figure 3 dissimilarity) should
+    mostly vanish.
+    """
+    config = SyntheticTraceConfig(
+        duration_s=duration,
+        seed=seed,
+        rate=RateConfig(busy_factor=1.0),
+        bursts=BurstConfig(bursts_per_epoch=0.0, burst_packets=0),
+        episodes=HeavyEpisodeConfig(episodes_per_minute=0.0),
+        churn=ChurnConfig(deactivate_prob=0.0, activate_prob=0.0),
+    )
+    return generate_trace(config)
+
+
+def ddos_trace(
+    duration: float = 120.0,
+    seed: int = 909,
+    attack_share: float = 0.5,
+) -> Trace:
+    """A trace with violent subnet-level episodes, for the DDoS example.
+
+    ``attack_share`` is the upper bound on the traffic fraction an attack
+    episode carries while active (0.5 = half the link).
+    """
+    config = SyntheticTraceConfig(
+        duration_s=duration,
+        seed=seed,
+        episodes=HeavyEpisodeConfig(
+            episodes_per_minute=3.0,
+            min_share=0.15,
+            max_share=attack_share,
+            min_duration_s=5.0,
+            max_duration_s=20.0,
+            subnet_fraction=0.8,
+        ),
+    )
+    return generate_trace(config)
+
+
+def scaled_config(
+    base: SyntheticTraceConfig, rate_scale: float
+) -> SyntheticTraceConfig:
+    """``base`` with the aggregate packet rate scaled by ``rate_scale``."""
+    if rate_scale <= 0:
+        raise ValueError("rate_scale must be positive")
+    new_rate = replace(base.rate, base_rate=base.rate.base_rate * rate_scale)
+    return replace(base, rate=new_rate)

@@ -1,0 +1,89 @@
+"""Descriptive statistics over traces.
+
+Used by tests to assert the generator actually produces the properties the
+experiments rely on (heavy tail, burstiness, churn) and by the CLI to
+summarise traces for the user.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trace.container import Trace
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Summary statistics of a trace."""
+
+    num_packets: int
+    duration_s: float
+    total_bytes: int
+    distinct_sources: int
+    mean_rate_pps: float
+    mean_rate_bps: float
+    top1_source_share: float
+    top10_source_share: float
+    gini_coefficient: float
+    rate_cv: float
+    mean_packet_bytes: float
+
+    def to_lines(self) -> list[str]:
+        """Human-readable summary lines."""
+        return [
+            f"packets            : {self.num_packets}",
+            f"duration           : {self.duration_s:.1f} s",
+            f"total bytes        : {self.total_bytes}",
+            f"distinct sources   : {self.distinct_sources}",
+            f"mean rate          : {self.mean_rate_pps:.0f} pkt/s, "
+            f"{self.mean_rate_bps / 1e6:.2f} Mbit/s",
+            f"top-1 source share : {self.top1_source_share:.1%}",
+            f"top-10 source share: {self.top10_source_share:.1%}",
+            f"gini (src bytes)   : {self.gini_coefficient:.3f}",
+            f"rate CV (1s bins)  : {self.rate_cv:.3f}",
+            f"mean packet size   : {self.mean_packet_bytes:.0f} B",
+        ]
+
+
+def gini(values: np.ndarray) -> float:
+    """Gini coefficient of a non-negative value vector (0=equal, ->1=skewed)."""
+    if len(values) == 0:
+        return 0.0
+    v = np.sort(values.astype(np.float64))
+    total = v.sum()
+    if total == 0:
+        return 0.0
+    n = len(v)
+    cum = np.cumsum(v)
+    # Standard formula: G = (n + 1 - 2 * sum(cum)/total) / n
+    return float((n + 1 - 2.0 * (cum / total).sum()) / n)
+
+
+def compute_stats(trace: Trace, rate_bin_s: float = 1.0) -> TraceStats:
+    """Compute :class:`TraceStats` for ``trace``."""
+    n = len(trace)
+    if n == 0:
+        return TraceStats(0, 0.0, 0, 0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    duration = max(trace.duration, 1e-9)
+    by_src = trace.bytes_by_key(trace.start_time, trace.end_time + 1e-9)
+    volumes = np.array(sorted(by_src.values(), reverse=True), dtype=np.float64)
+    total = float(volumes.sum())
+    bins = np.arange(trace.start_time, trace.end_time + rate_bin_s, rate_bin_s)
+    per_bin = np.histogram(trace.ts, bins=bins)[0] if len(bins) > 1 else np.array([n])
+    mean_bin = per_bin.mean() if len(per_bin) else 0.0
+    cv = float(per_bin.std() / mean_bin) if mean_bin > 0 else 0.0
+    return TraceStats(
+        num_packets=n,
+        duration_s=duration,
+        total_bytes=trace.total_bytes,
+        distinct_sources=len(by_src),
+        mean_rate_pps=n / duration,
+        mean_rate_bps=trace.total_bytes * 8.0 / duration,
+        top1_source_share=float(volumes[0] / total) if total else 0.0,
+        top10_source_share=float(volumes[:10].sum() / total) if total else 0.0,
+        gini_coefficient=gini(volumes),
+        rate_cv=cv,
+        mean_packet_bytes=trace.total_bytes / n,
+    )

@@ -1,0 +1,103 @@
+"""Zipf-distributed sampling over a finite population.
+
+``numpy.random.zipf`` samples from the unbounded Zipf law and only supports
+``alpha > 1``; traffic models need a *bounded* population and alphas right
+around 1.0, so we build the normalised probability vector explicitly and
+sample via the cumulative distribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class ZipfSampler:
+    """Sample ranks ``0..n-1`` with P(rank k) proportional to 1/(k+1)^alpha."""
+
+    def __init__(self, n: int, alpha: float, rng: np.random.Generator) -> None:
+        if n < 1:
+            raise ValueError(f"population must be >= 1, got {n}")
+        if alpha <= 0:
+            raise ValueError(f"alpha must be positive, got {alpha}")
+        self.n = n
+        self.alpha = alpha
+        self._rng = rng
+        weights = 1.0 / np.power(np.arange(1, n + 1, dtype=np.float64), alpha)
+        self.probabilities = weights / weights.sum()
+        self._cdf = np.cumsum(self.probabilities)
+        # Guard against floating point round-off leaving cdf[-1] < 1.
+        self._cdf[-1] = 1.0
+
+    @classmethod
+    def from_probabilities(
+        cls, probabilities: np.ndarray, rng: np.random.Generator
+    ) -> "ZipfSampler":
+        """A sampler over an explicit (normalised) probability vector."""
+        p = np.asarray(probabilities, dtype=np.float64)
+        if len(p) < 1 or np.any(p < 0):
+            raise ValueError("probabilities must be non-negative and non-empty")
+        total = p.sum()
+        if total <= 0:
+            raise ValueError("probabilities sum to zero")
+        sampler = cls.__new__(cls)
+        sampler.n = len(p)
+        sampler.alpha = 0.0
+        sampler._rng = rng
+        sampler.probabilities = p / total
+        sampler._cdf = np.cumsum(sampler.probabilities)
+        sampler._cdf[-1] = 1.0
+        return sampler
+
+    def reweight_head(self, shares: "np.ndarray | list[float]") -> None:
+        """Pin the first ``len(shares)`` ranks to explicit traffic shares.
+
+        The remaining ranks keep their Zipf proportions, renormalised to
+        the leftover mass.  Used to populate a *band* of sources straddling
+        a detection threshold (e.g. several sources at 3–7 % when studying
+        a 5 % threshold), which heavy-tailed laws alone make vanishingly
+        rare at small population sizes.
+        """
+        shares = np.asarray(shares, dtype=np.float64)
+        if len(shares) >= self.n:
+            raise ValueError("head band larger than the population")
+        total_head = float(shares.sum())
+        if not 0.0 < total_head < 1.0:
+            raise ValueError(f"head shares must sum into (0, 1), got {total_head}")
+        p = self.probabilities.copy()
+        tail_mass = float(p[len(shares):].sum())
+        p[: len(shares)] = shares
+        p[len(shares):] *= (1.0 - total_head) / tail_mass
+        self.probabilities = p
+        self._cdf = np.cumsum(p)
+        self._cdf[-1] = 1.0
+
+    def sample(self, count: int) -> np.ndarray:
+        """Draw ``count`` ranks (int64 array)."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        u = self._rng.random(count)
+        return np.searchsorted(self._cdf, u, side="left").astype(np.int64)
+
+    def sample_weighted(self, count: int, weights: np.ndarray) -> np.ndarray:
+        """Draw ``count`` ranks after re-weighting the base law.
+
+        ``weights`` multiplies the Zipf probabilities element-wise (used for
+        churn masks and heavy-episode boosts); zeros disable ranks entirely.
+        """
+        if len(weights) != self.n:
+            raise ValueError(
+                f"weights length {len(weights)} != population {self.n}"
+            )
+        p = self.probabilities * weights
+        total = p.sum()
+        if total <= 0:
+            raise ValueError("all ranks disabled: weight vector sums to zero")
+        cdf = np.cumsum(p / total)
+        cdf[-1] = 1.0
+        u = self._rng.random(count)
+        return np.searchsorted(cdf, u, side="left").astype(np.int64)
+
+    def head_share(self, k: int) -> float:
+        """Fraction of probability mass held by the top ``k`` ranks."""
+        k = min(k, self.n)
+        return float(self.probabilities[:k].sum())

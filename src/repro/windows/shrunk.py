@@ -1,0 +1,46 @@
+"""Micro-shrunk windows (the paper's Figure 1c).
+
+For the sensitivity study the paper compares a 10 s baseline window against
+windows "10-100 milliseconds shorter from the baseline window", where "all
+the windows have the same starting point and the analysis is based only on
+overlapping windows": for every baseline window ``[t0, t0 + W)`` the shrunk
+variant is ``[t0, t0 + W - delta)`` — same start, slightly earlier end.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.trace.container import Trace
+from repro.windows.disjoint import DisjointWindows
+from repro.windows.schedule import Window
+
+
+class NestedShrunkWindows:
+    """Pairs of (baseline, shrunk-by-delta) windows sharing their start."""
+
+    def __init__(self, size: float, delta: float) -> None:
+        if size <= 0:
+            raise ValueError(f"window size must be positive, got {size}")
+        if not 0 < delta < size:
+            raise ValueError(
+                f"delta must be in (0, size); got delta={delta}, size={size}"
+            )
+        self.size = size
+        self.delta = delta
+        self._baseline = DisjointWindows(size)
+
+    def over_span(self, start: float, end: float) -> Iterator[tuple[Window, Window]]:
+        """Yield ``(baseline_window, shrunk_window)`` pairs over [start, end)."""
+        for base in self._baseline.over_span(start, end):
+            shrunk = Window(base.t0, base.t1 - self.delta, base.index)
+            yield base, shrunk
+
+    def over_trace(self, trace: Trace) -> Iterator[tuple[Window, Window]]:
+        """The paired schedule covering the trace's time span."""
+        if len(trace) == 0:
+            return iter(())
+        return self.over_span(trace.start_time, trace.end_time)
+
+    def __repr__(self) -> str:
+        return f"NestedShrunkWindows(size={self.size}, delta={self.delta})"

@@ -1,0 +1,56 @@
+"""Tests for repro.analysis.render."""
+
+import pytest
+
+from repro.analysis.render import ascii_bars, ascii_cdf, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_headers(self):
+        rows = [{"a": 1, "bb": "x"}, {"a": 22, "bb": "yy"}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "bb" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_floats_formatted(self):
+        text = format_table([{"v": 1.23456}])
+        assert "1.235" in text
+
+
+class TestAsciiCdf:
+    def test_renders_points(self):
+        points = [(i / 10, i / 10) for i in range(11)]
+        art = ascii_cdf(points, title="test curve")
+        assert "test curve" in art
+        assert "*" in art
+
+    def test_empty(self):
+        assert ascii_cdf([]) == "(empty CDF)"
+
+    def test_single_point(self):
+        assert "*" in ascii_cdf([(0.5, 1.0)])
+
+
+class TestAsciiBars:
+    def test_bars_scale(self):
+        art = ascii_bars(["a", "b"], [10.0, 20.0])
+        lines = art.splitlines()
+        assert lines[1].count("#") > lines[0].count("#")
+        assert "10.0%" in lines[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_bars(["a"], [1.0, 2.0])
+
+    def test_empty(self):
+        assert ascii_bars([], []) == "(no bars)"
+
+    def test_zero_values(self):
+        art = ascii_bars(["a"], [0.0])
+        assert "0.0%" in art

@@ -1,0 +1,53 @@
+"""Shared fixtures.
+
+Traces are expensive to generate, so the standard ones are session-scoped;
+tests must treat them as immutable (Trace is immutable by design).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trace import presets
+from repro.trace.config import (
+    BurstConfig,
+    ChurnConfig,
+    HeavyEpisodeConfig,
+    RateConfig,
+    SyntheticTraceConfig,
+)
+from repro.trace.generator import generate_trace
+
+
+@pytest.fixture(scope="session")
+def small_trace():
+    """A 20-second day-0-flavoured trace (fast, still structured)."""
+    return presets.caida_like_day(0, duration=20.0)
+
+
+@pytest.fixture(scope="session")
+def calm_small_trace():
+    """A 20-second calm trace (no bursts, no episodes, no churn)."""
+    return presets.calm_trace(duration=20.0)
+
+
+@pytest.fixture(scope="session")
+def tiny_config():
+    """A deliberately tiny generator config for fast structural tests."""
+    return SyntheticTraceConfig(
+        duration_s=5.0,
+        num_sources=200,
+        num_networks=4,
+        subnets_per_network=4,
+        rate=RateConfig(base_rate=300.0, busy_factor=1.5),
+        churn=ChurnConfig(),
+        bursts=BurstConfig(bursts_per_epoch=0.5, burst_packets=20),
+        episodes=HeavyEpisodeConfig(episodes_per_minute=20.0),
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_trace(tiny_config):
+    """The trace generated from ``tiny_config``."""
+    return generate_trace(tiny_config)

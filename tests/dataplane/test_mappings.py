@@ -1,0 +1,56 @@
+"""Tests for repro.dataplane.mappings."""
+
+from repro.dataplane.mappings import (
+    map_hashpipe,
+    map_ondemand_tdbf,
+    map_rhhh,
+    map_sliding_window_hh,
+    map_spacesaving_cache,
+)
+from repro.dataplane.pipeline import PipelineConstraints
+
+
+class TestMappings:
+    def test_hashpipe_stage_per_table(self):
+        program = map_hashpipe(stage_slots=256, stages=4)
+        assert len(program.stages) == 4
+        assert program.needs_control_plane_reset
+        assert program.fits(PipelineConstraints())
+
+    def test_rhhh_stage_per_level_plus_rng(self):
+        program = map_rhhh(counters_per_level=128, num_levels=5)
+        assert len(program.stages) == 6
+        assert program.needs_control_plane_reset
+
+    def test_tdbf_needs_timestamps_not_resets(self):
+        program = map_ondemand_tdbf(cells=4096, hashes=4)
+        assert program.needs_timestamps
+        assert not program.needs_control_plane_reset
+        assert len(program.stages) == 4
+
+    def test_tdbf_cells_carry_value_and_stamp(self):
+        program = map_ondemand_tdbf(cells=1024, hashes=2)
+        cell_bits = program.stages[0].arrays[0].cell_bits
+        assert cell_bits == 32 + 48
+
+    def test_spacesaving_single_stage(self):
+        program = map_spacesaving_cache(capacity=512)
+        assert len(program.stages) == 1
+        assert program.needs_control_plane_reset
+
+    def test_sliding_window_bucket_stages(self):
+        program = map_sliding_window_hh(num_buckets=5, capacity_per_bucket=64)
+        assert len(program.stages) == 6  # clock + 5 buckets
+        assert program.needs_timestamps
+
+    def test_all_fit_default_target_at_paper_scale(self):
+        constraints = PipelineConstraints()
+        assert map_hashpipe(256, 4).fits(constraints)
+        assert map_rhhh(128, 5).fits(constraints)
+        assert map_ondemand_tdbf(4096, 4).fits(constraints)
+        assert map_spacesaving_cache(256).fits(constraints)
+
+    def test_sram_accounting_scales_with_size(self):
+        small = map_hashpipe(64, 2).profile().sram_bits
+        large = map_hashpipe(256, 2).profile().sram_bits
+        assert large == 4 * small

@@ -1,0 +1,82 @@
+"""Tests for repro.dataplane.pipeline."""
+
+import pytest
+
+from repro.dataplane.pipeline import (
+    PipelineConstraints,
+    PipelineProgram,
+    RegisterArray,
+    StageSpec,
+)
+
+
+def stage(entries=256, bits=64, hashes=1):
+    return StageSpec(arrays=(RegisterArray("r", entries, bits),), hash_units=hashes)
+
+
+class TestRegisterArray:
+    def test_sram_bits(self):
+        assert RegisterArray("r", 100, 64).sram_bits == 6400
+
+    def test_single_access_rule(self):
+        with pytest.raises(ValueError):
+            RegisterArray("r", 10, 32, accesses_per_packet=2)
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            RegisterArray("r", 0, 32)
+
+
+class TestStageSpec:
+    def test_aggregates(self):
+        s = StageSpec(
+            arrays=(RegisterArray("a", 10, 32), RegisterArray("b", 10, 32)),
+            hash_units=2,
+        )
+        assert s.sram_bits == 640
+        assert s.register_accesses == 2
+
+
+class TestPipelineProgram:
+    def test_fits_within_constraints(self):
+        program = PipelineProgram("ok")
+        for _ in range(4):
+            program.add_stage(stage())
+        assert program.fits(PipelineConstraints())
+
+    def test_too_many_stages(self):
+        program = PipelineProgram("deep")
+        for _ in range(20):
+            program.add_stage(stage())
+        problems = program.validate(PipelineConstraints(max_stages=12))
+        assert any("stages" in p for p in problems)
+
+    def test_sram_overflow(self):
+        program = PipelineProgram("fat").add_stage(stage(entries=10**9))
+        assert not program.fits(PipelineConstraints())
+
+    def test_hash_budget(self):
+        program = PipelineProgram("hashy").add_stage(stage(hashes=5))
+        problems = program.validate(PipelineConstraints(max_hash_units_per_stage=2))
+        assert any("hash" in p for p in problems)
+
+    def test_profile(self):
+        program = PipelineProgram("p", needs_timestamps=True)
+        program.add_stage(stage(entries=128, bits=64))
+        program.add_stage(stage(entries=128, bits=64))
+        profile = program.profile()
+        assert profile.stages == 2
+        assert profile.sram_bits == 2 * 128 * 64
+        assert profile.hash_units == 2
+        assert profile.register_accesses == 2
+        assert profile.needs_timestamps
+
+    def test_profile_row(self):
+        program = PipelineProgram("p").add_stage(stage())
+        row = program.profile().to_row()
+        assert row["detector"] == "p"
+        assert row["stages"] == 1
+
+    def test_constraints_validation(self):
+        with pytest.raises(ValueError):
+            PipelineConstraints(max_stages=0)

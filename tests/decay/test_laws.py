@@ -1,0 +1,93 @@
+"""Tests for repro.decay.laws."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.decay.laws import ExponentialDecay, LinearDecay, SlidingExpiry
+
+values = st.floats(min_value=0.0, max_value=1e9, allow_nan=False)
+ages = st.floats(min_value=0.0, max_value=1e4, allow_nan=False)
+
+
+class TestLinearDecay:
+    def test_basic(self):
+        law = LinearDecay(rate=10.0)
+        assert law.decay(100.0, 5.0) == pytest.approx(50.0)
+
+    def test_floors_at_zero(self):
+        assert LinearDecay(10.0).decay(5.0, 100.0) == 0.0
+
+    def test_rejects_negative_age(self):
+        with pytest.raises(ValueError):
+            LinearDecay(1.0).decay(1.0, -1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinearDecay(0.0)
+
+    @given(values, ages, ages)
+    @settings(max_examples=60, deadline=None)
+    def test_composes(self, v, a, b):
+        law = LinearDecay(3.0)
+        direct = law.decay(v, a + b)
+        stepped = law.decay(law.decay(v, a), b)
+        assert stepped == pytest.approx(direct, rel=1e-9, abs=1e-6)
+
+    @given(values, ages, ages)
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_age(self, v, a, b):
+        law = LinearDecay(2.0)
+        lo, hi = sorted((a, b))
+        assert law.decay(v, hi) <= law.decay(v, lo)
+
+
+class TestExponentialDecay:
+    def test_half_life(self):
+        law = ExponentialDecay(half_life=10.0)
+        assert law.decay(100.0, 10.0) == pytest.approx(50.0)
+        assert law.half_life == pytest.approx(10.0)
+
+    def test_tau(self):
+        law = ExponentialDecay(tau=5.0)
+        assert law.decay(math.e, 5.0) == pytest.approx(1.0)
+
+    def test_requires_exactly_one_parameter(self):
+        with pytest.raises(ValueError):
+            ExponentialDecay()
+        with pytest.raises(ValueError):
+            ExponentialDecay(tau=1.0, half_life=1.0)
+        with pytest.raises(ValueError):
+            ExponentialDecay(tau=-1.0)
+
+    @given(values, ages, ages)
+    @settings(max_examples=60, deadline=None)
+    def test_composes(self, v, a, b):
+        law = ExponentialDecay(tau=7.0)
+        direct = law.decay(v, a + b)
+        stepped = law.decay(law.decay(v, a), b)
+        assert stepped == pytest.approx(direct, rel=1e-9, abs=1e-6)
+
+    def test_horizon_finite(self):
+        assert ExponentialDecay(tau=2.0).horizon() == pytest.approx(80.0)
+
+    def test_rejects_negative_age(self):
+        with pytest.raises(ValueError):
+            ExponentialDecay(tau=1.0).decay(1.0, -0.5)
+
+
+class TestSlidingExpiry:
+    def test_step_function(self):
+        law = SlidingExpiry(window=10.0)
+        assert law.decay(42.0, 9.99) == 42.0
+        assert law.decay(42.0, 10.0) == 0.0
+
+    def test_horizon_is_window(self):
+        assert SlidingExpiry(3.0).horizon() == 3.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlidingExpiry(0.0)
+        with pytest.raises(ValueError):
+            SlidingExpiry(1.0).decay(1.0, -1.0)

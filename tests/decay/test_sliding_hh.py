@@ -1,0 +1,58 @@
+"""Tests for repro.decay.sliding_hh."""
+
+import pytest
+
+from repro.decay.sliding_hh import SlidingWindowSpaceSaving
+
+
+class TestSlidingWindowSpaceSaving:
+    def test_recent_traffic_counted(self):
+        sw = SlidingWindowSpaceSaving(window=10.0, num_buckets=10)
+        sw.update(1, 100, ts=0.5)
+        assert sw.estimate(1, now=1.0) == pytest.approx(100.0)
+
+    def test_old_traffic_expires(self):
+        sw = SlidingWindowSpaceSaving(window=10.0, num_buckets=10)
+        sw.update(1, 100, ts=0.5)
+        assert sw.estimate(1, now=25.0) == 0.0
+
+    def test_partial_expiry_by_buckets(self):
+        sw = SlidingWindowSpaceSaving(window=10.0, num_buckets=10)
+        sw.update(1, 100, ts=0.5)   # bucket 0
+        sw.update(1, 50, ts=8.5)    # bucket 8
+        # At t=11.5, bucket 0 has fallen out of the window.
+        assert sw.estimate(1, now=11.5) == pytest.approx(50.0)
+
+    def test_query_aggregates_buckets(self):
+        sw = SlidingWindowSpaceSaving(window=5.0, num_buckets=5)
+        for second in range(5):
+            sw.update(1, 10, ts=second + 0.5)
+            sw.update(2, 1, ts=second + 0.5)
+        report = sw.query(30.0, now=4.9)
+        assert 1 in report and 2 not in report
+        assert report[1] == pytest.approx(50.0)
+
+    def test_window_slides_continuously(self):
+        sw = SlidingWindowSpaceSaving(window=3.0, num_buckets=3)
+        sw.update(1, 30, ts=0.5)
+        sw.update(1, 20, ts=1.5)
+        sw.update(1, 10, ts=2.5)
+        assert sw.estimate(1, now=2.9) == pytest.approx(60.0)
+        assert sw.estimate(1, now=4.2) == pytest.approx(30.0)  # first bucket gone
+
+    def test_reordered_packet_folded_into_newest_bucket(self):
+        sw = SlidingWindowSpaceSaving(window=10.0, num_buckets=10)
+        sw.update(1, 10, ts=5.5)
+        sw.update(1, 10, ts=5.2)  # slightly late
+        assert sw.estimate(1, now=6.0) == pytest.approx(20.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlidingWindowSpaceSaving(window=0.0)
+        with pytest.raises(ValueError):
+            SlidingWindowSpaceSaving(window=1.0, num_buckets=0)
+
+    def test_num_counters(self):
+        sw = SlidingWindowSpaceSaving(window=10.0, num_buckets=10,
+                                      capacity_per_bucket=32)
+        assert sw.num_counters == 11 * 32

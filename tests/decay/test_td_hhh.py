@@ -1,0 +1,120 @@
+"""Tests for repro.decay.td_hhh — the windowless HHH detector."""
+
+import math
+import random
+
+import pytest
+
+from repro.decay.laws import ExponentialDecay
+from repro.decay.td_hhh import TimeDecayingHHH
+from repro.net.prefix import Prefix
+
+
+def feed_constant(det, key, bytes_per_s, duration, start=0.0, pps=10):
+    for i in range(int(duration * pps)):
+        det.update(key, bytes_per_s / pps, start + i / pps)
+
+
+class TestDetection:
+    def test_heavy_leaf_detected(self):
+        det = TimeDecayingHHH(law=ExponentialDecay(tau=10.0))
+        feed_constant(det, 0x0A000001, 1000.0, duration=40.0)
+        feed_constant(det, 0x0B000001, 100.0, duration=40.0)
+        result = det.query(0.5, now=40.0)
+        assert Prefix(0x0A000001, 32) in result.prefixes
+
+    def test_aggregate_detected_at_slash24(self):
+        det = TimeDecayingHHH(law=ExponentialDecay(tau=10.0))
+        rng = random.Random(0)
+        # 40 hosts in one /24, individually light.
+        for i in range(4000):
+            host = 0x0A000000 + rng.randrange(40)
+            det.update(host, 10.0, i * 0.01)
+            det.update(0x30000000 + rng.randrange(1 << 20), 10.0, i * 0.01)
+        result = det.query(0.3, now=40.0)
+        assert Prefix(0x0A000000, 24) in result.prefixes
+        assert not result.prefixes_at_length(32)
+
+    def test_discounting_suppresses_ancestors(self):
+        det = TimeDecayingHHH(law=ExponentialDecay(tau=10.0))
+        feed_constant(det, 0x0A000001, 1000.0, duration=40.0)
+        result = det.query(0.5, now=40.0)
+        assert Prefix(0x0A000000, 24) not in result.prefixes
+
+    def test_decayed_total_steady_state(self):
+        tau = 5.0
+        det = TimeDecayingHHH(law=ExponentialDecay(tau=tau))
+        feed_constant(det, 1, 100.0, duration=60.0)
+        # total ~= rate * tau at steady state.
+        assert det.decayed_total(60.0) == pytest.approx(100.0 * tau, rel=0.1)
+
+    def test_detection_fades_after_flow_stops(self):
+        det = TimeDecayingHHH(law=ExponentialDecay(tau=5.0))
+        feed_constant(det, 0x0A000001, 1000.0, duration=20.0)
+        feed_constant(det, 0x0B000001, 900.0, duration=60.0, start=0.0)
+        at_stop = det.query(0.4, now=20.0)
+        assert Prefix(0x0A000001, 32) in at_stop.prefixes
+        later = det.query(0.4, now=50.0)
+        assert Prefix(0x0A000001, 32) not in later.prefixes
+
+    def test_sees_boundary_straddling_episode(self):
+        """The headline behaviour: an episode straddling a disjoint-window
+        boundary is visible to the decayed detector at its midpoint."""
+        det = TimeDecayingHHH(law=ExponentialDecay(tau=10.0))
+        # Background.
+        rng = random.Random(1)
+        for i in range(3000):
+            det.update(rng.randrange(1 << 31), 100.0, i * 0.01)
+        # Episode from t=25 to t=35 (straddles the t=30 boundary of a
+        # 10-second disjoint grid) at ~5x background rate.
+        for i in range(1000):
+            det.update(0x0A000001, 500.0, 25.0 + i * 0.01)
+        result = det.query(0.2, now=33.0)
+        assert Prefix(0x0A000001, 32) in result.prefixes
+
+
+class TestModes:
+    def test_sampled_updates_cheaper(self):
+        det = TimeDecayingHHH(sample_levels=True, seed=3)
+        for i in range(100):
+            det.update(1, 1.0, i * 0.1)
+        assert det.packets == 100
+
+    def test_sampled_mode_still_detects(self):
+        det = TimeDecayingHHH(
+            law=ExponentialDecay(tau=10.0), sample_levels=True, seed=4,
+            counters_per_level=128,
+        )
+        feed_constant(det, 0x0A000001, 1000.0, duration=40.0, pps=50)
+        rng = random.Random(5)
+        for i in range(2000):
+            det.update(rng.randrange(1 << 31), 20.0, i * 0.02)
+        result = det.query(0.3, now=40.0)
+        assert Prefix(0x0A000001, 32) in result.prefixes
+
+
+class TestInterface:
+    def test_phi_validation(self):
+        det = TimeDecayingHHH()
+        with pytest.raises(ValueError):
+            det.query(0.0, now=1.0)
+        with pytest.raises(ValueError):
+            det.query(1.5, now=1.0)
+
+    def test_counters_validation(self):
+        with pytest.raises(ValueError):
+            TimeDecayingHHH(counters_per_level=0)
+
+    def test_empty_query(self):
+        det = TimeDecayingHHH()
+        assert len(det.query(0.1, now=0.0)) == 0
+
+    def test_estimate(self):
+        det = TimeDecayingHHH(law=ExponentialDecay(tau=10.0))
+        det.update(0x0A000001, 100.0, 0.0)
+        assert det.estimate(0x0A000001, 0, now=0.0) == pytest.approx(100.0)
+        assert det.estimate(0x0A0000FF, 1, now=0.0) == pytest.approx(100.0)
+
+    def test_num_counters(self):
+        det = TimeDecayingHHH(counters_per_level=10)
+        assert det.num_counters == 10 * det.hierarchy.num_levels + 1

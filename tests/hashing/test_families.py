@@ -1,0 +1,59 @@
+"""Unit tests for repro.hashing.families."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hashing.families import (
+    MixerFamily,
+    MultiplyShiftFamily,
+    pairwise_indep_family,
+)
+
+keys = st.integers(min_value=0, max_value=(1 << 32) - 1)
+
+
+@pytest.mark.parametrize("family_cls", [MultiplyShiftFamily, MixerFamily])
+class TestFamilies:
+    def test_deterministic_per_seed(self, family_cls):
+        h1 = family_cls(seed=3).function(0, 100)
+        h2 = family_cls(seed=3).function(0, 100)
+        assert [h1(k) for k in range(50)] == [h2(k) for k in range(50)]
+
+    def test_different_indexes_differ(self, family_cls):
+        family = family_cls(seed=1)
+        h0 = family.function(0, 1 << 20)
+        h1 = family.function(1, 1 << 20)
+        same = sum(h0(k) == h1(k) for k in range(2000))
+        assert same < 10  # collisions should be ~2000/2^20
+
+    def test_different_seeds_differ(self, family_cls):
+        h0 = family_cls(seed=0).function(0, 1 << 20)
+        h1 = family_cls(seed=1).function(0, 1 << 20)
+        same = sum(h0(k) == h1(k) for k in range(2000))
+        assert same < 10
+
+    def test_range_respected(self, family_cls):
+        h = family_cls(seed=9).function(0, 7)
+        assert all(0 <= h(k) < 7 for k in range(1000))
+
+    def test_rejects_empty_range(self, family_cls):
+        with pytest.raises(ValueError):
+            family_cls().function(0, 0)
+
+    def test_sign_function_balanced(self, family_cls):
+        s = family_cls(seed=2).sign_function(0)
+        values = [s(k) for k in range(4000)]
+        assert set(values) <= {-1, 1}
+        balance = sum(values) / len(values)
+        assert abs(balance) < 0.1
+
+    def test_distribution_roughly_uniform(self, family_cls):
+        h = family_cls(seed=4).function(0, 10)
+        buckets = [0] * 10
+        for k in range(10000):
+            buckets[h(k)] += 1
+        assert min(buckets) > 700  # expected 1000 each
+
+
+def test_default_family_is_multiply_shift():
+    assert isinstance(pairwise_indep_family(), MultiplyShiftFamily)

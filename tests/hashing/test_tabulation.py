@@ -1,0 +1,56 @@
+"""Unit tests for repro.hashing.tabulation."""
+
+import pytest
+
+from repro.hashing.tabulation import TabulationFamily, TabulationHash
+
+
+class TestTabulationHash:
+    def test_deterministic(self):
+        assert TabulationHash(1)(1234) == TabulationHash(1)(1234)
+
+    def test_seed_changes_function(self):
+        h0, h1 = TabulationHash(0), TabulationHash(1)
+        assert any(h0(k) != h1(k) for k in range(100))
+
+    def test_bounded(self):
+        h = TabulationHash(2)
+        assert all(0 <= h.bounded(k, 13) < 13 for k in range(500))
+
+    def test_spreads_keys(self):
+        h = TabulationHash(3)
+        assert len({h(k) for k in range(5000)}) == 5000
+
+    def test_xor_structure(self):
+        # Tabulation is linear over byte-tables: h(k) equals the XOR of the
+        # per-byte table entries, verified against direct table access.
+        h = TabulationHash(4)
+        key = 0xDEADBEEF
+        expected = (
+            h.tables[0][key & 0xFF]
+            ^ h.tables[1][(key >> 8) & 0xFF]
+            ^ h.tables[2][(key >> 16) & 0xFF]
+            ^ h.tables[3][(key >> 24) & 0xFF]
+        )
+        assert h(key) == expected
+
+
+class TestTabulationFamily:
+    def test_function_range(self):
+        f = TabulationFamily(seed=5).function(0, 11)
+        assert all(0 <= f(k) < 11 for k in range(300))
+
+    def test_rejects_empty_range(self):
+        with pytest.raises(ValueError):
+            TabulationFamily().function(0, 0)
+
+    def test_functions_cached(self):
+        family = TabulationFamily(seed=6)
+        f1 = family.function(0, 100)
+        f2 = family.function(0, 100)
+        assert [f1(k) for k in range(50)] == [f2(k) for k in range(50)]
+
+    def test_sign_function(self):
+        s = TabulationFamily(seed=7).sign_function(0)
+        values = {s(k) for k in range(200)}
+        assert values == {-1, 1}

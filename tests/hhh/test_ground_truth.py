@@ -1,0 +1,34 @@
+"""Tests for repro.hhh.ground_truth."""
+
+from repro.hhh.exact_hhh import ExactHHH
+from repro.hhh.ground_truth import window_ground_truth
+from repro.windows.disjoint import DisjointWindows
+from repro.windows.schedule import Window
+
+
+class TestWindowGroundTruth:
+    def test_one_result_per_window_in_order(self, tiny_trace):
+        windows = list(DisjointWindows(1.0).over_trace(tiny_trace))
+        series = list(
+            window_ground_truth(tiny_trace, windows, ExactHHH(0.1))
+        )
+        assert [w for w, _ in series] == windows
+
+    def test_results_match_direct_detection(self, tiny_trace):
+        detector = ExactHHH(0.1)
+        window = Window(1.0, 3.0, 0)
+        ((_, via_series),) = list(
+            window_ground_truth(tiny_trace, [window], detector)
+        )
+        direct = detector.detect_window(tiny_trace, 1.0, 3.0)
+        assert via_series.prefixes == direct.prefixes
+
+    def test_dst_key(self, tiny_trace):
+        windows = [Window(0.0, 2.0, 0)]
+        ((_, result),) = list(
+            window_ground_truth(tiny_trace, windows, ExactHHH(0.2), key="dst")
+        )
+        assert result.total_bytes == tiny_trace.bytes_in_range(0.0, 2.0)
+
+    def test_empty_schedule(self, tiny_trace):
+        assert list(window_ground_truth(tiny_trace, [], ExactHHH(0.1))) == []

@@ -1,0 +1,57 @@
+"""Tests for repro.hhh.hhh2d."""
+
+import pytest
+
+from repro.hhh.hhh2d import ExactHHH2D
+from repro.net.prefix import Prefix
+
+
+def key(src, dst):
+    return (src << 32) | dst
+
+
+class TestExactHHH2D:
+    def test_heavy_flow_detected_at_leaf(self):
+        counts = {key(0x0A000001, 0x0B000001): 90, key(0x0C000001, 0x0D000001): 10}
+        items = ExactHHH2D(0.5).detect(counts)
+        leaf = [
+            i for i in items
+            if i.src_prefix.length == 32 and i.dst_prefix.length == 32
+        ]
+        assert len(leaf) == 1
+        assert leaf[0].src_prefix == Prefix(0x0A000001, 32)
+        assert leaf[0].discounted_bytes == 90
+
+    def test_aggregate_across_destinations(self):
+        # One source spraying many destinations: heavy at (src/32, dst/0).
+        counts = {key(0x0A000001, (i << 24)): 10 for i in range(10)}
+        counts[key(0x0B000001, 0x0C000001)] = 30
+        items = ExactHHH2D(0.5).detect(counts)
+        found = {
+            (str(i.src_prefix), str(i.dst_prefix)) for i in items
+        }
+        assert ("10.0.0.1/32", "0.0.0.0/0") in found
+
+    def test_discounting_prevents_double_count(self):
+        # The heavy leaf's mass must not re-qualify its generalisations.
+        counts = {key(0x0A000001, 0x0B000001): 100}
+        items = ExactHHH2D(0.5).detect(counts)
+        assert len(items) == 1
+
+    def test_empty(self):
+        assert ExactHHH2D(0.1).detect({}) == []
+
+    def test_phi_validation(self):
+        with pytest.raises(ValueError):
+            ExactHHH2D(0.0)
+
+    def test_each_item_meets_threshold(self, tiny_trace):
+        counts = {}
+        for i in range(min(len(tiny_trace), 2000)):
+            k = (int(tiny_trace.src[i]) << 32) | int(tiny_trace.dst[i])
+            counts[k] = counts.get(k, 0) + int(tiny_trace.length[i])
+        phi = 0.1
+        items = ExactHHH2D(phi).detect(counts)
+        threshold = phi * sum(counts.values())
+        for item in items:
+            assert item.discounted_bytes >= threshold

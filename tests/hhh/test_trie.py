@@ -1,0 +1,87 @@
+"""Tests for repro.hhh.trie, including the trie-vs-rollup HHH oracle."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hhh.exact_hhh import ExactHHH
+from repro.hhh.trie import PrefixTrie
+from repro.hierarchy.domain import BYTE_LENGTHS
+from repro.net.prefix import Prefix
+
+counts_strategy = st.dictionaries(
+    st.integers(min_value=0, max_value=(1 << 32) - 1),
+    st.integers(min_value=1, max_value=5_000),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestBasics:
+    def test_insert_and_total(self):
+        trie = PrefixTrie()
+        trie.insert(0x0A000001, 10)
+        trie.insert(0x0A000001, 5)
+        assert trie.total == 15
+
+    def test_validation(self):
+        trie = PrefixTrie()
+        with pytest.raises(ValueError):
+            trie.insert(1 << 32, 1)
+        with pytest.raises(ValueError):
+            trie.insert(0, -1)
+
+    def test_subtree_volume(self):
+        trie = PrefixTrie()
+        trie.insert(0x0A000001, 10)
+        trie.insert(0x0A000002, 20)
+        trie.insert(0x0B000001, 30)
+        assert trie.subtree_volume(Prefix(0x0A000000, 24)) == 30
+        assert trie.subtree_volume(Prefix(0x0A000000, 8)) == 30
+        assert trie.subtree_volume(Prefix(0, 0)) == 60
+        assert trie.subtree_volume(Prefix(0x0C000000, 8)) == 0
+
+    def test_leaves_roundtrip(self):
+        counts = {0x0A000001: 10, 0x0B000002: 20, 0xFFFFFFFF: 5}
+        trie = PrefixTrie()
+        trie.insert_counts(counts)
+        assert dict(trie.leaves()) == counts
+
+    @given(counts_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_subtree_volume_consistent(self, counts):
+        trie = PrefixTrie()
+        trie.insert_counts(counts)
+        # Root subtree volume equals the total inserted mass.
+        assert trie.subtree_volume(Prefix(0, 0)) == sum(counts.values())
+
+
+class TestHHHOracle:
+    """The trie walk and the dict rollup must agree exactly."""
+
+    @given(counts_strategy, st.sampled_from([0.02, 0.05, 0.1, 0.25]))
+    @settings(max_examples=80, deadline=None)
+    def test_matches_rollup_at_byte_granularity(self, counts, phi):
+        trie = PrefixTrie()
+        trie.insert_counts(counts)
+        threshold = phi * sum(counts.values())
+        if threshold <= 0:
+            return
+        from_trie = trie.hhh(threshold, BYTE_LENGTHS)
+        from_rollup = ExactHHH(phi).detect(counts)
+        assert set(from_trie) == set(from_rollup.prefixes)
+        for item in from_rollup:
+            assert from_trie[item.prefix] == item.discounted_bytes
+
+    def test_bit_granularity_levels(self):
+        trie = PrefixTrie()
+        # Two /32s differing in the last bit; at bit granularity their /31
+        # aggregate qualifies before the /24 does.
+        trie.insert(0b10, 30)
+        trie.insert(0b11, 30)
+        trie.insert(0x80000000, 40)
+        result = trie.hhh(50.0)
+        assert Prefix(0b10, 31) in result
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            PrefixTrie().hhh(0.0)

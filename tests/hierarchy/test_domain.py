@@ -1,0 +1,89 @@
+"""Tests for repro.hierarchy.domain."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hierarchy.domain import BIT_LENGTHS, BYTE_LENGTHS, SourceHierarchy
+
+addresses = st.integers(min_value=0, max_value=(1 << 32) - 1)
+
+
+class TestConstruction:
+    def test_byte_default(self):
+        h = SourceHierarchy()
+        assert h.lengths == BYTE_LENGTHS == (32, 24, 16, 8, 0)
+        assert h.num_levels == 5
+
+    def test_bit(self):
+        h = SourceHierarchy("bit")
+        assert h.lengths == BIT_LENGTHS
+        assert h.num_levels == 33
+
+    def test_custom(self):
+        h = SourceHierarchy((32, 16, 0))
+        assert h.num_levels == 3
+
+    @pytest.mark.parametrize(
+        "lengths", [(), (24, 16, 0), (32, 16), (32, 16, 16, 0), (32, 8, 16, 0)]
+    )
+    def test_rejects_bad_custom(self, lengths):
+        with pytest.raises(ValueError):
+            SourceHierarchy(lengths)
+
+
+class TestGeneralize:
+    def test_levels(self):
+        h = SourceHierarchy()
+        addr = 0x0A0B0C0D
+        assert h.generalize(addr, 0) == 0x0A0B0C0D
+        assert h.generalize(addr, 1) == 0x0A0B0C00
+        assert h.generalize(addr, 2) == 0x0A0B0000
+        assert h.generalize(addr, 3) == 0x0A000000
+        assert h.generalize(addr, 4) == 0
+
+    @given(addresses)
+    def test_root_always_zero(self, addr):
+        h = SourceHierarchy()
+        assert h.generalize(addr, h.root_level) == 0
+
+    @given(addresses)
+    def test_generalization_is_monotone(self, addr):
+        h = SourceHierarchy()
+        # Each level's value must be a prefix of the previous one.
+        previous = addr
+        for level in range(h.num_levels):
+            value = h.generalize(addr, level)
+            assert h.generalize(previous, level) == value
+            previous = value
+
+    @given(addresses)
+    def test_ancestors_enumerate_all_levels(self, addr):
+        h = SourceHierarchy()
+        items = list(h.ancestors(addr))
+        assert [lvl for lvl, _ in items] == list(range(h.num_levels))
+        for level, value in items:
+            assert value == h.generalize(addr, level)
+
+
+class TestAccessors:
+    def test_prefix_at(self):
+        h = SourceHierarchy()
+        p = h.prefix_at(0x0A000000, 3)
+        assert str(p) == "10.0.0.0/8"
+
+    def test_level_of_length(self):
+        h = SourceHierarchy()
+        assert h.level_of_length(24) == 1
+        with pytest.raises(ValueError):
+            h.level_of_length(20)
+
+    def test_equality_and_hash(self):
+        assert SourceHierarchy() == SourceHierarchy("byte")
+        assert SourceHierarchy() != SourceHierarchy("bit")
+        assert hash(SourceHierarchy()) == hash(SourceHierarchy("byte"))
+
+    def test_leaf_and_root_levels(self):
+        h = SourceHierarchy()
+        assert h.leaf_level == 0
+        assert h.root_level == 4
+        assert h.length_at(h.leaf_level) == 32

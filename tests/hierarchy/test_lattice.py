@@ -1,0 +1,77 @@
+"""Tests for repro.hierarchy.lattice."""
+
+import pytest
+
+from repro.hierarchy.lattice import LatticeNode, TwoDHierarchy
+
+
+class TestConstruction:
+    def test_default_geometry(self):
+        lattice = TwoDHierarchy()
+        assert lattice.num_nodes == 25
+
+    def test_rejects_bad_lengths(self):
+        with pytest.raises(ValueError):
+            TwoDHierarchy(src_lengths=(24, 16, 0))
+
+
+class TestOrdering:
+    def test_bottom_up_starts_specific_ends_root(self):
+        lattice = TwoDHierarchy()
+        nodes = list(lattice.nodes_bottom_up())
+        assert nodes[0] == LatticeNode(0, 0)
+        assert lattice.is_root(nodes[-1])
+
+    def test_bottom_up_children_before_parents(self):
+        lattice = TwoDHierarchy()
+        seen: set[LatticeNode] = set()
+        for node in lattice.nodes_bottom_up():
+            for parent in lattice.parents(node):
+                assert parent not in seen
+            seen.add(node)
+
+    def test_covers_all_nodes(self):
+        lattice = TwoDHierarchy()
+        assert len(list(lattice.nodes_bottom_up())) == lattice.num_nodes
+
+
+class TestGeneralize:
+    def test_leaf_identity(self):
+        lattice = TwoDHierarchy()
+        key = (0x0A0B0C0D << 32) | 0x01020304
+        assert lattice.generalize(key, LatticeNode(0, 0)) == key
+
+    def test_masks_each_dimension(self):
+        lattice = TwoDHierarchy()
+        key = (0x0A0B0C0D << 32) | 0x01020304
+        g = lattice.generalize(key, LatticeNode(1, 2))
+        assert g >> 32 == 0x0A0B0C00
+        assert g & 0xFFFFFFFF == 0x01020000
+
+    def test_root_zeroes_everything(self):
+        lattice = TwoDHierarchy()
+        key = (0xFFFFFFFF << 32) | 0xFFFFFFFF
+        assert lattice.generalize(key, LatticeNode(4, 4)) == 0
+
+
+class TestParents:
+    def test_interior_node_has_two_parents(self):
+        lattice = TwoDHierarchy()
+        assert len(lattice.parents(LatticeNode(1, 1))) == 2
+
+    def test_root_has_no_parents(self):
+        lattice = TwoDHierarchy()
+        assert lattice.parents(LatticeNode(4, 4)) == []
+
+    def test_edge_node_has_one_parent(self):
+        lattice = TwoDHierarchy()
+        assert len(lattice.parents(LatticeNode(4, 0))) == 1
+
+
+class TestPrefixesOf:
+    def test_extracts_both_dimensions(self):
+        lattice = TwoDHierarchy()
+        key = (0x0A000000 << 32) | 0x0B000000
+        src, dst = lattice.prefixes_of(key, LatticeNode(3, 3))
+        assert str(src) == "10.0.0.0/8"
+        assert str(dst) == "11.0.0.0/8"

@@ -1,0 +1,47 @@
+"""Tests for repro.metrics.cdf."""
+
+import pytest
+
+from repro.metrics.cdf import EmpiricalCDF
+
+
+class TestEmpiricalCDF:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF([])
+
+    def test_fraction_at_most(self):
+        cdf = EmpiricalCDF([1.0, 2.0, 3.0, 4.0])
+        assert cdf.fraction_at_most(2.0) == 0.5
+        assert cdf.fraction_at_most(0.5) == 0.0
+        assert cdf.fraction_at_most(4.0) == 1.0
+
+    def test_fraction_at_least(self):
+        cdf = EmpiricalCDF([1.0, 2.0, 3.0, 4.0])
+        assert cdf.fraction_at_least(3.0) == 0.5
+        assert cdf.fraction_at_least(5.0) == 0.0
+
+    def test_quantile(self):
+        cdf = EmpiricalCDF(range(101))
+        assert cdf.quantile(0.5) == pytest.approx(50.0)
+        with pytest.raises(ValueError):
+            cdf.quantile(1.5)
+
+    def test_summaries(self):
+        cdf = EmpiricalCDF([2.0, 4.0, 6.0])
+        assert cdf.mean == pytest.approx(4.0)
+        assert cdf.min == 2.0
+        assert cdf.max == 6.0
+        assert len(cdf) == 3
+
+    def test_points_monotone(self):
+        cdf = EmpiricalCDF([3.0, 1.0, 2.0])
+        points = cdf.points()
+        assert [x for x, _ in points] == [1.0, 2.0, 3.0]
+        fractions = [y for _, y in points]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == 1.0
+
+    def test_series_on_grid(self):
+        cdf = EmpiricalCDF([1.0, 2.0])
+        assert cdf.series([0.0, 1.5, 3.0]) == [0.0, 0.5, 1.0]

@@ -1,0 +1,43 @@
+"""Tests for repro.metrics.classification."""
+
+import pytest
+
+from repro.metrics.classification import ClassificationReport, classify_sets
+
+
+class TestClassifySets:
+    def test_perfect(self):
+        report = classify_sets({1, 2}, {1, 2})
+        assert report.precision == 1.0
+        assert report.recall == 1.0
+        assert report.f1 == 1.0
+
+    def test_counts(self):
+        report = classify_sets({1, 2, 3}, {2, 3, 4})
+        assert report.true_positives == 2
+        assert report.false_positives == 1
+        assert report.false_negatives == 1
+        assert report.precision == pytest.approx(2 / 3)
+        assert report.recall == pytest.approx(2 / 3)
+
+    def test_empty_report_is_precise(self):
+        report = classify_sets({1}, set())
+        assert report.precision == 1.0
+        assert report.recall == 0.0
+
+    def test_nothing_to_find(self):
+        report = classify_sets(set(), set())
+        assert report.recall == 1.0
+        assert report.f1 > 0
+
+    def test_f1_zero_when_no_overlap(self):
+        report = classify_sets({1}, {2})
+        assert report.f1 == 0.0
+
+    def test_merged_micro_average(self):
+        a = classify_sets({1, 2}, {1})
+        b = classify_sets({3}, {3, 4})
+        merged = a.merged(b)
+        assert merged.true_positives == 2
+        assert merged.false_positives == 1
+        assert merged.false_negatives == 1

@@ -1,0 +1,95 @@
+"""Tests for repro.metrics.hidden — the Figure 2 metric."""
+
+import pytest
+
+from repro.hhh.exact_hhh import HHHItem, HHHResult
+from repro.metrics.hidden import hidden_hhh_occurrences, hidden_hhh_unique
+from repro.net.prefix import Prefix
+from repro.windows.schedule import Window
+
+
+def result(*prefixes):
+    items = tuple(HHHItem(p, 100) for p in prefixes)
+    return HHHResult(items, 50.0, 1000)
+
+
+P1 = Prefix(0x0A000000, 24)
+P2 = Prefix(0x0B000000, 24)
+P3 = Prefix(0x0C000000, 24)
+
+
+class TestUnique:
+    def test_no_hidden_when_equal(self):
+        disjoint = [(Window(0, 5, 0), result(P1))]
+        sliding = [(Window(0, 5, 0), result(P1))]
+        report = hidden_hhh_unique(disjoint, sliding)
+        assert report.hidden == 0
+        assert report.total == 1
+        assert report.hidden_fraction == 0.0
+
+    def test_hidden_counted(self):
+        disjoint = [(Window(0, 5, 0), result(P1))]
+        sliding = [
+            (Window(0, 5, 0), result(P1)),
+            (Window(1, 6, 1), result(P2)),
+            (Window(2, 7, 2), result(P3)),
+        ]
+        report = hidden_hhh_unique(disjoint, sliding)
+        assert report.total == 3
+        assert report.hidden == 2
+        assert report.hidden_prefixes == {P2, P3}
+        assert report.hidden_percent == pytest.approx(200 / 3)
+
+    def test_anywhere_in_trace_covers(self):
+        # A prefix found by ANY disjoint window is not hidden, regardless
+        # of when the sliding schedule saw it.
+        disjoint = [(Window(50, 55, 10), result(P1))]
+        sliding = [(Window(0, 5, 0), result(P1))]
+        assert hidden_hhh_unique(disjoint, sliding).hidden == 0
+
+    def test_empty_sliding(self):
+        report = hidden_hhh_unique([], [])
+        assert report.total == 0
+        assert report.hidden_fraction == 0.0
+
+
+class TestOccurrences:
+    def test_overlap_credit(self):
+        # The disjoint window [0,5) overlaps sliding [3,8): its detection
+        # of P1 covers the sliding occurrence.
+        disjoint = [(Window(0, 5, 0), result(P1))]
+        sliding = [(Window(3, 8, 3), result(P1))]
+        report = hidden_hhh_occurrences(disjoint, sliding)
+        assert report.hidden == 0
+        assert report.total == 1
+
+    def test_no_credit_without_overlap(self):
+        disjoint = [(Window(0, 5, 0), result(P1))]
+        sliding = [(Window(10, 15, 10), result(P1))]
+        report = hidden_hhh_occurrences(disjoint, sliding)
+        assert report.hidden == 1
+
+    def test_per_occurrence_counting(self):
+        # The same prefix in two sliding windows counts twice.
+        disjoint = [(Window(0, 5, 0), result())]
+        sliding = [
+            (Window(0, 5, 0), result(P1)),
+            (Window(1, 6, 1), result(P1)),
+        ]
+        report = hidden_hhh_occurrences(disjoint, sliding)
+        assert report.total == 2
+        assert report.hidden == 2
+        assert report.mode == "occurrences"
+
+    def test_mixed_coverage(self):
+        disjoint = [
+            (Window(0, 5, 0), result(P1)),
+            (Window(5, 10, 1), result()),
+        ]
+        sliding = [
+            (Window(2, 7, 2), result(P1, P2)),
+        ]
+        report = hidden_hhh_occurrences(disjoint, sliding)
+        assert report.total == 2
+        assert report.hidden == 1  # P2 never reported by disjoint
+        assert report.hidden_prefixes == {P2}

@@ -1,0 +1,49 @@
+"""Tests for repro.metrics.sets."""
+
+from hypothesis import given, strategies as st
+
+from repro.metrics.sets import jaccard, set_difference_report
+
+int_sets = st.sets(st.integers(min_value=0, max_value=50), max_size=20)
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard({1, 2}, {1, 2}) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard({1}, {2}) == 0.0
+
+    def test_partial(self):
+        assert jaccard({1, 2, 3}, {2, 3, 4}) == 0.5
+
+    def test_both_empty_is_one(self):
+        assert jaccard(set(), set()) == 1.0
+
+    def test_one_empty_is_zero(self):
+        assert jaccard({1}, set()) == 0.0
+
+    @given(int_sets, int_sets)
+    def test_symmetric(self, a, b):
+        assert jaccard(a, b) == jaccard(b, a)
+
+    @given(int_sets, int_sets)
+    def test_bounded(self, a, b):
+        assert 0.0 <= jaccard(a, b) <= 1.0
+
+    @given(int_sets)
+    def test_self_similarity(self, a):
+        assert jaccard(a, a) == 1.0
+
+
+class TestSetDifferenceReport:
+    def test_breakdown(self):
+        report = set_difference_report({1, 2, 3}, {2, 3, 4, 5})
+        assert report.common == 2
+        assert report.only_reference == 1
+        assert report.only_observed == 2
+
+    @given(int_sets, int_sets)
+    def test_jaccard_consistent(self, a, b):
+        report = set_difference_report(a, b)
+        assert report.jaccard == jaccard(a, b)

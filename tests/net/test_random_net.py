@@ -1,0 +1,68 @@
+"""Unit tests for repro.net.random_net."""
+
+import random
+
+import pytest
+
+from repro.net.random_net import RandomAddressSpace
+
+
+class TestRandomAddressSpace:
+    def test_deterministic_under_seed(self):
+        a = RandomAddressSpace(rng=random.Random(5))
+        b = RandomAddressSpace(rng=random.Random(5))
+        assert a.networks == b.networks
+        assert a.subnets == b.subnets
+
+    def test_networks_are_distinct_and_masked(self):
+        space = RandomAddressSpace(num_networks=32, rng=random.Random(1))
+        assert len(set(space.networks)) == 32
+        for net in space.networks:
+            assert net & ~0xFF000000 == 0  # /8 values only
+
+    def test_subnets_nested_in_networks(self):
+        space = RandomAddressSpace(
+            num_networks=8, subnets_per_network=4, rng=random.Random(2)
+        )
+        nets = set(space.networks)
+        for subnet in space.subnets:
+            assert (subnet & 0xFF000000) in nets
+
+    def test_draw_host_lands_in_some_subnet(self):
+        space = RandomAddressSpace(rng=random.Random(3))
+        subnets = set(space.subnets)
+        for _ in range(100):
+            host = space.draw_host()
+            assert (host & 0xFFFFFF00) in subnets
+
+    def test_draw_hosts_count(self):
+        space = RandomAddressSpace(rng=random.Random(4))
+        assert len(space.draw_hosts(17)) == 17
+
+    def test_network_of(self):
+        space = RandomAddressSpace(rng=random.Random(6))
+        host = space.draw_host()
+        assert space.network_of(host).contains_address(host)
+        assert space.network_of(host).length == 8
+
+    def test_prefix_accessors(self):
+        space = RandomAddressSpace(
+            num_networks=3, subnets_per_network=2, rng=random.Random(7)
+        )
+        assert len(space.network_prefixes()) == 3
+        assert all(p.length == 8 for p in space.network_prefixes())
+        assert all(p.length == 24 for p in space.subnet_prefixes())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomAddressSpace(network_length=24, subnet_length=8)
+        with pytest.raises(ValueError):
+            RandomAddressSpace(num_networks=0)
+
+    def test_subnet_count_capped_by_space(self):
+        # 4 subnets requested inside /30-sized room (2 bits) -> capped at 4.
+        space = RandomAddressSpace(
+            num_networks=1, network_length=22, subnets_per_network=10,
+            subnet_length=24, rng=random.Random(8),
+        )
+        assert len(space.subnets) == 4

@@ -1,0 +1,58 @@
+"""Unit tests for repro.packet.flowkey."""
+
+from repro.packet.flowkey import (
+    FlowKey,
+    destination_key,
+    five_tuple_key,
+    source_dest_key,
+    source_key,
+)
+from repro.packet.model import Packet
+
+
+def pkt(**kw):
+    base = dict(
+        ts=0.0, src=0x0A000001, dst=0x0B000002, length=64,
+        sport=1234, dport=80, proto=6,
+    )
+    base.update(kw)
+    return Packet(**base)
+
+
+class TestKeyFuncs:
+    def test_source_key(self):
+        assert source_key(pkt()) == 0x0A000001
+
+    def test_destination_key(self):
+        assert destination_key(pkt()) == 0x0B000002
+
+    def test_source_dest_key_packs_both(self):
+        key = source_dest_key(pkt())
+        assert key >> 32 == 0x0A000001
+        assert key & 0xFFFFFFFF == 0x0B000002
+
+    def test_five_tuple_key_distinguishes_ports(self):
+        assert five_tuple_key(pkt(sport=1)) != five_tuple_key(pkt(sport=2))
+
+    def test_five_tuple_key_same_for_same_flow(self):
+        assert five_tuple_key(pkt(ts=0.0)) == five_tuple_key(pkt(ts=9.0))
+
+
+class TestFlowKey:
+    def test_of(self):
+        fk = FlowKey.of(pkt())
+        assert fk.src == 0x0A000001
+        assert fk.dport == 80
+
+    def test_packed_unique_per_field(self):
+        base = FlowKey.of(pkt())
+        assert base.packed() != FlowKey.of(pkt(proto=17)).packed()
+        assert base.packed() != FlowKey.of(pkt(dst=0x0B000003)).packed()
+
+    def test_str_contains_addresses(self):
+        text = str(FlowKey.of(pkt()))
+        assert "10.0.0.1" in text and "11.0.0.2" in text
+
+    def test_orderable_and_hashable(self):
+        keys = sorted({FlowKey.of(pkt(sport=p)) for p in (3, 1, 2)})
+        assert len(keys) == 3

@@ -1,0 +1,49 @@
+"""Unit tests for repro.packet.model."""
+
+import pytest
+
+from repro.packet.model import PROTO_TCP, PROTO_UDP, Packet
+
+
+def make(**kw):
+    base = dict(ts=1.0, src=0x0A000001, dst=0x0B000002, length=100)
+    base.update(kw)
+    return Packet(**base)
+
+
+class TestPacket:
+    def test_defaults(self):
+        pkt = make()
+        assert pkt.proto == PROTO_TCP
+        assert pkt.sport == 0 and pkt.dport == 0
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            make().length = 5  # type: ignore[misc]
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("length", -1),
+            ("src", 1 << 32),
+            ("dst", -5),
+            ("sport", 70000),
+            ("dport", -1),
+            ("proto", 300),
+        ],
+    )
+    def test_validation(self, field, value):
+        with pytest.raises(ValueError):
+            make(**{field: value})
+
+    def test_shifted(self):
+        pkt = make(ts=2.5)
+        moved = pkt.shifted(1.5)
+        assert moved.ts == 4.0
+        assert moved.src == pkt.src and moved.length == pkt.length
+
+    def test_with_length(self):
+        assert make().with_length(1500).length == 1500
+
+    def test_udp_proto_constant(self):
+        assert make(proto=PROTO_UDP).proto == 17

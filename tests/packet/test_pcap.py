@@ -1,0 +1,94 @@
+"""Round-trip and format tests for repro.packet.pcap."""
+
+import struct
+
+import pytest
+
+from repro.packet.model import PROTO_ICMP, PROTO_TCP, PROTO_UDP, Packet
+from repro.packet.pcap import (
+    PCAP_MAGIC,
+    PcapReader,
+    PcapWriter,
+    read_pcap,
+    write_pcap,
+)
+
+
+def sample_packets():
+    return [
+        Packet(ts=0.000001, src=0x0A000001, dst=0x0B000001, length=64,
+               sport=1000, dport=80, proto=PROTO_TCP),
+        Packet(ts=0.5, src=0x0A000002, dst=0x0B000002, length=1500,
+               sport=2000, dport=53, proto=PROTO_UDP),
+        Packet(ts=1.25, src=0xC0A80101, dst=0x08080808, length=84,
+               proto=PROTO_ICMP),
+    ]
+
+
+class TestRoundTrip:
+    def test_fields_preserved(self, tmp_path):
+        path = tmp_path / "t.pcap"
+        packets = sample_packets()
+        assert write_pcap(path, packets) == len(packets)
+        back = read_pcap(path)
+        assert len(back) == len(packets)
+        for orig, rt in zip(packets, back):
+            assert rt.src == orig.src
+            assert rt.dst == orig.dst
+            assert rt.length == max(orig.length, 14 + 20 + (4 if orig.proto in (6, 17) else 0))
+            assert rt.proto == orig.proto
+            assert abs(rt.ts - orig.ts) < 1e-5
+            if orig.proto in (PROTO_TCP, PROTO_UDP):
+                assert (rt.sport, rt.dport) == (orig.sport, orig.dport)
+
+    def test_trace_roundtrip(self, tmp_path, tiny_trace):
+        path = tmp_path / "trace.pcap"
+        subset = [tiny_trace.packet_at(i) for i in range(0, min(200, len(tiny_trace)))]
+        write_pcap(path, subset)
+        back = read_pcap(path)
+        assert [p.src for p in back] == [p.src for p in subset]
+        assert [p.length for p in back] == [p.length for p in subset]
+
+
+class TestFormat:
+    def test_magic_and_linktype(self, tmp_path):
+        path = tmp_path / "m.pcap"
+        write_pcap(path, sample_packets()[:1])
+        raw = path.read_bytes()
+        magic, major, minor = struct.unpack("<IHH", raw[:8])
+        assert magic == PCAP_MAGIC
+        assert (major, minor) == (2, 4)
+        linktype = struct.unpack("<I", raw[20:24])[0]
+        assert linktype == 1  # Ethernet
+
+    def test_reader_rejects_non_pcap(self, tmp_path):
+        path = tmp_path / "bad.pcap"
+        path.write_bytes(b"not a pcap file at all, definitely")
+        with pytest.raises(ValueError):
+            list(PcapReader(path))
+
+    def test_reader_rejects_truncated_header(self, tmp_path):
+        path = tmp_path / "short.pcap"
+        path.write_bytes(b"\xd4\xc3\xb2\xa1")
+        with pytest.raises(ValueError):
+            list(PcapReader(path))
+
+    def test_truncated_record_stops_iteration(self, tmp_path):
+        path = tmp_path / "cut.pcap"
+        write_pcap(path, sample_packets())
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 7])  # cut into the last record
+        back = read_pcap(path)
+        assert len(back) == 2
+
+    def test_writer_outside_context_raises(self, tmp_path):
+        writer = PcapWriter(tmp_path / "x.pcap")
+        with pytest.raises(RuntimeError):
+            writer.write(sample_packets()[0])
+
+    def test_microsecond_carry(self, tmp_path):
+        # A timestamp whose fractional part rounds up to a full second.
+        path = tmp_path / "carry.pcap"
+        write_pcap(path, [Packet(ts=1.9999999, src=1, dst=2, length=60)])
+        back = read_pcap(path)
+        assert abs(back[0].ts - 2.0) < 1e-5

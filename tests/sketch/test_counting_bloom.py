@@ -1,0 +1,50 @@
+"""Tests for repro.sketch.counting_bloom."""
+
+import random
+
+import pytest
+
+from repro.sketch.counting_bloom import CountingBloomFilter
+
+
+class TestCountingBloom:
+    def test_add_and_membership(self):
+        cb = CountingBloomFilter(cells=256, hashes=3)
+        cb.add(5)
+        assert 5 in cb
+        assert cb.estimate(5) >= 1
+
+    def test_remove_restores_absence(self):
+        cb = CountingBloomFilter(cells=256, hashes=3)
+        cb.add(5, 3)
+        cb.remove(5, 3)
+        assert 5 not in cb
+
+    def test_estimate_never_underestimates(self):
+        rng = random.Random(0)
+        cb = CountingBloomFilter(cells=512, hashes=4)
+        truth: dict[int, int] = {}
+        for _ in range(2000):
+            key, w = rng.randrange(300), rng.randrange(1, 10)
+            cb.add(key, w)
+            truth[key] = truth.get(key, 0) + w
+        for key, count in truth.items():
+            assert cb.estimate(key) >= count
+
+    def test_remove_floors_at_zero(self):
+        cb = CountingBloomFilter(cells=64, hashes=2)
+        cb.add(1, 1)
+        cb.remove(1, 100)
+        assert cb.estimate(1) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CountingBloomFilter(cells=0)
+        cb = CountingBloomFilter()
+        with pytest.raises(ValueError):
+            cb.add(1, -1)
+        with pytest.raises(ValueError):
+            cb.remove(1, -1)
+
+    def test_num_counters(self):
+        assert CountingBloomFilter(cells=100).num_counters == 100

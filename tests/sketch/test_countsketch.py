@@ -1,0 +1,69 @@
+"""Tests for repro.sketch.countsketch."""
+
+import random
+
+import pytest
+
+from repro.sketch.countsketch import CountSketch
+
+
+class TestCountSketch:
+    def test_single_key_exact(self):
+        cs = CountSketch(width=64, rows=5)
+        cs.update(9, 12)
+        assert cs.estimate(9) == pytest.approx(12)
+
+    def test_two_sided_errors(self):
+        # Unlike Count-Min, Count-Sketch errs in both directions: on a
+        # colliding workload some estimates fall below the true counts.
+        rng = random.Random(0)
+        truth: dict[int, int] = {}
+        cs = CountSketch(width=255, rows=5)
+        for _ in range(5000):
+            key, w = rng.randrange(400), rng.randrange(1, 10)
+            cs.update(key, w)
+            truth[key] = truth.get(key, 0) + w
+        errors = [cs.estimate(k) - c for k, c in truth.items()]
+        assert any(e < 0 for e in errors)
+        assert any(e > 0 for e in errors)
+
+    def test_tighter_than_countmin_on_skew(self):
+        # On a skewed stream the heavy key's Count-Sketch estimate is
+        # closer to truth than Count-Min's (whose error is all positive).
+        from repro.sketch.countmin import CountMinSketch
+
+        rng = random.Random(7)
+        cs = CountSketch(width=63, rows=5)
+        cm = CountMinSketch(width=63, rows=5)
+        truth: dict[int, int] = {}
+        stream = [(77, 10)] * 2000 + [
+            (rng.randrange(3000), rng.randrange(1, 10)) for _ in range(8000)
+        ]
+        rng.shuffle(stream)
+        for key, w in stream:
+            cs.update(key, w)
+            cm.update(key, w)
+            truth[key] = truth.get(key, 0) + w
+        cs_err = abs(cs.estimate(77) - truth[77])
+        cm_err = abs(cm.estimate(77) - truth[77])
+        assert cs_err <= cm_err
+
+    def test_requires_odd_rows(self):
+        with pytest.raises(ValueError):
+            CountSketch(rows=4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CountSketch(width=0)
+
+    def test_heavy_key_recovered_on_skew(self):
+        rng = random.Random(1)
+        cs = CountSketch(width=128, rows=5)
+        for _ in range(3000):
+            cs.update(rng.randrange(1000), 1)
+        for _ in range(1000):
+            cs.update(77, 10)
+        assert cs.estimate(77) > 5000
+
+    def test_num_counters(self):
+        assert CountSketch(width=100, rows=5).num_counters == 500

@@ -1,0 +1,83 @@
+"""Tests for repro.sketch.hashpipe."""
+
+import random
+
+import pytest
+
+from repro.sketch.hashpipe import HashPipe
+
+
+class TestHashPipe:
+    def test_single_key_counted(self):
+        hp = HashPipe(stage_slots=16, stages=3)
+        for _ in range(5):
+            hp.update(42, 10)
+        assert hp.estimate(42) == 50
+
+    def test_heavy_keys_survive(self):
+        rng = random.Random(0)
+        hp = HashPipe(stage_slots=128, stages=4)
+        for _ in range(8000):
+            hp.update(rng.randrange(2000), 1)
+        for _ in range(3000):
+            hp.update(7, 10)
+        report = hp.query(0.2 * hp.total)
+        assert 7 in report
+
+    def test_estimate_sums_across_stages(self):
+        # A key can be split across stages after evictions; the estimate
+        # must collect all fragments, so it is >= any single stage's view.
+        rng = random.Random(1)
+        hp = HashPipe(stage_slots=8, stages=4)
+        truth: dict[int, int] = {}
+        for _ in range(3000):
+            key = rng.randrange(100)
+            hp.update(key, 1)
+            truth[key] = truth.get(key, 0) + 1
+        # HashPipe never overestimates: all counted mass belongs to the key.
+        for key, count in truth.items():
+            assert hp.estimate(key) <= count
+
+    def test_total_mass_conserved_or_dropped(self):
+        # Mass in the tables never exceeds the stream total (evicted mass
+        # at the pipeline end is dropped, never duplicated).
+        rng = random.Random(2)
+        hp = HashPipe(stage_slots=16, stages=2)
+        for _ in range(2000):
+            hp.update(rng.randrange(500), 3)
+        table_mass = sum(hp.query(0.0).values())
+        assert table_mass <= hp.total
+
+    def test_query_threshold_filters(self):
+        hp = HashPipe(stage_slots=64, stages=2)
+        hp.update(1, 100)
+        hp.update(2, 5)
+        report = hp.query(50)
+        assert 1 in report and 2 not in report
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HashPipe(stage_slots=0)
+        with pytest.raises(ValueError):
+            HashPipe(stages=0)
+        with pytest.raises(ValueError):
+            HashPipe().update(1, -1)
+
+    def test_num_counters(self):
+        assert HashPipe(stage_slots=64, stages=4).num_counters == 256
+
+    def test_accuracy_improves_with_stages(self):
+        rng = random.Random(3)
+        stream = [rng.randrange(400) for _ in range(6000)]
+        truth: dict[int, int] = {}
+        for key in stream:
+            truth[key] = truth.get(key, 0) + 1
+        heavy = {k for k, c in truth.items() if c >= 0.01 * len(stream)}
+        recalls = []
+        for stages in (1, 4):
+            hp = HashPipe(stage_slots=48, stages=stages)
+            for key in stream:
+                hp.update(key, 1)
+            report = hp.query(0.01 * len(stream))
+            recalls.append(len(heavy & set(report)) / max(1, len(heavy)))
+        assert recalls[1] >= recalls[0]

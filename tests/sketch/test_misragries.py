@@ -1,0 +1,69 @@
+"""Tests for repro.sketch.misragries."""
+
+import random
+
+import pytest
+
+from repro.sketch.misragries import MisraGries
+
+
+class TestMisraGries:
+    def test_exact_under_capacity(self):
+        mg = MisraGries(capacity=10)
+        mg.update(1, 5)
+        mg.update(2, 3)
+        assert mg.estimate(1) == 5
+        assert mg.estimate(2) == 3
+
+    def test_underestimates_only(self):
+        rng = random.Random(0)
+        mg = MisraGries(capacity=32)
+        truth: dict[int, int] = {}
+        for _ in range(5000):
+            key, w = rng.randrange(300), rng.randrange(1, 30)
+            mg.update(key, w)
+            truth[key] = truth.get(key, 0) + w
+        for key, count in truth.items():
+            assert mg.estimate(key) <= count
+
+    def test_error_bound(self):
+        # Underestimate error <= N / (capacity + 1).
+        rng = random.Random(1)
+        capacity = 32
+        mg = MisraGries(capacity=capacity)
+        truth: dict[int, int] = {}
+        for _ in range(5000):
+            key, w = rng.randrange(300), rng.randrange(1, 30)
+            mg.update(key, w)
+            truth[key] = truth.get(key, 0) + w
+        bound = mg.total / (capacity + 1)
+        for key, count in truth.items():
+            assert count - mg.estimate(key) <= bound + 1e-9
+
+    def test_decrement_frees_slots(self):
+        mg = MisraGries(capacity=2)
+        mg.update(1, 3)
+        mg.update(2, 3)
+        mg.update(3, 5)  # decrements all by 3, inserts 3 with remainder 2
+        assert mg.estimate(1) == 0
+        assert mg.estimate(2) == 0
+        assert mg.estimate(3) == 2
+
+    def test_query(self):
+        mg = MisraGries(capacity=8)
+        mg.update(1, 100)
+        mg.update(2, 5)
+        assert set(mg.query(50)) == {1}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MisraGries(0)
+        with pytest.raises(ValueError):
+            MisraGries(4).update(1, -2)
+
+    def test_len_and_items(self):
+        mg = MisraGries(capacity=4)
+        mg.update(1, 1)
+        mg.update(2, 2)
+        assert len(mg) == 2
+        assert mg.items() == {1: 1, 2: 2}

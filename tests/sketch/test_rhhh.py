@@ -1,0 +1,97 @@
+"""Tests for repro.sketch.rhhh."""
+
+import random
+
+import pytest
+
+from repro.hierarchy.domain import SourceHierarchy
+from repro.net.prefix import Prefix
+from repro.sketch.rhhh import RHHH
+
+
+def feed(detector, stream):
+    for key, w in stream:
+        detector.update(key, w)
+
+
+class TestFullUpdate:
+    """sample_levels=False is deterministic per-level Space-Saving."""
+
+    def test_heavy_leaf_detected(self):
+        det = RHHH(counters_per_level=64, sample_levels=False)
+        feed(det, [(0x0A000001, 10)] * 100 + [(0x0B000000 + i, 1) for i in range(200)])
+        result = det.query_hhh(0.5 * det.total)
+        assert Prefix(0x0A000001, 32) in result.prefixes
+
+    def test_aggregate_detected_at_upper_level(self):
+        det = RHHH(counters_per_level=64, sample_levels=False)
+        # 50 distinct hosts inside one /24, none heavy alone.
+        stream = [(0x0A000000 + i, 10) for i in range(50)] * 4
+        stream += [(0x0B000000 + i, 1) for i in range(100)]
+        feed(det, stream)
+        result = det.query_hhh(0.5 * det.total)
+        lengths = {p.length for p in result.prefixes}
+        assert 32 not in lengths
+        assert Prefix(0x0A000000, 24) in result.prefixes
+
+    def test_conditioning_discounts_children(self):
+        det = RHHH(counters_per_level=64, sample_levels=False)
+        feed(det, [(0x0A000001, 100)])
+        result = det.query_hhh(50)
+        # Only the leaf; ancestors are fully discounted.
+        assert result.prefixes == {Prefix(0x0A000001, 32)}
+
+    def test_update_count_accounting(self):
+        det = RHHH(sample_levels=False)
+        feed(det, [(1, 1)] * 10)
+        assert det.updates == 10 * det.hierarchy.num_levels
+
+
+class TestSampledUpdate:
+    def test_one_update_per_packet(self):
+        det = RHHH(seed=1, sample_levels=True)
+        feed(det, [(1, 1)] * 50)
+        assert det.updates == 50
+
+    def test_estimates_scale_up(self):
+        det = RHHH(counters_per_level=128, seed=2, sample_levels=True)
+        feed(det, [(0x0A000001, 10)] * 2000)
+        estimate = det.estimate(0x0A000001, 0)
+        assert estimate == pytest.approx(20000, rel=0.35)
+
+    def test_heavy_hitter_still_found(self):
+        rng = random.Random(3)
+        det = RHHH(counters_per_level=128, seed=3, sample_levels=True)
+        stream = [(0x0A000001, 10)] * 3000
+        stream += [(rng.randrange(1 << 32), 1) for _ in range(3000)]
+        rng.shuffle(stream)
+        feed(det, stream)
+        result = det.query_hhh(0.3 * det.total)
+        assert Prefix(0x0A000001, 32) in result.prefixes
+
+    def test_deterministic_under_seed(self):
+        a, b = RHHH(seed=9), RHHH(seed=9)
+        stream = [(i % 37, 1) for i in range(500)]
+        feed(a, stream)
+        feed(b, stream)
+        assert a.query_hhh(10).prefixes == b.query_hhh(10).prefixes
+
+
+class TestInterface:
+    def test_query_leaf_protocol(self):
+        det = RHHH(sample_levels=False)
+        feed(det, [(5, 100)])
+        report = det.query(50)
+        assert 5 in report
+
+    def test_zero_threshold(self):
+        det = RHHH()
+        assert len(det.query_hhh(0)) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RHHH(counters_per_level=0)
+
+    def test_num_counters(self):
+        det = RHHH(counters_per_level=100)
+        assert det.num_counters == 100 * SourceHierarchy().num_levels

@@ -1,0 +1,78 @@
+"""Tests for repro.sketch.univmon."""
+
+import math
+import random
+
+import pytest
+
+from repro.sketch.univmon import UnivMon
+
+
+class TestSampling:
+    def test_level_zero_sees_everything(self):
+        um = UnivMon(levels=4, width=128)
+        for key in range(200):
+            assert um._level_of(key) >= 0
+
+    def test_levels_halve_roughly(self):
+        um = UnivMon(levels=6, width=128)
+        counts = [0] * 6
+        for key in range(20000):
+            counts[um._level_of(key)] += 1
+        # Level i holds ~ 2^-(i+1) of keys (geometric).
+        assert counts[0] > counts[1] > counts[2]
+        assert counts[0] == pytest.approx(10000, rel=0.15)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UnivMon(levels=0)
+
+
+class TestHeavyHitters:
+    def test_heavy_key_reported(self):
+        rng = random.Random(0)
+        um = UnivMon(levels=6, width=512, top_k=32)
+        for _ in range(4000):
+            um.update(rng.randrange(2000), 1)
+        for _ in range(2000):
+            um.update(7, 5)
+        report = um.query(0.2 * um.total)
+        assert 7 in report
+
+    def test_estimate_close_for_heavy_key(self):
+        um = UnivMon(levels=4, width=512)
+        for _ in range(1000):
+            um.update(42, 10)
+        assert um.estimate(42) == pytest.approx(10000, rel=0.2)
+
+
+class TestGSum:
+    def test_cardinality_order_of_magnitude(self):
+        rng = random.Random(1)
+        um = UnivMon(levels=8, width=512, top_k=128)
+        keys = [rng.randrange(1 << 30) for _ in range(300)]
+        for key in keys:
+            for _ in range(5):
+                um.update(key, 1)
+        estimate = um.cardinality()
+        distinct = len(set(keys))
+        assert 0.2 * distinct < estimate < 5 * distinct
+
+    def test_entropy_bounds(self):
+        # Uniform over 64 keys: entropy ~ 6 bits; point mass: ~ 0 bits.
+        um_uniform = UnivMon(levels=6, width=512, top_k=128)
+        for i in range(6400):
+            um_uniform.update(i % 64, 1)
+        um_point = UnivMon(levels=6, width=512, top_k=128)
+        for _ in range(6400):
+            um_point.update(1, 1)
+        assert um_point.entropy() < 1.0
+        assert um_uniform.entropy() > 3.0
+        assert um_uniform.entropy() <= math.log2(6400) + 1
+
+    def test_empty_entropy(self):
+        assert UnivMon().entropy() == 0.0
+
+    def test_num_counters(self):
+        um = UnivMon(levels=2, width=100, rows=5)
+        assert um.num_counters == 1000

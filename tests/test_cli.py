@@ -1,0 +1,56 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_subcommands_parse(self):
+        parser = build_parser()
+        for argv in (
+            ["stats"],
+            ["fig2", "--days", "1"],
+            ["fig3"],
+            ["sec3"],
+            ["pcap", "--out", "x.pcap"],
+        ):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+
+class TestCommands:
+    def test_stats(self, capsys):
+        assert main(["stats", "--duration", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "packets" in out
+
+    def test_fig2_small(self, capsys):
+        assert main([
+            "fig2", "--duration", "10", "--days", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "hidden_%" in out
+        assert "max hidden" in out
+
+    def test_fig3_small(self, capsys):
+        assert main(["fig3", "--duration", "25"]) == 0
+        out = capsys.readouterr().out
+        assert "delta_ms" in out
+
+    def test_sec3_small(self, capsys):
+        assert main(["sec3", "--duration", "15", "--window", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "td-hhh" in out
+
+    def test_pcap_export(self, tmp_path, capsys):
+        out_file = tmp_path / "out.pcap"
+        assert main([
+            "pcap", "--out", str(out_file), "--duration", "2",
+        ]) == 0
+        assert out_file.exists()
+        assert "wrote" in capsys.readouterr().out

@@ -1,0 +1,108 @@
+"""Unit tests for repro.trace.container."""
+
+import numpy as np
+import pytest
+
+from repro.packet.model import Packet
+from repro.trace.container import Trace
+
+
+def build(ts, srcs, lengths):
+    n = len(ts)
+    return Trace(
+        np.array(ts, dtype=np.float64),
+        np.array(srcs, dtype=np.uint32),
+        np.zeros(n, dtype=np.uint32),
+        np.array(lengths, dtype=np.int64),
+    )
+
+
+class TestConstruction:
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            build([2.0, 1.0], [1, 2], [10, 10])
+
+    def test_rejects_mismatched_columns(self):
+        with pytest.raises(ValueError):
+            Trace(
+                np.array([1.0]),
+                np.array([1, 2], dtype=np.uint32),
+                np.array([1], dtype=np.uint32),
+                np.array([1], dtype=np.int64),
+            )
+
+    def test_empty(self):
+        t = Trace.empty()
+        assert len(t) == 0
+        assert t.total_bytes == 0
+        assert t.duration == 0.0
+
+    def test_from_packets_sorts(self):
+        pkts = [
+            Packet(ts=2.0, src=2, dst=0, length=20),
+            Packet(ts=1.0, src=1, dst=0, length=10),
+        ]
+        t = Trace.from_packets(pkts)
+        assert list(t.ts) == [1.0, 2.0]
+        assert list(t.src) == [1, 2]
+
+
+class TestProperties:
+    def test_basic(self):
+        t = build([1.0, 2.0, 3.0], [1, 2, 1], [10, 20, 30])
+        assert len(t) == 3
+        assert t.start_time == 1.0
+        assert t.end_time == 3.0
+        assert t.duration == 2.0
+        assert t.total_bytes == 60
+
+
+class TestSlicing:
+    def test_half_open_semantics(self):
+        t = build([1.0, 2.0, 3.0], [1, 2, 3], [10, 10, 10])
+        s = t.slice_time(1.0, 3.0)
+        assert list(s.src) == [1, 2]
+
+    def test_bytes_in_range(self):
+        t = build([0.0, 1.0, 2.0], [1, 1, 1], [5, 7, 9])
+        assert t.bytes_in_range(0.5, 2.5) == 16
+
+    def test_bytes_by_key_aggregates(self):
+        t = build([0.0, 1.0, 2.0, 3.0], [7, 8, 7, 9], [10, 20, 30, 40])
+        counts = t.bytes_by_key(0.0, 4.0)
+        assert counts == {7: 40, 8: 20, 9: 40}
+
+    def test_bytes_by_key_dst(self):
+        t = Trace(
+            np.array([0.0, 1.0]),
+            np.array([1, 2], dtype=np.uint32),
+            np.array([5, 5], dtype=np.uint32),
+            np.array([10, 20], dtype=np.int64),
+        )
+        assert t.bytes_by_key(0.0, 2.0, key="dst") == {5: 30}
+
+    def test_bytes_by_key_rejects_unknown_column(self):
+        t = build([0.0], [1], [10])
+        with pytest.raises(ValueError):
+            t.bytes_by_key(0.0, 1.0, key="sport")
+
+    def test_slice_preserves_all_columns(self, tiny_trace):
+        s = tiny_trace.slice_time(1.0, 2.0)
+        assert len(s.sport) == len(s) == len(s.proto)
+
+
+class TestIteration:
+    def test_packet_at_matches_columns(self, tiny_trace):
+        pkt = tiny_trace.packet_at(0)
+        assert pkt.ts == tiny_trace.ts[0]
+        assert pkt.src == int(tiny_trace.src[0])
+        assert pkt.length == int(tiny_trace.length[0])
+
+    def test_iteration_in_time_order(self):
+        t = build([1.0, 2.0], [1, 2], [10, 20])
+        pkts = list(t)
+        assert [p.ts for p in pkts] == [1.0, 2.0]
+
+    def test_repr_contains_counts(self):
+        t = build([1.0], [1], [10])
+        assert "n=1" in repr(t)

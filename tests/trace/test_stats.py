@@ -1,0 +1,52 @@
+"""Tests for repro.trace.stats."""
+
+import numpy as np
+import pytest
+
+from repro.trace.container import Trace
+from repro.trace.stats import TraceStats, compute_stats, gini
+
+
+class TestGini:
+    def test_equal_values_zero(self):
+        assert gini(np.array([5.0, 5.0, 5.0, 5.0])) == pytest.approx(0.0, abs=1e-9)
+
+    def test_concentrated_near_one(self):
+        values = np.array([0.0] * 99 + [100.0])
+        assert gini(values) > 0.95
+
+    def test_empty_and_zero(self):
+        assert gini(np.array([])) == 0.0
+        assert gini(np.zeros(5)) == 0.0
+
+    def test_scale_invariant(self):
+        v = np.array([1.0, 2.0, 3.0, 10.0])
+        assert gini(v) == pytest.approx(gini(v * 100))
+
+
+class TestComputeStats:
+    def test_empty_trace(self):
+        stats = compute_stats(Trace.empty())
+        assert stats.num_packets == 0
+        assert stats.total_bytes == 0
+
+    def test_basic_counts(self, tiny_trace):
+        stats = compute_stats(tiny_trace)
+        assert stats.num_packets == len(tiny_trace)
+        assert stats.total_bytes == tiny_trace.total_bytes
+        assert stats.distinct_sources >= 1
+        assert stats.mean_rate_pps > 0
+        assert 40 <= stats.mean_packet_bytes <= 1500
+
+    def test_shares_ordered(self, tiny_trace):
+        stats = compute_stats(tiny_trace)
+        assert 0 < stats.top1_source_share <= stats.top10_source_share <= 1.0
+
+    def test_synthetic_trace_is_skewed(self, small_trace):
+        stats = compute_stats(small_trace)
+        assert stats.gini_coefficient > 0.5
+
+    def test_to_lines(self, tiny_trace):
+        lines = compute_stats(tiny_trace).to_lines()
+        assert len(lines) == 10
+        assert any("packets" in line for line in lines)

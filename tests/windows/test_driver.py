@@ -1,0 +1,88 @@
+"""Tests for repro.windows.driver."""
+
+import pytest
+
+from repro.sketch.spacesaving import SpaceSaving
+from repro.trace.container import Trace
+from repro.windows.driver import WindowedDetectorDriver
+from repro.packet.model import Packet
+
+
+def trace_from(points):
+    """points: (ts, src, length) triples."""
+    return Trace.from_packets(
+        Packet(ts=ts, src=src, dst=0, length=length) for ts, src, length in points
+    )
+
+
+class ExactCounter:
+    """A trivially exact streaming detector for driver tests."""
+
+    def __init__(self):
+        self.counts = {}
+
+    def update(self, key, weight):
+        self.counts[key] = self.counts.get(key, 0) + weight
+
+    def query(self, threshold):
+        return {k: float(v) for k, v in self.counts.items() if v >= threshold}
+
+
+class TestDriver:
+    def test_resets_at_boundaries(self):
+        # Source 1 sends 60 in window 0, source 2 sends 60 in window 1;
+        # with resets neither window sees the other's traffic.
+        trace = trace_from(
+            [(0.1, 1, 60), (0.2, 3, 40), (1.2, 2, 60), (1.3, 3, 40), (2.5, 9, 1)]
+        )
+        driver = WindowedDetectorDriver(ExactCounter, window_size=1.0, phi=0.5)
+        reports = list(driver.run(trace))
+        assert len(reports) == 2
+        (w0, r0), (w1, r1) = reports
+        assert set(r0) == {1}
+        assert set(r1) == {2}
+        assert w0.index == 0 and w1.index == 1
+
+    def test_threshold_is_relative_to_window_bytes(self):
+        # Window bytes = 100, phi = 0.5 -> threshold 50.
+        trace = trace_from([(0.2, 1, 50), (0.3, 2, 49), (0.4, 3, 1), (1.5, 9, 1)])
+        driver = WindowedDetectorDriver(ExactCounter, window_size=1.0, phi=0.5)
+        ((_, report),) = list(driver.run(trace))
+        assert set(report) == {1}
+
+    def test_empty_windows_skipped_cleanly(self):
+        # A gap longer than one window: the empty middle window reports {}.
+        trace = trace_from([(0.1, 1, 10), (2.5, 2, 10), (3.8, 9, 1)])
+        driver = WindowedDetectorDriver(ExactCounter, window_size=1.0, phi=0.5)
+        reports = list(driver.run(trace))
+        assert len(reports) == 3
+        assert reports[1][1] == {}
+
+    def test_custom_key_func(self):
+        trace = trace_from([(0.2, 1, 100), (1.5, 9, 1)])
+        driver = WindowedDetectorDriver(
+            ExactCounter, window_size=1.0,
+            key_func=lambda pkt: pkt.dst, phi=0.5,
+        )
+        ((_, report),) = list(driver.run(trace))
+        assert set(report) == {0}  # all packets share dst 0
+
+    def test_empty_trace(self):
+        driver = WindowedDetectorDriver(ExactCounter, window_size=1.0)
+        assert list(driver.run(Trace.empty())) == []
+
+    def test_works_with_real_sketch(self, tiny_trace):
+        driver = WindowedDetectorDriver(
+            lambda: SpaceSaving(64), window_size=1.0, phi=0.1
+        )
+        reports = list(driver.run(tiny_trace))
+        assert reports
+        for window, report in reports:
+            assert window.length == pytest.approx(1.0)
+            assert all(isinstance(v, float) for v in report.values())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WindowedDetectorDriver(ExactCounter, window_size=0.0)
+        with pytest.raises(ValueError):
+            WindowedDetectorDriver(ExactCounter, window_size=1.0, phi=0.0)

@@ -1,0 +1,42 @@
+"""Tests for repro.windows.schedule."""
+
+import pytest
+
+from repro.windows.schedule import Window, align_start
+
+
+class TestWindow:
+    def test_length(self):
+        assert Window(1.0, 3.5).length == 2.5
+
+    def test_contains_half_open(self):
+        w = Window(1.0, 2.0)
+        assert w.contains(1.0)
+        assert w.contains(1.999)
+        assert not w.contains(2.0)
+        assert not w.contains(0.999)
+
+    def test_overlap(self):
+        a, b = Window(0.0, 5.0), Window(3.0, 8.0)
+        assert a.overlap(b) == pytest.approx(2.0)
+        assert b.overlap(a) == pytest.approx(2.0)
+        assert a.overlap(Window(5.0, 6.0)) == 0.0
+
+    def test_rejects_negative_length(self):
+        with pytest.raises(ValueError):
+            Window(2.0, 1.0)
+
+    def test_zero_length_allowed(self):
+        assert Window(1.0, 1.0).length == 0.0
+
+    def test_str(self):
+        assert "#3" in str(Window(0.0, 1.0, 3))
+
+    def test_ordering(self):
+        assert Window(0.0, 1.0) < Window(1.0, 2.0)
+
+
+def test_align_start_validates():
+    assert align_start(1.0, 2.0) == (1.0, 2.0)
+    with pytest.raises(ValueError):
+        align_start(2.0, 2.0)

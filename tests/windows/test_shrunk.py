@@ -1,0 +1,38 @@
+"""Tests for repro.windows.shrunk (the Figure 1c model)."""
+
+import pytest
+
+from repro.windows.shrunk import NestedShrunkWindows
+
+
+class TestNestedShrunkWindows:
+    def test_pairs_share_start(self):
+        pairs = list(NestedShrunkWindows(10.0, 0.1).over_span(0.0, 30.0))
+        assert len(pairs) == 3
+        for base, shrunk in pairs:
+            assert shrunk.t0 == base.t0
+            assert shrunk.t1 == pytest.approx(base.t1 - 0.1)
+            assert shrunk.index == base.index
+
+    def test_shrunk_nested_in_baseline(self):
+        for base, shrunk in NestedShrunkWindows(5.0, 0.05).over_span(0.0, 20.0):
+            assert base.t0 <= shrunk.t0 and shrunk.t1 <= base.t1
+            assert base.overlap(shrunk) == pytest.approx(shrunk.length)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NestedShrunkWindows(0.0, 0.1)
+        with pytest.raises(ValueError):
+            NestedShrunkWindows(5.0, 0.0)
+        with pytest.raises(ValueError):
+            NestedShrunkWindows(5.0, 5.0)  # delta == size
+
+    def test_over_trace(self, tiny_trace):
+        pairs = list(NestedShrunkWindows(1.0, 0.01).over_trace(tiny_trace))
+        assert pairs
+        assert pairs[0][0].t0 == tiny_trace.start_time
+
+    def test_over_empty_trace(self):
+        from repro.trace.container import Trace
+
+        assert list(NestedShrunkWindows(1.0, 0.01).over_trace(Trace.empty())) == []
