@@ -1,0 +1,44 @@
+"""Batch vs scalar update throughput (the ISSUE's acceptance gate).
+
+Streams the same 20k-packet throughput trace through each detector twice —
+once per packet through scalar ``update``, once as one columnar
+``update_batch`` call — and records packets/second for both.  The
+vectorized structures named by the acceptance criteria (Count-Min and the
+on-demand TDBF) must clear a >= 5x speedup; in practice the margin is well
+over an order of magnitude, so the assertion is timing-noise safe.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import write_result
+
+from repro.analysis.render import format_table
+from repro.analysis.throughput import speedup_row, trace_columns
+
+#: (registry name, factory kwargs, required speedup or None).
+CASES = [
+    ("countmin", {}, 5.0),
+    ("ondemand-tdbf", {"cells": 4096}, 5.0),
+    ("countsketch", {}, 5.0),
+    ("counting-bloom", {}, 5.0),
+    ("decayed-countmin", {}, 5.0),
+    ("spacesaving", {}, None),  # scalar replay: parity, not speedup
+]
+
+
+def test_batch_vs_scalar_throughput(throughput_trace):
+    columns = trace_columns(throughput_trace)
+    rows = []
+    failures = []
+    for name, kwargs, required in CASES:
+        row = speedup_row(name, columns, **kwargs)
+        row["required"] = required if required is not None else "-"
+        rows.append(row)
+        if required is not None and row["speedup"] < required:
+            failures.append(f"{name}: {row['speedup']}x < {required}x")
+    write_result(
+        "batch_throughput.txt",
+        "Batch vs scalar update throughput (20k-packet trace)\n"
+        + format_table(rows),
+    )
+    assert not failures, "; ".join(failures)

@@ -4,15 +4,20 @@ The paper's target is line rate on a switch; in Python we report *relative*
 update cost, which is what distinguishes the algorithm classes:
 
 - O(1)/packet: Space-Saving, HashPipe, sampled RHHH, TDBF;
-- O(levels)/packet: full per-level updates (RHHH full, TD-HHH full).
+- O(levels)/packet: full per-level updates (RHHH full, TD-HHH full);
+- and, since the core-layer refactor, the *batch* path: one vectorized
+  sweep per column batch for the array-backed structures (the
+  ``*_batch`` benchmarks below, which process the same 20k packets).
 """
 
 import pytest
 
+from repro.analysis.throughput import trace_columns
 from repro.decay.laws import ExponentialDecay
 from repro.decay.ondemand_tdbf import OnDemandTDBF
 from repro.decay.td_hhh import TimeDecayingHHH
 from repro.sketch.countmin import CountMinSketch
+from repro.sketch.countsketch import CountSketch
 from repro.sketch.hashpipe import HashPipe
 from repro.sketch.rhhh import RHHH
 from repro.sketch.spacesaving import SpaceSaving
@@ -27,6 +32,12 @@ def packets(throughput_trace):
     return [
         (int(t.src[i]), int(t.length[i]), float(t.ts[i])) for i in range(n)
     ]
+
+
+@pytest.fixture(scope="module")
+def columns(throughput_trace):
+    """The same packets as columnar (src, length, ts) numpy arrays."""
+    return trace_columns(throughput_trace)
 
 
 def test_throughput_spacesaving(benchmark, packets):
@@ -89,6 +100,41 @@ def test_throughput_ondemand_tdbf(benchmark, packets):
         det = OnDemandTDBF(cells=4096, hashes=4, law=ExponentialDecay(tau=10.0))
         for src, length, ts in packets:
             det.update(src, length, ts)
+        return det
+
+    benchmark(run)
+
+
+def test_throughput_countmin_batch(benchmark, columns):
+    src, length, ts = columns
+
+    def run():
+        det = CountMinSketch(width=1024, rows=4)
+        det.update_batch(src, length, ts)
+        return det
+
+    det = benchmark(run)
+    assert det.total == int(length.sum())
+
+
+def test_throughput_countsketch_batch(benchmark, columns):
+    src, length, ts = columns
+
+    def run():
+        det = CountSketch(width=1024, rows=5)
+        det.update_batch(src, length, ts)
+        return det
+
+    det = benchmark(run)
+    assert det.total == int(length.sum())
+
+
+def test_throughput_ondemand_tdbf_batch(benchmark, columns):
+    src, length, ts = columns
+
+    def run():
+        det = OnDemandTDBF(cells=4096, hashes=4, law=ExponentialDecay(tau=10.0))
+        det.update_batch(src, length, ts)
         return det
 
     benchmark(run)

@@ -3,6 +3,9 @@ network traffic* (Galea et al., SIGCOMM Posters and Demos 2018).
 
 The package provides, from the bottom up:
 
+- :mod:`repro.core` — the unified :class:`~repro.core.Detector` contract
+  (scalar + vectorized batch updates) and the string-keyed detector
+  registry every other layer programs against;
 - :mod:`repro.net` — IPv4 address and prefix algebra;
 - :mod:`repro.hashing` — seeded, deterministic hash families for sketches;
 - :mod:`repro.packet` — packet records, flow keys and pcap I/O;
@@ -33,6 +36,7 @@ Quickstart::
     print(result.to_table())
 """
 
+from repro.core import Detector, detector_names, make_detector
 from repro.net import IPv4Address, Prefix
 from repro.packet import Packet
 from repro.hierarchy import SourceHierarchy
@@ -49,6 +53,9 @@ from repro.trace import presets
 __version__ = "1.0.0"
 
 __all__ = [
+    "Detector",
+    "detector_names",
+    "make_detector",
     "IPv4Address",
     "Prefix",
     "Packet",

@@ -27,6 +27,8 @@ import bisect
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+import numpy as np
+
 from repro.analysis.render import format_table
 from repro.dataplane.mappings import map_ondemand_tdbf, map_rhhh
 from repro.decay.laws import ExponentialDecay
@@ -172,7 +174,12 @@ class DecayComparisonExperiment:
     def _windowed_rhhh_series(
         self, trace: Trace, sample_levels: bool
     ) -> Series:
-        """Disjoint windows, RHHH reset at each boundary."""
+        """Disjoint windows, RHHH reset at each boundary.
+
+        Each window is handed to the detector as one columnar batch
+        (``update_batch`` replays scalar updates in trace order, so the
+        RNG-driven level sampling is unchanged).
+        """
         series: Series = []
         windows = list(DisjointWindows(self.window_size).over_trace(trace))
         for window in windows:
@@ -183,12 +190,9 @@ class DecayComparisonExperiment:
                 seed=self.seed + window.index,
                 sample_levels=sample_levels,
             )
-            window_bytes = 0
-            src, length = trace.src, trace.length
-            for p in range(i, j):
-                weight = int(length[p])
-                detector.update(int(src[p]), weight)
-                window_bytes += weight
+            weights = trace.length[i:j]
+            detector.update_batch(trace.src[i:j], weights)
+            window_bytes = int(weights.sum())
             result = detector.query_hhh(self.phi * window_bytes)
             series.append((window, result.prefixes))
         return series
@@ -208,25 +212,31 @@ class DecayComparisonExperiment:
             seed=self.seed,
         )
         series: Series = []
-        start = trace.start_time
-        next_query = start + self.window_size
         ts, src, length = trace.ts, trace.src, trace.length
-        index = 0
-        for p in range(len(trace)):
-            now = float(ts[p])
-            while now >= next_query:
-                result = detector.query(self.phi, next_query)
-                series.append(
-                    (
-                        Window(
-                            next_query - self.window_size, next_query, index
-                        ),
-                        result.prefixes,
-                    )
+        # Query instants, accumulated exactly like the seed's per-packet
+        # loop (a query fires once some packet reaches it).
+        query_times: list[float] = []
+        next_query = trace.start_time + self.window_size
+        while trace.end_time >= next_query:
+            query_times.append(next_query)
+            next_query += self.step
+        # Packets strictly before a query instant are applied before it;
+        # batches between instants go through the unified batch path.
+        cuts = np.searchsorted(ts, np.asarray(query_times), side="left")
+        prev = 0
+        for index, (when, cut) in enumerate(zip(query_times, cuts)):
+            cut = int(cut)
+            if cut > prev:
+                detector.update_batch(
+                    src[prev:cut], length[prev:cut], ts[prev:cut]
                 )
-                index += 1
-                next_query += self.step
-            detector.update(int(src[p]), int(length[p]), now)
+                prev = cut
+            result = detector.query(self.phi, when)
+            series.append(
+                (Window(when - self.window_size, when, index), result.prefixes)
+            )
+        if prev < len(trace):
+            detector.update_batch(src[prev:], length[prev:], ts[prev:])
         return series, detector
 
     # -- main ---------------------------------------------------------------

@@ -2,14 +2,20 @@
 
 Subcommands mirror the paper's artefacts::
 
-    repro-hhh stats   [--day N] [--duration S]        # trace summary
-    repro-hhh fig2    [--duration S] [--days N] [--mode unique|occurrences]
-    repro-hhh fig3    [--duration S] [--deltas ...]
-    repro-hhh sec3    [--duration S] [--window W] [--phi P]
-    repro-hhh pcap    --out FILE [--day N] [--duration S]
+    repro-hhh stats     [--day N] [--duration S]      # trace summary
+    repro-hhh fig2      [--duration S] [--days N] [--mode unique|occurrences]
+    repro-hhh fig3      [--duration S] [--deltas ...]
+    repro-hhh sec3      [--duration S] [--window W] [--phi P]
+    repro-hhh pcap      --out FILE [--day N] [--duration S]
+    repro-hhh detectors                               # registry listing
+    repro-hhh bench     [--detector NAME ...] [--duration S]
 
 Every command is deterministic (seeded presets) and prints plain-text
 tables; see EXPERIMENTS.md for the recorded reference outputs.
+
+``detectors`` and ``bench`` are built on :mod:`repro.core`: detectors are
+looked up by registry name and driven through the unified scalar/batch
+update paths.
 """
 
 from __future__ import annotations
@@ -20,7 +26,10 @@ from typing import Sequence
 
 from repro.analysis.decay_experiment import DecayComparisonExperiment
 from repro.analysis.hidden_experiment import HiddenHHHExperiment
+from repro.analysis.render import format_table
 from repro.analysis.sensitivity_experiment import WindowSensitivityExperiment
+from repro.analysis.throughput import speedup_row, trace_columns
+from repro.core import detector_names, get_spec
 from repro.packet.pcap import write_pcap
 from repro.trace import presets
 from repro.trace.stats import compute_stats
@@ -74,6 +83,36 @@ def _cmd_sec3(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_detectors(args: argparse.Namespace) -> int:
+    rows = []
+    for name in detector_names():
+        spec = get_spec(name)
+        rows.append({
+            "name": name,
+            "timestamped": "yes" if spec.timestamped else "no",
+            "enumerable": "yes" if spec.enumerable else "no",
+            "description": spec.description,
+        })
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    trace = presets.caida_like_day(0, args.duration)
+    names = args.detector or ["countmin", "ondemand-tdbf", "spacesaving"]
+    known = detector_names()
+    for name in names:
+        if name not in known:
+            print(f"error: unknown detector {name!r}; see 'repro-hhh "
+                  "detectors' for the registry", file=sys.stderr)
+            return 2
+    columns = trace_columns(trace)
+    rows = [speedup_row(name, columns) for name in names]
+    print("Batch vs scalar update throughput (packets/second)")
+    print(format_table(rows))
+    return 0
+
+
 def _cmd_pcap(args: argparse.Namespace) -> int:
     trace = presets.caida_like_day(args.day, args.duration)
     count = write_pcap(args.out, trace.packets())
@@ -116,6 +155,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--window", type=float, default=10.0)
     p.add_argument("--phi", type=float, default=0.05)
     p.set_defaults(func=_cmd_sec3)
+
+    p = sub.add_parser("detectors", help="list the detector registry")
+    p.set_defaults(func=_cmd_detectors)
+
+    p = sub.add_parser(
+        "bench", help="batch vs scalar update throughput by detector name"
+    )
+    p.add_argument("--detector", action="append", default=None,
+                   help="registry name (repeatable; default: a sample)")
+    p.add_argument("--duration", type=float, default=20.0)
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("pcap", help="export a synthetic trace to pcap")
     p.add_argument("--out", required=True)

@@ -1,0 +1,30 @@
+"""Core layer: the unified detector contract and registry.
+
+This package is the architectural keystone the rest of the library builds
+on: :class:`Detector` defines the streaming interface (scalar *and*
+columnar-batch updates, query, reset, merge, resource accounting), and the
+registry maps stable string names to detector factories for CLI and
+experiment lookup.
+
+See ``ROADMAP.md`` ("Architecture") for the layering:
+core -> sketch/decay -> windows -> analysis/cli.
+"""
+
+from repro.core.detector import Detector, as_batch
+from repro.core.registry import (
+    DetectorSpec,
+    detector_names,
+    get_spec,
+    make_detector,
+    register_detector,
+)
+
+__all__ = [
+    "Detector",
+    "DetectorSpec",
+    "as_batch",
+    "detector_names",
+    "get_spec",
+    "make_detector",
+    "register_detector",
+]

@@ -1,0 +1,104 @@
+"""String-keyed detector registry.
+
+Detector modules register a factory under a short stable name
+(``"countmin"``, ``"ondemand-tdbf"``, ...) so the CLI, experiments, and
+tests can build detectors by name::
+
+    from repro.core import make_detector, detector_names
+
+    det = make_detector("countmin", width=2048)
+
+Registration happens as a side effect of importing the detector modules;
+the public functions lazily import :mod:`repro.sketch` and
+:mod:`repro.decay` so callers never see a half-populated registry.
+
+Each entry carries the metadata drivers and tests need to exercise a
+detector uniformly without ``isinstance`` probing:
+
+- ``timestamped`` — ``update``/``estimate`` take meaningful time arguments
+  (the continuous-time detectors of :mod:`repro.decay`);
+- ``enumerable`` — ``query`` can enumerate items (vs point queries only);
+- ``probe`` — optional ``(detector, key, now) -> float`` point estimate for
+  detectors whose estimate signature is nonstandard (hierarchical,
+  membership-only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.detector import Detector
+
+
+@dataclass(frozen=True)
+class DetectorSpec:
+    """A registered detector: factory plus uniform-access metadata."""
+
+    name: str
+    factory: Callable[..., Detector]
+    timestamped: bool = False
+    enumerable: bool = True
+    description: str = ""
+    probe: Callable[[Detector, int, float], float] | None = None
+
+    def estimate(self, detector: Detector, key: int, now: float) -> float:
+        """Uniform point estimate regardless of the detector's signature."""
+        if self.probe is not None:
+            return float(self.probe(detector, key, now))
+        if self.timestamped:
+            return float(detector.estimate(key, now))  # type: ignore[attr-defined]
+        return float(detector.estimate(key))  # type: ignore[attr-defined]
+
+
+_REGISTRY: dict[str, DetectorSpec] = {}
+
+
+def register_detector(
+    name: str,
+    factory: Callable[..., Detector],
+    *,
+    timestamped: bool = False,
+    enumerable: bool = True,
+    description: str = "",
+    probe: Callable[[Detector, int, float], float] | None = None,
+) -> Callable[..., Detector]:
+    """Register ``factory`` under ``name``; returns the factory unchanged."""
+    if name in _REGISTRY:
+        raise ValueError(f"detector {name!r} is already registered")
+    _REGISTRY[name] = DetectorSpec(
+        name=name,
+        factory=factory,
+        timestamped=timestamped,
+        enumerable=enumerable,
+        description=description,
+        probe=probe,
+    )
+    return factory
+
+
+def _ensure_populated() -> None:
+    # Importing the detector packages runs their register_detector calls.
+    import repro.decay  # noqa: F401
+    import repro.sketch  # noqa: F401
+
+
+def detector_names() -> tuple[str, ...]:
+    """All registered detector names, sorted."""
+    _ensure_populated()
+    return tuple(sorted(_REGISTRY))
+
+
+def get_spec(name: str) -> DetectorSpec:
+    """The :class:`DetectorSpec` registered under ``name``."""
+    _ensure_populated()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown detector {name!r}; known: {known}") from None
+
+
+def make_detector(name: str, **kwargs) -> Detector:
+    """Build a detector by registry name, forwarding ``kwargs``."""
+    return get_spec(name).factory(**kwargs)

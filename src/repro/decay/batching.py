@@ -1,0 +1,89 @@
+"""Shared machinery for vectorized batch updates of decayed structures.
+
+The TDBF family (flat cells, global clock), the on-demand TDBF (per-cell
+stamps), and the decayed Count-Min (per-row cells) all take the same fast
+path when the decay law is *linear in the value* (exponential decay, which
+exposes ``decay_factor``): decay every contribution by its own age, then
+scatter-add.  This module holds the pieces they share so the algorithm is
+written once.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.detector import (
+    as_batch,
+    as_uint64_keys,
+    ensure_nonnegative_weights,
+)
+from repro.decay.laws import DecayLaw
+
+DecayFactor = Callable[[np.ndarray], np.ndarray]
+
+
+def as_decayed_batch(
+    law: DecayLaw, keys, weights, ts, min_dense: int = 0
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, DecayFactor] | None:
+    """Normalise a timestamped batch for the value-linear fast path.
+
+    Returns ``(keys_u64, weights_f64, ts, decay_factor)``, or ``None`` when
+    the caller must fall back to the exact scalar replay: the law has no
+    ``decay_factor``, no timestamps were given, or the batch is smaller
+    than ``min_dense`` packets.  The dense path does O(cells) work per
+    batch regardless of batch size, so callers pass a threshold around
+    ``cells // 128`` (the measured crossover) to keep tiny batches on the
+    cheaper per-packet replay; both paths are exact, so the switch is
+    invisible.
+    """
+    decay_factor = getattr(law, "decay_factor", None)
+    if ts is None or decay_factor is None:
+        return None
+    keys, weights, ts = as_batch(keys, weights, ts)
+    if keys.shape[0] == 0 or keys.shape[0] < min_dense:
+        return None
+    keys = as_uint64_keys(keys)
+    weights = ensure_nonnegative_weights(weights).astype(np.float64)
+    return keys, weights, ts, decay_factor
+
+
+def apply_decayed_batch(
+    values: np.ndarray,
+    stamps: np.ndarray,
+    idx_arrays: list[np.ndarray],
+    weights: np.ndarray,
+    ts: np.ndarray,
+    decay_factor: DecayFactor,
+) -> None:
+    """Fold one batch into lazily-stamped ``(values, stamps)`` cells, in
+    place, exactly reproducing the per-packet replay.
+
+    ``idx_arrays`` holds the cell index of every packet for each hash
+    function sharing this cell array.  Per cell, the scalar replay ends at
+    frame ``max(old_stamp, last_touch)``: its old value decayed forward to
+    that frame plus every contribution decayed from its own timestamp to
+    it (for a cell stamped ahead of all its touches that *is* the
+    late-packet path — contributions decay, the cell does not).  Untouched
+    cells are left alone, so estimates agree with the scalar path at *any*
+    query time, not just after the batch.
+
+    Contributions are decayed straight to their own cell's frame, which is
+    never earlier than their timestamp — every exponent is non-positive,
+    so extreme batch time spans underflow harmlessly to zero exactly like
+    the scalar path, never overflow.
+    """
+    last_touch = np.full(values.shape, -np.inf)
+    for idx in idx_arrays:
+        np.maximum.at(last_touch, idx, ts)
+    touched = last_touch > -np.inf
+    frame = np.maximum(stamps, last_touch)
+    incoming = np.zeros_like(values)
+    for idx in idx_arrays:
+        np.add.at(incoming, idx, weights * decay_factor(frame[idx] - ts))
+    new_values = (
+        values * decay_factor(np.maximum(frame - stamps, 0.0)) + incoming
+    )
+    np.copyto(values, new_values, where=touched)
+    np.copyto(stamps, frame, where=touched)

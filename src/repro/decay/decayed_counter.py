@@ -8,7 +8,9 @@ tested and benchmarked against.
 
 from __future__ import annotations
 
-from repro.decay.laws import DecayLaw
+from repro.core.detector import Detector
+from repro.core.registry import register_detector
+from repro.decay.laws import DecayLaw, ExponentialDecay
 
 
 class DecayedCounter:
@@ -40,7 +42,7 @@ class DecayedCounter:
         return self.law.decay(self.value, now - self.stamp)
 
 
-class ExactDecayedCounts:
+class ExactDecayedCounts(Detector):
     """Unbounded per-key decayed counters (the decayed ground truth).
 
     Implements the streaming-detector protocol extended with timestamps:
@@ -51,8 +53,12 @@ class ExactDecayedCounts:
         self.law = law
         self._counters: dict[int, DecayedCounter] = {}
 
-    def update(self, key: int, weight: float, ts: float) -> None:
+    def update(self, key: int, weight: float = 1,
+               ts: float | None = None) -> None:
         """Account ``weight`` for ``key`` at time ``ts``."""
+        if ts is None:
+            raise TypeError("ExactDecayedCounts.update() requires the packet "
+                            "timestamp 'ts'")
         counter = self._counters.get(key)
         if counter is None:
             counter = DecayedCounter(self.law)
@@ -64,8 +70,12 @@ class ExactDecayedCounts:
         counter = self._counters.get(key)
         return counter.read(now) if counter is not None else 0.0
 
-    def query(self, threshold: float, now: float) -> dict[int, float]:
+    def query(self, threshold: float,
+              now: float | None = None) -> dict[int, float]:
         """Keys whose decayed volume at ``now`` reaches ``threshold``."""
+        if now is None:
+            raise TypeError("ExactDecayedCounts.query() requires the query "
+                            "time 'now'")
         out: dict[int, float] = {}
         for key, counter in self._counters.items():
             value = counter.read(now)
@@ -84,5 +94,25 @@ class ExactDecayedCounts:
             del self._counters[key]
         return len(dead)
 
+    def reset(self) -> None:
+        """Drop all counters."""
+        self._counters.clear()
+
     def __len__(self) -> int:
         return len(self._counters)
+
+    @property
+    def num_counters(self) -> int:
+        """Live counters (unbounded ground truth grows with the key set)."""
+        return len(self._counters)
+
+
+def _exact_decayed_factory(law: DecayLaw | None = None) -> ExactDecayedCounts:
+    """Registry factory with a default exponential law (tau = 10 s)."""
+    return ExactDecayedCounts(law or ExponentialDecay(tau=10.0))
+
+
+register_detector(
+    "exact-decayed", _exact_decayed_factory, timestamped=True,
+    description="Unbounded per-key decayed counters (ground truth)",
+)

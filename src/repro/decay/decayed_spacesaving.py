@@ -15,12 +15,19 @@ used in the experiments (hundreds) the linear scan is not the bottleneck.
 
 from __future__ import annotations
 
+from repro.core.detector import Detector
+from repro.core.registry import register_detector
 from repro.decay.decayed_counter import DecayedCounter
-from repro.decay.laws import DecayLaw
+from repro.decay.laws import DecayLaw, ExponentialDecay
 
 
-class DecayedSpaceSaving:
-    """Fixed-capacity enumerable summary of decayed byte volumes."""
+class DecayedSpaceSaving(Detector):
+    """Fixed-capacity enumerable summary of decayed byte volumes.
+
+    Pointer-based (dict of decayed counters with eviction), so the batch
+    path is the exact scalar replay inherited from
+    :class:`repro.core.Detector`.
+    """
 
     def __init__(self, capacity: int, law: DecayLaw) -> None:
         if capacity < 1:
@@ -30,8 +37,12 @@ class DecayedSpaceSaving:
         self._counters: dict[int, DecayedCounter] = {}
         self._errors: dict[int, float] = {}
 
-    def update(self, key: int, weight: float, ts: float) -> None:
+    def update(self, key: int, weight: float = 1,
+               ts: float | None = None) -> None:
         """Account ``weight`` for ``key`` at time ``ts``."""
+        if ts is None:
+            raise TypeError("DecayedSpaceSaving.update() requires the packet "
+                            "timestamp 'ts'")
         counter = self._counters.get(key)
         if counter is not None:
             counter.add(weight, ts)
@@ -78,9 +89,13 @@ class DecayedSpaceSaving:
         )
         return counter.read(now) - error
 
-    def query(self, threshold: float, now: float) -> dict[int, float]:
+    def query(self, threshold: float,
+              now: float | None = None) -> dict[int, float]:
         """Tracked keys whose decayed estimate at ``now`` reaches
         ``threshold``."""
+        if now is None:
+            raise TypeError("DecayedSpaceSaving.query() requires the query "
+                            "time 'now'")
         out: dict[int, float] = {}
         for key, counter in self._counters.items():
             value = counter.read(now)
@@ -92,6 +107,11 @@ class DecayedSpaceSaving:
         """All tracked keys with their decayed values at ``now``."""
         return {k: c.read(now) for k, c in self._counters.items()}
 
+    def reset(self) -> None:
+        """Drop all counters."""
+        self._counters.clear()
+        self._errors.clear()
+
     def __len__(self) -> int:
         return len(self._counters)
 
@@ -99,3 +119,16 @@ class DecayedSpaceSaving:
     def num_counters(self) -> int:
         """Counters allocated (for resource accounting)."""
         return self.capacity
+
+
+def _decayed_ss_factory(
+    capacity: int = 256, law: DecayLaw | None = None
+) -> DecayedSpaceSaving:
+    """Registry factory with a default exponential law (tau = 10 s)."""
+    return DecayedSpaceSaving(capacity, law or ExponentialDecay(tau=10.0))
+
+
+register_detector(
+    "decayed-spacesaving", _decayed_ss_factory, timestamped=True,
+    description="Space-Saving over decayed counts (scalar-replay batch)",
+)

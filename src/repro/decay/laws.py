@@ -9,6 +9,15 @@ matter to the detectors built on top:
 
 Linear decay (Bianchi et al.'s choice: subtract ``rate * age``) and
 exponential decay both compose; hard sliding expiry composes trivially.
+
+Every law also offers :meth:`~DecayLaw.decay_array`, the numpy-vectorized
+form used by the batch-update engine.  Exponential decay additionally
+exposes :meth:`ExponentialDecay.decay_factor`: because the law is *linear in
+the value* (a pure multiplicative factor, no zero floor), batched scatter
+updates can decay each contribution independently and sum them — exactly
+what a sequential per-packet replay would produce.  Laws without that
+property (linear's zero floor, sliding expiry's step) keep the scalar
+fallback in ``update_batch``.
 """
 
 from __future__ import annotations
@@ -16,12 +25,22 @@ from __future__ import annotations
 import math
 from typing import Protocol
 
+import numpy as np
+
 
 class DecayLaw(Protocol):
     """Protocol for decay laws."""
 
     def decay(self, value: float, age: float) -> float:
         """``value`` after ``age`` seconds without updates."""
+        ...
+
+    def decay_array(self, values: np.ndarray, ages) -> np.ndarray:
+        """Vectorized :meth:`decay`: ``values`` after ``ages`` seconds.
+
+        ``ages`` may be a scalar or an array broadcastable to ``values``;
+        callers are responsible for clamping ages at zero.
+        """
         ...
 
     def horizon(self) -> float:
@@ -50,6 +69,11 @@ class LinearDecay:
         if age < 0:
             raise ValueError(f"negative age {age}")
         return max(0.0, value - self.rate * age)
+
+    def decay_array(self, values: np.ndarray, ages) -> np.ndarray:
+        """Vectorized linear erosion, floored at zero."""
+        return np.maximum(0.0, np.asarray(values, dtype=np.float64)
+                          - self.rate * np.asarray(ages, dtype=np.float64))
 
     def horizon(self) -> float:
         """Conservative horizon: unbounded values decay eventually but we
@@ -91,6 +115,19 @@ class ExponentialDecay:
             raise ValueError(f"negative age {age}")
         return value * math.exp(-age / self.tau)
 
+    def decay_array(self, values: np.ndarray, ages) -> np.ndarray:
+        """Vectorized exponential erosion."""
+        return np.asarray(values, dtype=np.float64) * self.decay_factor(ages)
+
+    def decay_factor(self, ages) -> np.ndarray:
+        """``exp(-ages / tau)`` as an array.
+
+        The law is linear in the value, so batched updates can decay every
+        contribution by its own factor and scatter-add the results — the
+        hook :mod:`repro.core`'s vectorized fast paths key off.
+        """
+        return np.exp(-np.asarray(ages, dtype=np.float64) / self.tau)
+
     def horizon(self) -> float:
         """~40 time constants: anything is < 1e-17 of its original value."""
         return 40.0 * self.tau
@@ -118,6 +155,12 @@ class SlidingExpiry:
         if age < 0:
             raise ValueError(f"negative age {age}")
         return value if age < self.window else 0.0
+
+    def decay_array(self, values: np.ndarray, ages) -> np.ndarray:
+        """Vectorized step function at ``window`` seconds."""
+        values = np.asarray(values, dtype=np.float64)
+        return np.where(np.asarray(ages, dtype=np.float64) < self.window,
+                        values, 0.0)
 
     def horizon(self) -> float:
         """Exactly the window."""

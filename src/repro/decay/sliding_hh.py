@@ -19,11 +19,18 @@ from __future__ import annotations
 
 from collections import deque
 
+from repro.core.detector import Detector
+from repro.core.registry import register_detector
 from repro.sketch.spacesaving import SpaceSaving
 
 
-class SlidingWindowSpaceSaving:
-    """Heavy hitters over the last ``window`` seconds, bucketed."""
+class SlidingWindowSpaceSaving(Detector):
+    """Heavy hitters over the last ``window`` seconds, bucketed.
+
+    Bucket rotation and expiry are driven by packet arrival order, so the
+    batch path is the exact scalar replay inherited from
+    :class:`repro.core.Detector`.
+    """
 
     def __init__(
         self,
@@ -55,8 +62,12 @@ class SlidingWindowSpaceSaving:
         while self._buckets and (self._buckets[0][0] + 1) * self.bucket_span <= horizon:
             self._buckets.popleft()
 
-    def update(self, key: int, weight: int, ts: float) -> None:
+    def update(self, key: int, weight: int = 1,
+               ts: float | None = None) -> None:
         """Account ``weight`` for ``key`` at time ``ts``."""
+        if ts is None:
+            raise TypeError("SlidingWindowSpaceSaving.update() requires the "
+                            "packet timestamp 'ts'")
         self._expire(ts)
         index = self._bucket_index(ts)
         if not self._buckets or self._buckets[-1][0] != index:
@@ -74,8 +85,12 @@ class SlidingWindowSpaceSaving:
         self._expire(now)
         return float(sum(b.estimate(key) for _, b in self._buckets))
 
-    def query(self, threshold: float, now: float) -> dict[int, float]:
+    def query(self, threshold: float,
+              now: float | None = None) -> dict[int, float]:
         """Keys whose windowed estimate at ``now`` reaches ``threshold``."""
+        if now is None:
+            raise TypeError("SlidingWindowSpaceSaving.query() requires the "
+                            "query time 'now'")
         self._expire(now)
         totals: dict[int, float] = {}
         for _, bucket in self._buckets:
@@ -83,7 +98,26 @@ class SlidingWindowSpaceSaving:
                 totals[key] = totals.get(key, 0.0) + count
         return {k: v for k, v in totals.items() if v >= threshold}
 
+    def reset(self) -> None:
+        """Drop every bucket."""
+        self._buckets.clear()
+
     @property
     def num_counters(self) -> int:
         """Worst-case counters allocated (for resource accounting)."""
         return (self.num_buckets + 1) * self.capacity_per_bucket
+
+
+def _sliding_factory(
+    window: float = 10.0,
+    num_buckets: int = 10,
+    capacity_per_bucket: int = 128,
+) -> SlidingWindowSpaceSaving:
+    """Registry factory with a default 10 s window."""
+    return SlidingWindowSpaceSaving(window, num_buckets, capacity_per_bucket)
+
+
+register_detector(
+    "sliding-spacesaving", _sliding_factory, timestamped=True,
+    description="Bucketed sliding-window Space-Saving (scalar-replay batch)",
+)

@@ -25,6 +25,8 @@ from __future__ import annotations
 
 import random
 
+from repro.core.detector import Detector
+from repro.core.registry import register_detector
 from repro.decay.decayed_counter import DecayedCounter
 from repro.decay.decayed_spacesaving import DecayedSpaceSaving
 from repro.decay.laws import DecayLaw, ExponentialDecay
@@ -32,8 +34,15 @@ from repro.hhh.exact_hhh import HHHItem, HHHResult
 from repro.hierarchy.domain import SourceHierarchy
 
 
-class TimeDecayingHHH:
-    """Continuous-time hierarchical heavy-hitter detector."""
+class TimeDecayingHHH(Detector):
+    """Continuous-time hierarchical heavy-hitter detector.
+
+    Per-level pointer-based summaries (plus a per-packet RNG draw when
+    level sampling is on), so the batch path is the exact scalar replay
+    inherited from :class:`repro.core.Detector`.  Note :meth:`query` keeps
+    the hierarchical contract — ``(phi, now) -> HHHResult`` — rather than
+    the flat ``{key: estimate}`` protocol.
+    """
 
     def __init__(
         self,
@@ -49,6 +58,8 @@ class TimeDecayingHHH:
             raise ValueError(
                 f"counters_per_level must be >= 1, got {counters_per_level}"
             )
+        self.counters_per_level = counters_per_level
+        self.seed = seed
         self._levels = [
             DecayedSpaceSaving(counters_per_level, self.law)
             for _ in range(self.hierarchy.num_levels)
@@ -58,8 +69,12 @@ class TimeDecayingHHH:
         self._rng = random.Random(seed)
         self.packets = 0
 
-    def update(self, key: int, weight: float, ts: float) -> None:
+    def update(self, key: int, weight: float = 1,
+               ts: float | None = None) -> None:
         """Account one packet at time ``ts``."""
+        if ts is None:
+            raise TypeError("TimeDecayingHHH.update() requires the packet "
+                            "timestamp 'ts'")
         self.packets += 1
         self._total.add(weight, ts)
         if self.sample_levels:
@@ -125,7 +140,23 @@ class TimeDecayingHHH:
         items.sort()
         return HHHResult(tuple(items), threshold, int(total_bytes), phi)
 
+    def reset(self) -> None:
+        """Reset every level, the total, and re-seed the sampling RNG."""
+        for level in self._levels:
+            level.reset()
+        self._total = DecayedCounter(self.law)
+        self._rng = random.Random(self.seed)
+        self.packets = 0
+
     @property
     def num_counters(self) -> int:
         """Counters across levels plus the total (resource accounting)."""
         return sum(level.num_counters for level in self._levels) + 1
+
+
+register_detector(
+    "td-hhh", TimeDecayingHHH, timestamped=True, enumerable=False,
+    description="Windowless time-decaying HHH detector "
+                "(hierarchical query; scalar-replay batch)",
+    probe=lambda det, key, now: det.estimate(key, 0, now),
+)

@@ -4,13 +4,21 @@ A *hash family* hands out independent hash functions ``h_i: int -> [0, m)``
 from a single seed.  Sketches ask for ``rows`` functions at construction time
 and keep them for their lifetime, so the family objects are tiny and the
 returned callables close over plain integers only.
+
+Each family also hands out *vectorized* twins (``function_array`` /
+``sign_array``) mapping a uint64 numpy array of keys to an array of slots or
+signs in one shot.  The vectorized functions are bit-exact with their scalar
+counterparts — the batch update paths in :mod:`repro.core` rely on that to
+keep ``update_batch`` equivalent to repeated scalar ``update``.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Protocol
 
-from repro.hashing.mixers import splitmix64
+import numpy as np
+
+from repro.hashing.mixers import splitmix64, splitmix64_array
 
 _MASK64 = (1 << 64) - 1
 
@@ -18,6 +26,49 @@ _MASK64 = (1 << 64) - 1
 _PRIME = (1 << 61) - 1
 
 HashFunc = Callable[[int], int]
+ArrayHashFunc = Callable[[np.ndarray], np.ndarray]
+
+
+def _fold_mod_p(x: np.ndarray) -> np.ndarray:
+    """One folding step of reduction mod ``p = 2^61 - 1``.
+
+    Since ``2^61 ≡ 1 (mod p)``, ``x = q*2^61 + r ≡ q + r``; for ``x < 2^64``
+    the result is below ``2^61 + 8``.
+    """
+    return (x >> np.uint64(61)) + (x & np.uint64(_PRIME))
+
+
+def _shift32_mod_p(x: np.ndarray) -> np.ndarray:
+    """``(x << 32) mod p`` for ``x < 2^64`` without overflowing uint64.
+
+    Split ``x = xh*2^29 + xl``; then ``x << 32 = xh*2^61 + xl*2^32 ≡
+    xh + xl*2^32 (mod p)``, and both addends fit comfortably in uint64.
+    """
+    return _fold_mod_p(
+        (x >> np.uint64(29)) + ((x & np.uint64((1 << 29) - 1)) << np.uint64(32))
+    )
+
+
+def _affine_mod_p(keys: np.ndarray, a: int, b: int) -> np.ndarray:
+    """Exact vectorized ``(a*key + b) mod p`` with ``p = 2^61 - 1``.
+
+    ``a, b < p`` but ``a*key`` spans up to 2^125, so the product is built
+    from 32-bit limbs, each partial product reduced while it still fits in
+    uint64 (``2^64 ≡ 8`` and ``2^32`` handled by :func:`_shift32_mod_p`).
+    """
+    keys = np.asarray(keys, dtype=np.uint64)
+    a_hi, a_lo = np.uint64(a >> 32), np.uint64(a & 0xFFFFFFFF)
+    k_hi = keys >> np.uint64(32)
+    k_lo = keys & np.uint64(0xFFFFFFFF)
+    total = (
+        _fold_mod_p(a_hi * k_hi * np.uint64(8))
+        + _shift32_mod_p(a_hi * k_lo)
+        + _shift32_mod_p(a_lo * k_hi)
+        + _fold_mod_p(a_lo * k_lo)
+        + np.uint64(b)
+    )
+    total = _fold_mod_p(_fold_mod_p(total))
+    return np.where(total >= np.uint64(_PRIME), total - np.uint64(_PRIME), total)
 
 
 class HashFamily(Protocol):
@@ -30,6 +81,14 @@ class HashFamily(Protocol):
 
     def sign_function(self, index: int) -> HashFunc:
         """A +/-1 valued function (for Count-Sketch style estimators)."""
+        ...
+
+    def function_array(self, index: int, range_size: int) -> ArrayHashFunc:
+        """Vectorized twin of :meth:`function` over uint64 key arrays."""
+        ...
+
+    def sign_array(self, index: int) -> ArrayHashFunc:
+        """Vectorized twin of :meth:`sign_function` (int64 +/-1 array)."""
         ...
 
 
@@ -50,13 +109,18 @@ class MultiplyShiftFamily:
         return a, b
 
     def function(self, index: int, range_size: int) -> HashFunc:
-        """2-universal function into ``[0, range_size)``."""
+        """2-universal function into ``[0, range_size)``.
+
+        Keys are taken modulo 2^64 (two's-complement wrap for negatives) so
+        scalar hashing agrees bit-exactly with the uint64 vectorized twin
+        for any Python int.
+        """
         if range_size <= 0:
             raise ValueError(f"range_size must be positive, got {range_size}")
         a, b = self._params(index)
 
         def h(key: int, _a: int = a, _b: int = b, _m: int = range_size) -> int:
-            return ((_a * key + _b) % _PRIME) % _m
+            return ((_a * (key & _MASK64) + _b) % _PRIME) % _m
 
         return h
 
@@ -65,7 +129,29 @@ class MultiplyShiftFamily:
         a, b = self._params(index ^ 0x5A5A5A5A)
 
         def s(key: int, _a: int = a, _b: int = b) -> int:
-            return 1 if ((_a * key + _b) % _PRIME) & 1 else -1
+            return 1 if ((_a * (key & _MASK64) + _b) % _PRIME) & 1 else -1
+
+        return s
+
+    def function_array(self, index: int, range_size: int) -> ArrayHashFunc:
+        """Vectorized 2-universal function (bit-exact with scalar)."""
+        if range_size <= 0:
+            raise ValueError(f"range_size must be positive, got {range_size}")
+        a, b = self._params(index)
+
+        def h(keys: np.ndarray, _a: int = a, _b: int = b,
+              _m: np.uint64 = np.uint64(range_size)) -> np.ndarray:
+            return _affine_mod_p(keys, _a, _b) % _m
+
+        return h
+
+    def sign_array(self, index: int) -> ArrayHashFunc:
+        """Vectorized +/-1 function (bit-exact with scalar)."""
+        a, b = self._params(index ^ 0x5A5A5A5A)
+
+        def s(keys: np.ndarray, _a: int = a, _b: int = b) -> np.ndarray:
+            odd = _affine_mod_p(keys, _a, _b) & np.uint64(1)
+            return np.where(odd.astype(bool), 1, -1).astype(np.int64)
 
         return s
 
@@ -98,6 +184,28 @@ class MixerFamily:
 
         def s(key: int, _salt: int = salt) -> int:
             return 1 if splitmix64(key ^ _salt) & 1 else -1
+
+        return s
+
+    def function_array(self, index: int, range_size: int) -> ArrayHashFunc:
+        """Vectorized mixer-based function (bit-exact with scalar)."""
+        if range_size <= 0:
+            raise ValueError(f"range_size must be positive, got {range_size}")
+        salt = np.uint64(splitmix64((self.seed << 8) ^ (index * 0x9E37 + 0x79B9)))
+
+        def h(keys: np.ndarray, _salt: np.uint64 = salt,
+              _m: np.uint64 = np.uint64(range_size)) -> np.ndarray:
+            return splitmix64_array(np.asarray(keys, dtype=np.uint64) ^ _salt) % _m
+
+        return h
+
+    def sign_array(self, index: int) -> ArrayHashFunc:
+        """Vectorized mixer-based +/-1 function (bit-exact with scalar)."""
+        salt = np.uint64(splitmix64((self.seed << 8) ^ (index * 0x85EB + 0xCA6B)))
+
+        def s(keys: np.ndarray, _salt: np.uint64 = salt) -> np.ndarray:
+            odd = splitmix64_array(np.asarray(keys, dtype=np.uint64) ^ _salt) & np.uint64(1)
+            return np.where(odd.astype(bool), 1, -1).astype(np.int64)
 
         return s
 

@@ -4,9 +4,15 @@ These are the standard public-domain finalisers (splitmix64, xorshift64*)
 restricted to 64-bit arithmetic with explicit masking.  They are used both
 directly (as fast stateless hashes of integer keys) and as the seed expanders
 for the hash families in :mod:`repro.hashing.families`.
+
+:func:`splitmix64_array` is the numpy counterpart of :func:`splitmix64` for
+the vectorized batch-update paths; it is bit-exact with the scalar mixer
+(uint64 arithmetic wraps modulo 2^64 exactly like the explicit masking).
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 _MASK64 = (1 << 64) - 1
 
@@ -24,6 +30,14 @@ def splitmix64(value: int) -> int:
     z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
     z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
     return (z ^ (z >> 31)) & _MASK64
+
+
+def splitmix64_array(values: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`splitmix64` over a uint64 array (bit-exact)."""
+    z = np.asarray(values, dtype=np.uint64) + np.uint64(_FIB_MULT)
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return z ^ (z >> np.uint64(31))
 
 
 def xorshift64star(value: int) -> int:

@@ -13,9 +13,11 @@ deployed per-window in programmable data planes:
 - :class:`BloomFilter` / :class:`CountingBloomFilter` — the membership
   substrate the time-decaying structures of Section 3 extend.
 
-All point detectors implement ``update(key, weight)`` and
-``query(threshold) -> {key: estimate}`` so they can be driven by
-:class:`repro.windows.WindowedDetectorDriver`.
+All detectors subclass :class:`repro.core.Detector` — scalar ``update``
+plus columnar ``update_batch`` (vectorized scatter updates for the
+array-backed structures, exact scalar replay for the pointer-based ones),
+``query``, ``reset``, and registry names for CLI/experiment lookup — so
+they can all be driven by :class:`repro.windows.WindowedDetectorDriver`.
 """
 
 from repro.sketch.countmin import CountMinSketch, CountMinHeavyHitters

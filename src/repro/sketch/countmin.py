@@ -4,6 +4,13 @@
 estimate is the minimum over rows, giving a one-sided overestimate with
 error at most ``e * N / width`` with probability ``1 - e^-rows``.
 
+The counter table is a numpy ``(rows, width)`` int64 array, so
+``update_batch`` is a true vectorized fast path: one array hash per row and
+one ``np.add.at`` scatter for a whole columnar batch of packets.
+Conservative update is inherently sequential (each packet's write depends
+on the estimate after the previous one), so that variant keeps the exact
+scalar replay.
+
 A plain Count-Min cannot *enumerate* heavy keys, so
 :class:`CountMinHeavyHitters` pairs it with a candidate map of keys whose
 estimate has ever crossed a tracking threshold — the standard arrangement
@@ -12,11 +19,20 @@ used when a Count-Min backs a heavy-hitter report.
 
 from __future__ import annotations
 
+import numpy as np
+
+from repro.core.detector import (
+    Detector,
+    as_batch,
+    as_uint64_keys,
+    ensure_nonnegative_weights,
+)
+from repro.core.registry import register_detector
 from repro.hashing.families import HashFamily, pairwise_indep_family
 
 
-class CountMinSketch:
-    """The counter array; supports point updates and point queries."""
+class CountMinSketch(Detector):
+    """The counter array; supports point, batch, and point-query access."""
 
     def __init__(
         self,
@@ -32,28 +48,58 @@ class CountMinSketch:
         self.conservative = conservative
         family = family or pairwise_indep_family()
         self._hashes = [family.function(r, width) for r in range(rows)]
-        self._tables = [[0] * width for _ in range(rows)]
+        self._vhashes = [family.function_array(r, width) for r in range(rows)]
+        self._table = np.zeros((rows, width), dtype=np.int64)
         self.total = 0
 
-    def update(self, key: int, weight: int = 1) -> None:
+    def update(self, key: int, weight: int = 1, ts: float = 0.0) -> None:
         """Add ``weight`` to ``key``'s counters."""
         if weight < 0:
             raise ValueError(f"negative weight {weight}")
         self.total += weight
         if self.conservative:
             # Conservative update: raise only the minimal counters.
-            cells = [(t, h(key)) for t, h in zip(self._tables, self._hashes)]
-            new_estimate = min(t[i] for t, i in cells) + weight
-            for t, i in cells:
-                if t[i] < new_estimate:
-                    t[i] = new_estimate
+            cells = [(row, h(key)) for row, h in zip(self._table, self._hashes)]
+            new_estimate = min(int(row[i]) for row, i in cells) + weight
+            for row, i in cells:
+                if row[i] < new_estimate:
+                    row[i] = new_estimate
         else:
-            for t, h in zip(self._tables, self._hashes):
-                t[h(key)] += weight
+            for row, h in zip(self._table, self._hashes):
+                row[h(key)] += weight
+
+    def update_batch(self, keys, weights=None, ts=None) -> None:
+        """Vectorized scatter update (scalar replay when conservative)."""
+        if self.conservative:
+            super().update_batch(keys, weights, ts)
+            return
+        keys, weights, _ = as_batch(keys, weights, ts)
+        keys = as_uint64_keys(keys)
+        weights = ensure_nonnegative_weights(weights)
+        # Counters truncate like the scalar path's int64 setitem; `total`
+        # accumulates the given weights untruncated, also like scalar.
+        int_weights = weights.astype(np.int64)
+        for row, vh in zip(self._table, self._vhashes):
+            np.add.at(row, vh(keys), int_weights)
+        self.total += weights.sum().item()
 
     def estimate(self, key: int) -> int:
         """Point estimate (never underestimates)."""
-        return min(t[h(key)] for t, h in zip(self._tables, self._hashes))
+        return int(min(row[h(key)] for row, h in zip(self._table, self._hashes)))
+
+    def reset(self) -> None:
+        """Zero every counter, keeping the hash functions."""
+        self._table.fill(0)
+        self.total = 0
+
+    def merge(self, other: Detector) -> None:
+        """Elementwise sum (same geometry and family required)."""
+        if not isinstance(other, CountMinSketch) or (
+            other.width != self.width or other.rows != self.rows
+        ):
+            raise ValueError("can only merge CountMinSketch of equal geometry")
+        self._table += other._table
+        self.total += other.total
 
     @property
     def num_counters(self) -> int:
@@ -61,12 +107,15 @@ class CountMinSketch:
         return self.width * self.rows
 
 
-class CountMinHeavyHitters:
+class CountMinHeavyHitters(Detector):
     """Count-Min plus a candidate map, reporting keys above a threshold.
 
     ``track_phi`` sets how early a key enters the candidate map as a
     fraction of the stream's running total; anything that could reach a
     final report threshold above that fraction is guaranteed to be tracked.
+
+    Candidate admission depends on the running total at each packet, so the
+    batch path is the exact scalar replay from the base class.
     """
 
     def __init__(
@@ -83,7 +132,7 @@ class CountMinHeavyHitters:
         self.track_phi = track_phi
         self._candidates: dict[int, int] = {}
 
-    def update(self, key: int, weight: int = 1) -> None:
+    def update(self, key: int, weight: int = 1, ts: float = 0.0) -> None:
         """Account one packet."""
         self.sketch.update(key, weight)
         estimate = self.sketch.estimate(key)
@@ -93,13 +142,17 @@ class CountMinHeavyHitters:
         # candidate map at ~1/track_phi live entries plus stragglers.
         if len(self._candidates) > 4 / self.track_phi:
             floor = self.track_phi * self.sketch.total
-            self._candidates = {
-                k: self.sketch.estimate(k)
-                for k in self._candidates
-                if self.sketch.estimate(k) >= floor
-            }
+            estimate_fn = self.sketch.estimate
+            pruned: dict[int, int] = {}
+            for k in self._candidates:
+                e = estimate_fn(k)
+                if e >= floor:
+                    pruned[k] = e
+            self._candidates = pruned
 
-    def query(self, threshold: float) -> dict[int, float]:
+    def query(
+        self, threshold: float, now: float | None = None
+    ) -> dict[int, float]:
         """Tracked keys whose current estimate reaches ``threshold``."""
         out: dict[int, float] = {}
         for key in self._candidates:
@@ -108,7 +161,36 @@ class CountMinHeavyHitters:
                 out[key] = float(estimate)
         return out
 
+    def reset(self) -> None:
+        """Zero the sketch and drop all candidates."""
+        self.sketch.reset()
+        self._candidates.clear()
+
+    def merge(self, other: Detector) -> None:
+        """Merge sketches, union candidates, and re-prune."""
+        if not isinstance(other, CountMinHeavyHitters):
+            raise ValueError("can only merge CountMinHeavyHitters")
+        self.sketch.merge(other.sketch)
+        floor = self.track_phi * self.sketch.total
+        merged: dict[int, int] = {}
+        for key in self._candidates.keys() | other._candidates.keys():
+            estimate = self.sketch.estimate(key)
+            if estimate >= floor:
+                merged[key] = estimate
+        self._candidates = merged
+
     @property
     def num_counters(self) -> int:
         """Counters used, including candidate map entries."""
         return self.sketch.num_counters + len(self._candidates)
+
+
+register_detector(
+    "countmin", CountMinSketch, enumerable=False,
+    description="Count-Min sketch (point estimates; vectorized batch path)",
+)
+register_detector(
+    "countmin-hh", CountMinHeavyHitters,
+    description="Count-Min with candidate tracking for heavy-hitter reports",
+    probe=lambda det, key, now: det.sketch.estimate(key),
+)

@@ -17,13 +17,20 @@ poster critiques.
 
 from __future__ import annotations
 
+from repro.core.detector import Detector
+from repro.core.registry import register_detector
 from repro.hashing.families import HashFamily, pairwise_indep_family
 
 _EMPTY = -1
 
 
-class HashPipe:
-    """d-stage pipeline of hash tables with smallest-carried eviction."""
+class HashPipe(Detector):
+    """d-stage pipeline of hash tables with smallest-carried eviction.
+
+    Evictions cascade stage to stage per packet, so the batch path is the
+    exact scalar replay inherited from :class:`repro.core.Detector` (lists,
+    not numpy — scalar indexing into Python lists is faster in CPython).
+    """
 
     def __init__(
         self,
@@ -43,7 +50,7 @@ class HashPipe:
         self._counts = [[0] * stage_slots for _ in range(stages)]
         self.total = 0
 
-    def update(self, key: int, weight: int = 1) -> None:
+    def update(self, key: int, weight: int = 1, ts: float = 0.0) -> None:
         """Process one packet through the pipeline."""
         if weight < 0:
             raise ValueError(f"negative weight {weight}")
@@ -84,7 +91,9 @@ class HashPipe:
                 total += self._counts[stage][slot]
         return total
 
-    def query(self, threshold: float) -> dict[int, float]:
+    def query(
+        self, threshold: float, now: float | None = None
+    ) -> dict[int, float]:
         """All keys whose summed estimate reaches ``threshold``."""
         totals: dict[int, int] = {}
         for stage in range(self.stages):
@@ -93,7 +102,20 @@ class HashPipe:
                     totals[key] = totals.get(key, 0) + count
         return {k: float(c) for k, c in totals.items() if c >= threshold}
 
+    def reset(self) -> None:
+        """Empty every stage, keeping the hash functions."""
+        for stage in range(self.stages):
+            self._keys[stage] = [_EMPTY] * self.stage_slots
+            self._counts[stage] = [0] * self.stage_slots
+        self.total = 0
+
     @property
     def num_counters(self) -> int:
         """(key, count) slots allocated (for resource accounting)."""
         return self.stage_slots * self.stages
+
+
+register_detector(
+    "hashpipe", HashPipe,
+    description="HashPipe d-stage in-switch pipeline (scalar-replay batch)",
+)

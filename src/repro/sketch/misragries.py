@@ -8,9 +8,16 @@ the classic guarantee for byte-weighted streams.
 
 from __future__ import annotations
 
+from repro.core.detector import Detector
+from repro.core.registry import register_detector
 
-class MisraGries:
-    """Fixed-capacity frequent-items summary with one-sided underestimates."""
+
+class MisraGries(Detector):
+    """Fixed-capacity frequent-items summary with one-sided underestimates.
+
+    Decrement cascades make updates order-dependent, so the batch path is
+    the exact scalar replay inherited from :class:`repro.core.Detector`.
+    """
 
     def __init__(self, capacity: int = 256) -> None:
         if capacity < 1:
@@ -20,7 +27,7 @@ class MisraGries:
         self.total = 0
         self.decremented = 0
 
-    def update(self, key: int, weight: int = 1) -> None:
+    def update(self, key: int, weight: int = 1, ts: float = 0.0) -> None:
         """Account ``weight`` for ``key``."""
         if weight < 0:
             raise ValueError(f"negative weight {weight}")
@@ -49,7 +56,9 @@ class MisraGries:
         """Underestimate of ``key``'s count (0 when untracked)."""
         return self._counts.get(key, 0)
 
-    def query(self, threshold: float) -> dict[int, float]:
+    def query(
+        self, threshold: float, now: float | None = None
+    ) -> dict[int, float]:
         """Tracked keys whose (under)estimate reaches ``threshold``."""
         return {
             key: float(count)
@@ -61,6 +70,31 @@ class MisraGries:
         """A copy of the live counter table."""
         return dict(self._counts)
 
+    def reset(self) -> None:
+        """Drop all counters."""
+        self._counts.clear()
+        self.total = 0
+        self.decremented = 0
+
+    def merge(self, other: "Detector") -> None:
+        """The classic Misra-Gries merge: add counts over the key union,
+        then subtract the (capacity+1)-th largest and drop non-positives —
+        keeps the N/(capacity+1) underestimate guarantee."""
+        if not isinstance(other, MisraGries):
+            raise ValueError("can only merge MisraGries")
+        combined: dict[int, int] = dict(self._counts)
+        for key, count in other._counts.items():
+            combined[key] = combined.get(key, 0) + count
+        if len(combined) > self.capacity:
+            cut = sorted(combined.values(), reverse=True)[self.capacity]
+            combined = {
+                k: c - cut for k, c in combined.items() if c - cut > 0
+            }
+            self.decremented += cut
+        self._counts = combined
+        self.total += other.total
+        self.decremented += other.decremented
+
     def __len__(self) -> int:
         return len(self._counts)
 
@@ -68,3 +102,9 @@ class MisraGries:
     def num_counters(self) -> int:
         """Counters allocated (for resource accounting)."""
         return self.capacity
+
+
+register_detector(
+    "misragries", MisraGries,
+    description="Misra-Gries frequent items (scalar-replay batch)",
+)

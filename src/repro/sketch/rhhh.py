@@ -18,14 +18,21 @@ from __future__ import annotations
 
 import random
 
+from repro.core.detector import Detector
+from repro.core.registry import register_detector
 from repro.hhh.exact_hhh import HHHItem, HHHResult
 from repro.hierarchy.domain import SourceHierarchy
 from repro.net.prefix import Prefix
 from repro.sketch.spacesaving import SpaceSaving
 
 
-class RHHH:
-    """Per-level Space-Saving with randomised level updates."""
+class RHHH(Detector):
+    """Per-level Space-Saving with randomised level updates.
+
+    Level sampling consumes one RNG draw per packet, so the batch path is
+    the exact scalar replay inherited from :class:`repro.core.Detector`
+    (identical RNG sequence, identical results).
+    """
 
     def __init__(
         self,
@@ -39,6 +46,8 @@ class RHHH:
             raise ValueError(
                 f"counters_per_level must be >= 1, got {counters_per_level}"
             )
+        self.counters_per_level = counters_per_level
+        self.seed = seed
         self._levels = [
             SpaceSaving(counters_per_level)
             for _ in range(self.hierarchy.num_levels)
@@ -48,7 +57,7 @@ class RHHH:
         self.total = 0
         self.updates = 0
 
-    def update(self, key: int, weight: int = 1) -> None:
+    def update(self, key: int, weight: int = 1, ts: float = 0.0) -> None:
         """Account one packet (updates one random level, or all levels when
         ``sample_levels`` is off)."""
         self.total += weight
@@ -101,7 +110,9 @@ class RHHH:
         items.sort()
         return HHHResult(tuple(items), threshold, self.total)
 
-    def query(self, threshold: float) -> dict[int, float]:
+    def query(
+        self, threshold: float, now: float | None = None
+    ) -> dict[int, float]:
         """Leaf-level heavy keys (StreamingDetector protocol)."""
         leaf = self._levels[0]
         scale = self._scale()
@@ -111,7 +122,22 @@ class RHHH:
             if count * scale >= threshold
         }
 
+    def reset(self) -> None:
+        """Reset every level and re-seed the level-sampling RNG."""
+        for level in self._levels:
+            level.reset()
+        self._rng = random.Random(self.seed)
+        self.total = 0
+        self.updates = 0
+
     @property
     def num_counters(self) -> int:
         """Counters across all levels (for resource accounting)."""
         return sum(level.num_counters for level in self._levels)
+
+
+register_detector(
+    "rhhh", RHHH,
+    description="Randomized HHH (per-level Space-Saving; scalar-replay batch)",
+    probe=lambda det, key, now: det.estimate(key, 0),
+)

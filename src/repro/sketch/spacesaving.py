@@ -16,9 +16,17 @@ from __future__ import annotations
 
 import heapq
 
+from repro.core.detector import Detector
+from repro.core.registry import register_detector
 
-class SpaceSaving:
-    """Fixed-capacity heavy-hitter counter table."""
+
+class SpaceSaving(Detector):
+    """Fixed-capacity heavy-hitter counter table.
+
+    Pointer-based (dict + lazy heap), so the batch path is the exact scalar
+    replay inherited from :class:`repro.core.Detector` — eviction order is
+    part of the algorithm and cannot be reordered by a scatter update.
+    """
 
     def __init__(self, capacity: int = 256) -> None:
         if capacity < 1:
@@ -29,7 +37,7 @@ class SpaceSaving:
         self._heap: list[tuple[int, int]] = []  # (count_at_push, key)
         self.total = 0
 
-    def update(self, key: int, weight: int = 1) -> None:
+    def update(self, key: int, weight: int = 1, ts: float = 0.0) -> None:
         """Account ``weight`` for ``key``."""
         if weight < 0:
             raise ValueError(f"negative weight {weight}")
@@ -80,7 +88,9 @@ class SpaceSaving:
             heapq.heappop(heap)
         return heap[0][0] if heap else 0
 
-    def query(self, threshold: float) -> dict[int, float]:
+    def query(
+        self, threshold: float, now: float | None = None
+    ) -> dict[int, float]:
         """Tracked keys whose estimate reaches ``threshold``."""
         return {
             key: float(count)
@@ -92,6 +102,44 @@ class SpaceSaving:
         """A copy of the live counter table."""
         return dict(self._counts)
 
+    def reset(self) -> None:
+        """Drop all counters."""
+        self._counts.clear()
+        self._errors.clear()
+        self._heap.clear()
+        self.total = 0
+
+    def merge(self, other: "Detector") -> None:
+        """Standard Space-Saving merge: sum estimates and errors over the
+        key union, keep the ``capacity`` largest (overestimates preserved)."""
+        if not isinstance(other, SpaceSaving):
+            raise ValueError("can only merge SpaceSaving")
+        merged: dict[int, tuple[int, int]] = {}
+        self_min = self._min_count() if len(self._counts) >= self.capacity else 0
+        other_min = (
+            other._min_count() if len(other._counts) >= other.capacity else 0
+        )
+        for key in self._counts.keys() | other._counts.keys():
+            # A key untracked on one side may still have up to that side's
+            # minimum count there; fold it into the inherited error.
+            c1 = self._counts.get(key)
+            c2 = other._counts.get(key)
+            count = (c1 if c1 is not None else self_min) + (
+                c2 if c2 is not None else other_min
+            )
+            error = (
+                self._errors.get(key, self_min if c1 is None else 0)
+                + other._errors.get(key, other_min if c2 is None else 0)
+            )
+            merged[key] = (count, error)
+        top = sorted(merged.items(), key=lambda kv: kv[1][0], reverse=True)
+        top = top[: self.capacity]
+        self._counts = {k: c for k, (c, _) in top}
+        self._errors = {k: e for k, (_, e) in top}
+        self._heap = [(c, k) for k, (c, _) in top]
+        heapq.heapify(self._heap)
+        self.total += other.total
+
     def __len__(self) -> int:
         return len(self._counts)
 
@@ -99,3 +147,9 @@ class SpaceSaving:
     def num_counters(self) -> int:
         """Counters allocated (for resource accounting)."""
         return self.capacity
+
+
+register_detector(
+    "spacesaving", SpaceSaving,
+    description="Space-Saving top-k counter table (scalar-replay batch)",
+)

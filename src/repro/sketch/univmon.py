@@ -14,6 +14,8 @@ from __future__ import annotations
 
 import math
 
+from repro.core.detector import Detector
+from repro.core.registry import register_detector
 from repro.hashing.families import HashFamily, pairwise_indep_family
 from repro.sketch.countsketch import CountSketch
 
@@ -41,8 +43,13 @@ class _TopK:
         return dict(self.estimates)
 
 
-class UnivMon:
-    """Universal sketch: layered, subsampled Count-Sketches + top-k."""
+class UnivMon(Detector):
+    """Universal sketch: layered, subsampled Count-Sketches + top-k.
+
+    Each update refreshes top-k trackers with post-update estimates, a
+    sequential dependency; the batch path is the exact scalar replay
+    inherited from :class:`repro.core.Detector`.
+    """
 
     def __init__(
         self,
@@ -55,6 +62,7 @@ class UnivMon:
         if levels < 1:
             raise ValueError(f"need at least one level, got {levels}")
         self.levels = levels
+        self.top_k = top_k
         family = family or pairwise_indep_family()
         self._sample_bits = [
             family.function(1000 + i, 2) for i in range(levels - 1)
@@ -75,7 +83,7 @@ class UnivMon:
             level += 1
         return level
 
-    def update(self, key: int, weight: int = 1) -> None:
+    def update(self, key: int, weight: int = 1, ts: float = 0.0) -> None:
         """Account one packet: update levels 0..level_of(key)."""
         self.total += weight
         deepest = self._level_of(key)
@@ -88,7 +96,9 @@ class UnivMon:
         """Point estimate from the level-0 Count-Sketch."""
         return self._sketches[0].estimate(key)
 
-    def query(self, threshold: float) -> dict[int, float]:
+    def query(
+        self, threshold: float, now: float | None = None
+    ) -> dict[int, float]:
         """Heavy keys (StreamingDetector protocol): level-0 top-k filter."""
         out: dict[int, float] = {}
         for key in self._tops[0].top():
@@ -132,7 +142,20 @@ class UnivMon:
         """Distinct-key (L0) estimate via g(w) = 1."""
         return self.g_sum(lambda w: 1.0)
 
+    def reset(self) -> None:
+        """Reset every level sketch and top-k tracker."""
+        for sketch in self._sketches:
+            sketch.reset()
+        self._tops = [_TopK(self.top_k) for _ in range(self.levels)]
+        self.total = 0
+
     @property
     def num_counters(self) -> int:
         """Counters across all levels (for resource accounting)."""
         return sum(s.num_counters for s in self._sketches)
+
+
+register_detector(
+    "univmon", UnivMon,
+    description="UnivMon universal sketch (scalar-replay batch)",
+)

@@ -2,7 +2,7 @@
 
 The exact ground truth in :mod:`repro.hhh` slices the trace offline; real
 detectors (the sketches in :mod:`repro.sketch`) are *streaming* — they see
-one packet at a time and are reset at window boundaries.  The driver
+the packets of one window and are reset at window boundaries.  The driver
 encapsulates that protocol so every detector is exercised identically:
 
     driver = WindowedDetectorDriver(make_detector, window_size=5.0)
@@ -13,11 +13,25 @@ encapsulates that protocol so every detector is exercised identically:
 practice is to *reset* the data structure at each boundary ("by resetting
 the data structure at the end of each time window, there is no risk of
 counter overflowing").
+
+Since :class:`repro.trace.Trace` is columnar, the driver slices each
+window out of the timestamp column by binary search and hands the whole
+window to the detector's ``update_batch`` in one call — the vectorized
+fast path for array-backed detectors, an exact scalar replay for the
+rest.  Plain objects that only implement the legacy ``update(key,
+weight)`` protocol are driven packet by packet, as before.
+
+The trailing *partial* window (the one containing the trace's last packet)
+is dropped by default, matching the offline schedules; pass
+``emit_partial=True`` to report it too.  This replaces the seed's
+float-epsilon "exactly full" test with an explicit policy.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Iterator, Protocol
+
+import numpy as np
 
 from repro.packet.model import Packet
 from repro.trace.container import Trace
@@ -47,11 +61,17 @@ class WindowedDetectorDriver:
     window_size:
         Disjoint window length in seconds.
     key_func:
-        Packet -> integer key (defaults to the source address).
+        Packet -> integer key.  ``None`` (the default) keys by the source
+        address straight from the trace's ``src`` column, which keeps the
+        whole window on the vectorized path; a custom callable forces
+        per-packet key extraction.
     phi:
         Relative threshold: each window's report uses
         ``phi * window_bytes`` as the absolute threshold, matching the
         paper's per-window percentage thresholds.
+    emit_partial:
+        When true, the trailing partial window (the one holding the last
+        packet) is reported as well instead of being dropped.
     """
 
     def __init__(
@@ -60,6 +80,7 @@ class WindowedDetectorDriver:
         window_size: float,
         key_func: Callable[[Packet], int] | None = None,
         phi: float = 0.05,
+        emit_partial: bool = False,
     ) -> None:
         if window_size <= 0:
             raise ValueError(f"window_size must be positive, got {window_size}")
@@ -67,35 +88,75 @@ class WindowedDetectorDriver:
             raise ValueError(f"phi must be in (0, 1], got {phi}")
         self.detector_factory = detector_factory
         self.window_size = window_size
-        self.key_func = key_func or (lambda pkt: pkt.src)
+        self.key_func = key_func
         self.phi = phi
+        self.emit_partial = emit_partial
+
+    def _window_edges(self, trace: Trace) -> list[float]:
+        """Right edges of the windows to report, in order.
+
+        Edges accumulate (``edge += window_size``) exactly like the seed's
+        per-packet loop did, so boundary placement is bit-identical to
+        historic behaviour.  A window is *complete* once the trace extends
+        to its right edge; the trailing partial window is included only
+        under ``emit_partial``.
+        """
+        edges: list[float] = []
+        edge = trace.start_time + self.window_size
+        end = trace.end_time
+        while end >= edge:
+            edges.append(edge)
+            edge += self.window_size
+        if self.emit_partial:
+            edges.append(edge)
+        return edges
+
+    def _window_keys(self, trace: Trace, i: int, j: int) -> np.ndarray:
+        """Keys of packets [i, j): the raw column or key_func extraction.
+
+        ``np.asarray`` picks the dtype, so key funcs returning negative or
+        arbitrarily large ints survive (object columns are canonicalised
+        by the vectorized hashing layer).
+        """
+        if self.key_func is None:
+            return trace.src[i:j]
+        return np.asarray(
+            [self.key_func(trace.packet_at(p)) for p in range(i, j)]
+        )
 
     def run(self, trace: Trace) -> Iterator[tuple[Window, dict[int, float]]]:
-        """Yield ``(window, report)`` for each complete window of the trace.
+        """Yield ``(window, report)`` for each reported window of the trace.
 
         The report maps keys to estimated byte volumes at or above the
         window's threshold.
         """
         if len(trace) == 0:
             return
-        start = trace.start_time
-        window_index = 0
-        window_end = start + self.window_size
-        detector = self.detector_factory()
-        window_bytes = 0
-        for pkt in trace.packets():
-            while pkt.ts >= window_end:
-                yield self._report(window_index, window_end, detector, window_bytes)
-                window_index += 1
-                window_end += self.window_size
-                detector = self.detector_factory()
-                window_bytes = 0
-            detector.update(self.key_func(pkt), pkt.length)
-            window_bytes += pkt.length
-        # The final (possibly partial) window is dropped, matching the
-        # offline schedules, unless it happens to be exactly full.
-        if abs((trace.end_time + 1e-12) - window_end) < 1e-9:
-            yield self._report(window_index, window_end, detector, window_bytes)
+        edges = self._window_edges(trace)
+        cuts = np.searchsorted(trace.ts, np.asarray(edges), side="left")
+        start_index = 0
+        for window_index, (edge, end_index) in enumerate(zip(edges, cuts)):
+            i, j = start_index, int(end_index)
+            start_index = j
+            detector = self.detector_factory()
+            window_bytes = int(trace.length[i:j].sum())
+            if j > i:
+                self._feed(detector, trace, i, j)
+            yield self._report(window_index, edge, detector, window_bytes)
+
+    def _feed(
+        self, detector: StreamingDetector, trace: Trace, i: int, j: int
+    ) -> None:
+        """Hand packets [i, j) to the detector, batched when supported."""
+        keys = self._window_keys(trace, i, j)
+        weights = trace.length[i:j]
+        update_batch = getattr(detector, "update_batch", None)
+        if update_batch is not None:
+            update_batch(keys, weights, trace.ts[i:j])
+        else:
+            update = detector.update
+            for key, weight in zip(keys.tolist(), weights.tolist()):
+                update(key, weight)
 
     def _report(
         self,

@@ -1,0 +1,76 @@
+"""Tests for the string-keyed detector registry (repro.core.registry)."""
+
+import pytest
+
+from repro.core import (
+    Detector,
+    detector_names,
+    get_spec,
+    make_detector,
+    register_detector,
+)
+from repro.core import registry as registry_module
+
+EXPECTED_NAMES = {
+    "bloom",
+    "counting-bloom",
+    "countmin",
+    "countmin-hh",
+    "countsketch",
+    "decayed-countmin",
+    "decayed-spacesaving",
+    "exact-decayed",
+    "hashpipe",
+    "misragries",
+    "ondemand-tdbf",
+    "rhhh",
+    "sliding-spacesaving",
+    "spacesaving",
+    "td-hhh",
+    "tdbf",
+    "univmon",
+}
+
+
+class TestRegistry:
+    def test_all_expected_detectors_registered(self):
+        assert EXPECTED_NAMES <= set(detector_names())
+
+    def test_names_are_sorted(self):
+        names = detector_names()
+        assert list(names) == sorted(names)
+
+    def test_make_detector_builds_instances(self):
+        for name in detector_names():
+            det = make_detector(name)
+            assert isinstance(det, Detector)
+            assert det.num_counters >= 0
+
+    def test_factory_kwargs_forwarded(self):
+        det = make_detector("countmin", width=64, rows=2)
+        assert det.num_counters == 128
+
+    def test_unknown_name_raises_with_listing(self):
+        with pytest.raises(KeyError, match="countmin"):
+            make_detector("no-such-detector")
+
+    def test_duplicate_registration_rejected(self):
+        register_detector("_test-dupe", lambda: None)
+        try:
+            with pytest.raises(ValueError):
+                register_detector("_test-dupe", lambda: None)
+        finally:
+            registry_module._REGISTRY.pop("_test-dupe")
+
+    def test_spec_metadata(self):
+        assert get_spec("ondemand-tdbf").timestamped
+        assert not get_spec("countmin").timestamped
+        assert get_spec("spacesaving").enumerable
+        assert not get_spec("bloom").enumerable
+
+    def test_spec_estimate_probe(self):
+        spec = get_spec("bloom")
+        det = spec.factory()
+        det.update(42)
+        assert spec.estimate(det, 42, now=0.0) == 1.0
+        assert spec.estimate(det, 43, now=0.0) in (0.0, 1.0)

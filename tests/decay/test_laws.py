@@ -77,6 +77,49 @@ class TestExponentialDecay:
             ExponentialDecay(tau=1.0).decay(1.0, -0.5)
 
 
+class TestVectorizedLaws:
+    """decay_array (and decay_factor) must agree with scalar decay."""
+
+    @pytest.mark.parametrize("law", [
+        LinearDecay(rate=3.0),
+        ExponentialDecay(tau=5.0),
+        SlidingExpiry(window=10.0),
+    ])
+    def test_decay_array_matches_scalar(self, law):
+        import numpy as np
+
+        values_arr = np.array([0.0, 1.0, 10.0, 1e6, 123.456])
+        ages_arr = np.array([0.0, 0.5, 5.0, 9.999, 10.0, 100.0])
+        for age in ages_arr.tolist():
+            out = law.decay_array(values_arr, age)
+            expected = [law.decay(v, age) for v in values_arr.tolist()]
+            assert out.tolist() == pytest.approx(expected)
+
+    def test_decay_array_elementwise_ages(self):
+        import numpy as np
+
+        law = ExponentialDecay(tau=2.0)
+        values_arr = np.array([1.0, 2.0, 3.0])
+        ages_arr = np.array([0.0, 2.0, 4.0])
+        out = law.decay_array(values_arr, ages_arr)
+        expected = [law.decay(v, a)
+                    for v, a in zip(values_arr.tolist(), ages_arr.tolist())]
+        assert out.tolist() == pytest.approx(expected)
+
+    def test_exponential_decay_factor_is_multiplicative(self):
+        import numpy as np
+
+        law = ExponentialDecay(tau=3.0)
+        ages_arr = np.array([0.0, 1.0, 10.0])
+        factors = law.decay_factor(ages_arr)
+        assert (7.0 * factors).tolist() == pytest.approx(
+            [law.decay(7.0, a) for a in ages_arr.tolist()]
+        )
+        # Only the exponential law advertises the value-linear fast path.
+        assert not hasattr(LinearDecay(1.0), "decay_factor")
+        assert not hasattr(SlidingExpiry(1.0), "decay_factor")
+
+
 class TestSlidingExpiry:
     def test_step_function(self):
         law = SlidingExpiry(window=10.0)

@@ -57,3 +57,55 @@ class TestFamilies:
 
 def test_default_family_is_multiply_shift():
     assert isinstance(pairwise_indep_family(), MultiplyShiftFamily)
+
+
+@pytest.mark.parametrize("family_cls", [MultiplyShiftFamily, MixerFamily])
+class TestVectorizedTwins:
+    """function_array / sign_array must be bit-exact with the scalars."""
+
+    def test_function_array_matches_scalar(self, family_cls):
+        import numpy as np
+
+        family = family_cls(seed=9)
+        rng = np.random.default_rng(1)
+        batches = [
+            rng.integers(0, 2**32, size=2000, dtype=np.uint64),
+            rng.integers(0, 2**64, size=2000, dtype=np.uint64),
+            np.array([0, 1, 2**32 - 1, 2**32, 2**61 - 2, 2**61 - 1,
+                      2**61, 2**64 - 1], dtype=np.uint64),
+        ]
+        for index in range(3):
+            for m in (2, 7, 1024, 12345):
+                h = family.function(index, m)
+                hv = family.function_array(index, m)
+                for keys_arr in batches:
+                    expected = [h(int(k)) for k in keys_arr]
+                    assert hv(keys_arr).tolist() == expected
+
+    def test_sign_array_matches_scalar(self, family_cls):
+        import numpy as np
+
+        family = family_cls(seed=9)
+        rng = np.random.default_rng(2)
+        keys_arr = rng.integers(0, 2**64, size=2000, dtype=np.uint64)
+        for index in range(3):
+            s = family.sign_function(index)
+            sv = family.sign_array(index)
+            assert sv(keys_arr).tolist() == [s(int(k)) for k in keys_arr]
+
+    def test_function_array_validation(self, family_cls):
+        with pytest.raises(ValueError):
+            family_cls().function_array(0, 0)
+
+    def test_negative_keys_reduce_like_uint64_wrap(self, family_cls):
+        import numpy as np
+
+        family = family_cls(seed=11)
+        h = family.function(0, 4096)
+        hv = family.function_array(0, 4096)
+        s = family.sign_function(0)
+        sv = family.sign_array(0)
+        raw = [-1, -10, -(2**40), -(2**63)]
+        wrapped = np.array([k & ((1 << 64) - 1) for k in raw], dtype=np.uint64)
+        assert [h(k) for k in raw] == hv(wrapped).tolist()
+        assert [s(k) for k in raw] == sv(wrapped).tolist()

@@ -86,3 +86,80 @@ class TestDriver:
             WindowedDetectorDriver(ExactCounter, window_size=0.0)
         with pytest.raises(ValueError):
             WindowedDetectorDriver(ExactCounter, window_size=1.0, phi=0.0)
+
+
+class TestFinalWindowPolicy:
+    """Regression tests for the explicit emit_partial flush option
+    (replacing the seed's float-epsilon 'exactly full' test)."""
+
+    def test_trace_ending_exactly_on_boundary(self):
+        # Last packet at ts == start + window_size: it opens a new
+        # (partial) window, which is dropped by default.
+        trace = trace_from([(0.0, 1, 10), (0.5, 1, 20), (1.0, 2, 30)])
+        driver = WindowedDetectorDriver(ExactCounter, window_size=1.0, phi=0.1)
+        reports = list(driver.run(trace))
+        assert len(reports) == 1
+        assert set(reports[0][1]) == {1}
+
+    def test_trace_ending_exactly_on_boundary_with_emit_partial(self):
+        trace = trace_from([(0.0, 1, 10), (0.5, 1, 20), (1.0, 2, 30)])
+        driver = WindowedDetectorDriver(
+            ExactCounter, window_size=1.0, phi=0.1, emit_partial=True
+        )
+        reports = list(driver.run(trace))
+        assert len(reports) == 2
+        (w0, r0), (w1, r1) = reports
+        assert set(r0) == {1}
+        assert set(r1) == {2}
+        assert w1.t0 == pytest.approx(1.0) and w1.index == 1
+
+    def test_trace_ending_inside_window(self):
+        # Last packet strictly inside the second window: dropped by
+        # default, reported under emit_partial.
+        points = [(0.0, 1, 10), (0.5, 1, 20), (1.7, 2, 30)]
+        default = WindowedDetectorDriver(ExactCounter, window_size=1.0, phi=0.1)
+        assert len(list(default.run(trace_from(points)))) == 1
+        flushing = WindowedDetectorDriver(
+            ExactCounter, window_size=1.0, phi=0.1, emit_partial=True
+        )
+        reports = list(flushing.run(trace_from(points)))
+        assert len(reports) == 2
+        assert set(reports[1][1]) == {2}
+
+    def test_single_window_trace_only_reported_with_emit_partial(self):
+        points = [(0.0, 1, 10), (0.2, 1, 20)]
+        default = WindowedDetectorDriver(ExactCounter, window_size=1.0, phi=0.1)
+        assert list(default.run(trace_from(points))) == []
+        flushing = WindowedDetectorDriver(
+            ExactCounter, window_size=1.0, phi=0.1, emit_partial=True
+        )
+        ((window, report),) = list(flushing.run(trace_from(points)))
+        assert set(report) == {1}
+        assert window.index == 0
+
+
+class TestBatchPath:
+    def test_batch_and_keyfunc_paths_agree(self, tiny_trace):
+        # key_func=None takes the columnar fast path; an equivalent
+        # callable forces per-packet extraction.  Reports must match.
+        fast = WindowedDetectorDriver(
+            lambda: SpaceSaving(64), window_size=1.0, phi=0.1
+        )
+        slow = WindowedDetectorDriver(
+            lambda: SpaceSaving(64), window_size=1.0,
+            key_func=lambda pkt: pkt.src, phi=0.1,
+        )
+        assert list(fast.run(tiny_trace)) == list(slow.run(tiny_trace))
+
+    def test_batch_detector_matches_legacy_scalar_detector(self, tiny_trace):
+        # A Detector subclass (batched) and a plain legacy object (scalar
+        # protocol) must report identical windows.
+        batched = WindowedDetectorDriver(
+            lambda: SpaceSaving(4096), window_size=1.0, phi=0.2
+        )
+        legacy = WindowedDetectorDriver(ExactCounter, window_size=1.0, phi=0.2)
+        got = list(batched.run(tiny_trace))
+        expected = list(legacy.run(tiny_trace))
+        assert [w for w, _ in got] == [w for w, _ in expected]
+        # With capacity far above the key count Space-Saving is exact.
+        assert [r for _, r in got] == [r for _, r in expected]
