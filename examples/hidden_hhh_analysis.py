@@ -3,7 +3,9 @@
 
 Replicates the paper's grid — window sizes {5, 10, 20} s, thresholds
 {1%, 5%, 10%}, sliding step 1 s, one-dimensional source-IP HHH weighted by
-bytes — over the four synthetic "CAIDA days".
+bytes — over the four synthetic "CAIDA days", driven entirely through the
+experiment registry and string-addressable TraceSpecs (the same path as
+``repro-hhh run hidden-hhh``).
 
 Run with::
 
@@ -15,28 +17,31 @@ duration-stable, see EXPERIMENTS.md).
 
 import sys
 
-from repro.analysis import HiddenHHHExperiment
-from repro.trace import presets
+from repro.analysis import ascii_bars
+from repro.experiments import run_experiment
 
 
 def main() -> None:
     duration = float(sys.argv[1]) if len(sys.argv) > 1 else 120.0
     print(f"generating 4 synthetic days x {duration:.0f}s ...")
-    traces = presets.all_days(duration=duration)
-
-    experiment = HiddenHHHExperiment(
-        window_sizes=(5.0, 10.0, 20.0),
-        thresholds=(0.01, 0.05, 0.10),
-        step=1.0,
+    result = run_experiment(
+        "hidden-hhh",
+        trace_specs=[
+            f"caida:day={day},duration={duration}" for day in range(4)
+        ],
+        labels=[f"day{day}" for day in range(4)],
     )
-    result = experiment.run_days(traces)
 
     print("\nFigure 2 — percentage of hidden HHHs")
     print(result.to_table())
     print("\nbar view:")
-    print(result.to_bars())
+    labels = [
+        f"{r['trace']} W={r['window_s']:g}s phi={r['phi_%']:g}%"
+        for r in result.rows
+    ]
+    print(ascii_bars(labels, [r["hidden_%"] for r in result.rows]))
     print(
-        f"\nmax hidden: {result.max_hidden_percent():.1f}% "
+        f"\nmax hidden: {result.headline['max_hidden_percent']:.1f}% "
         "(paper: up to 34%; 24-34% at 1% and 18-24% at 5% thresholds)"
     )
 

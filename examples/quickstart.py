@@ -2,19 +2,26 @@
 """Quickstart: generate a trace, find its hierarchical heavy hitters, and
 see what disjoint windows hide.
 
+Everything goes through the string-addressable APIs: traces are built from
+:class:`repro.trace.TraceSpec` strings and experiments come from the
+registry (``repro-hhh experiments`` lists them).
+
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import ExactHHH, presets
-from repro.analysis import HiddenHHHExperiment
+from repro import ExactHHH
+from repro.experiments import make_experiment
+from repro.trace import build_trace
 from repro.trace.stats import compute_stats
 
 
 def main() -> None:
-    # 1. A synthetic Tier-1-like trace (60 seconds, seeded, reproducible).
-    trace = presets.caida_like_day(day=0, duration=60.0)
+    # 1. A synthetic Tier-1-like trace (60 seconds, seeded, reproducible),
+    #    addressed as a string — the same spec works as
+    #    `repro-hhh run <experiment> --trace caida:day=0,duration=60`.
+    trace = build_trace("caida:day=0,duration=60")
     print("trace:")
     for line in compute_stats(trace).to_lines():
         print("   " + line)
@@ -30,10 +37,13 @@ def main() -> None:
 
     # 3. The paper's Figure 2 question: how much do disjoint windows hide
     #    compared to a sliding window of the same length?
-    experiment = HiddenHHHExperiment(window_sizes=(10.0,), thresholds=(0.05,))
+    experiment = make_experiment(
+        "hidden-hhh", window_sizes=(10.0,), thresholds=(0.05,)
+    )
     hidden = experiment.run(trace, label="day0")
     print("\nhidden HHHs (disjoint vs sliding, step 1s):")
     print(hidden.to_table())
+    print(f"\nmax hidden: {hidden.headline['max_hidden_percent']}%")
 
 
 if __name__ == "__main__":

@@ -3,7 +3,8 @@
 
 Replicates the paper's setup: a 10-second baseline window compared against
 windows 10-100 ms shorter (same start), Jaccard similarity of the reported
-HHH sets at a 5% threshold, CDF across windows.
+HHH sets at a 5% threshold, CDF across windows — driven through the
+experiment registry (the same path as ``repro-hhh run window-sensitivity``).
 
 Run with::
 
@@ -15,25 +16,24 @@ for the full-length run).
 
 import sys
 
-from repro.analysis import WindowSensitivityExperiment
-from repro.trace import presets
+from repro.experiments import run_experiment
 
 
 def main() -> None:
     duration = float(sys.argv[1]) if len(sys.argv) > 1 else 240.0
     print(f"generating sensitivity trace ({duration:.0f}s) ...")
-    trace = presets.sensitivity_trace(duration=duration)
-
-    experiment = WindowSensitivityExperiment(
-        baseline_size=10.0, phi=0.05
+    result = run_experiment(
+        "window-sensitivity",
+        trace_specs=[f"sensitivity:duration={duration}"],
+        overrides={"baseline_size": 10.0, "phi": 0.05},
     )
-    result = experiment.run(trace)
 
     print("\nFigure 3 — Jaccard similarity vs shrink delta")
     print(result.to_table())
+    sensitivity = result.extras["sensitivity"]
     for delta in (0.04, 0.10):
         print()
-        print(result.to_cdf_plot(delta))
+        print(sensitivity.to_cdf_plot(delta))
     print(
         "\npaper: at delta=100ms the reported set differs by ~25% "
         "(J~0.75), at 40ms by ~11% (J~0.89), for at least 70% of windows"

@@ -11,6 +11,11 @@
 Each experiment consumes a :class:`repro.trace.Trace`, returns a result
 object with typed rows, and renders the same table/series the paper plots
 via ``to_table()``.
+
+These classes are the computation harnesses; the uniform, registry-driven
+API over them (declared params, string-addressable traces, JSON result
+artifacts) lives in :mod:`repro.experiments` and is what the CLI and CI
+drive.
 """
 
 from repro.analysis.hidden_experiment import (

@@ -1,21 +1,26 @@
 """Command-line interface.
 
-Subcommands mirror the paper's artefacts::
+The experiment layer is registry-driven: any registered experiment runs on
+any string-addressable trace and emits the uniform JSON result artifact::
+
+    repro-hhh run <experiment> [--trace SPEC ...] [--set key=value ...]
+                  [--json FILE] [--smoke]
+    repro-hhh experiments [--names]               # experiment registry
+    repro-hhh scenarios                           # trace-scenario registry
+    repro-hhh detectors                           # detector registry
+
+The paper's artefacts remain available as thin aliases over the same path
+(identical tables, same deterministic seeded presets)::
 
     repro-hhh stats     [--day N] [--duration S]      # trace summary
     repro-hhh fig2      [--duration S] [--days N] [--mode unique|occurrences]
-    repro-hhh fig3      [--duration S] [--deltas ...]
+    repro-hhh fig3      [--duration S] [--phi P] [--plot]
     repro-hhh sec3      [--duration S] [--window W] [--phi P]
-    repro-hhh pcap      --out FILE [--day N] [--duration S]
-    repro-hhh detectors                               # registry listing
     repro-hhh bench     [--detector NAME ...] [--duration S]
+    repro-hhh pcap      --out FILE [--day N] [--duration S]
 
-Every command is deterministic (seeded presets) and prints plain-text
-tables; see EXPERIMENTS.md for the recorded reference outputs.
-
-``detectors`` and ``bench`` are built on :mod:`repro.core`: detectors are
-looked up by registry name and driven through the unified scalar/batch
-update paths.
+See EXPERIMENTS.md for the recorded reference outputs of every registered
+experiment.
 """
 
 from __future__ import annotations
@@ -24,62 +29,151 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.analysis.decay_experiment import DecayComparisonExperiment
-from repro.analysis.hidden_experiment import HiddenHHHExperiment
 from repro.analysis.render import format_table
-from repro.analysis.sensitivity_experiment import WindowSensitivityExperiment
-from repro.analysis.throughput import speedup_row, trace_columns
 from repro.core import detector_names, get_spec
+from repro.experiments import (
+    ExperimentError,
+    ExperimentResult,
+    experiment_names,
+    get_experiment,
+    run_experiment,
+)
 from repro.packet.pcap import write_pcap
-from repro.trace import presets
+from repro.trace.spec import TraceSpec, TraceSpecError, get_scenario, scenario_names
 from repro.trace.stats import compute_stats
 
 
-def _cmd_stats(args: argparse.Namespace) -> int:
-    trace = presets.caida_like_day(args.day, args.duration)
-    print(f"synthetic CAIDA-like day {args.day}:")
-    for line in compute_stats(trace).to_lines():
-        print("  " + line)
-    return 0
+# -- argparse value types (reject garbage before trace generation) -----------
+
+def _positive_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {text}")
+    return value
 
 
-def _cmd_fig2(args: argparse.Namespace) -> int:
-    traces = [
-        presets.caida_like_day(day, args.duration) for day in range(args.days)
-    ]
-    experiment = HiddenHHHExperiment(mode=args.mode)
-    result = experiment.run_days(traces)
-    print("Figure 2 — percentage of hidden HHHs")
-    print(result.to_table())
+def _min1_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {text}")
+    return value
+
+
+def _day_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if not 0 <= value <= 3:
+        raise argparse.ArgumentTypeError(f"day must be 0..3, got {text}")
+    return value
+
+
+def _phi_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
+    if not 0 < value <= 1:
+        raise argparse.ArgumentTypeError(f"phi must be in (0, 1], got {text}")
+    return value
+
+
+def _fail(message: str) -> int:
+    print(f"error: {message}", file=sys.stderr)
+    return 2
+
+
+def _emit_json(result: ExperimentResult, path: str | None) -> None:
+    if path:
+        result.to_json(path)
+        print(f"wrote {path}")
+
+
+# -- the generic registry-driven path ----------------------------------------
+
+def _parse_set_args(pairs: Sequence[str] | None) -> dict[str, object]:
+    overrides: dict[str, object] = {}
+    for pair in pairs or ():
+        key, eq, value = pair.partition("=")
+        if not eq or not key:
+            raise ExperimentError(
+                f"bad --set {pair!r}; expected key=value"
+            )
+        overrides[key] = value
+    return overrides
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        experiment_cls = get_experiment(args.experiment)
+        result = run_experiment(
+            args.experiment,
+            trace_specs=args.trace,
+            overrides=_parse_set_args(args.set_),
+            labels=args.label,
+            smoke=args.smoke,
+        )
+    except ValueError as exc:
+        # ExperimentError/TraceSpecError plus the cross-parameter checks
+        # the analysis harnesses enforce (all ValueError subclasses/uses).
+        return _fail(str(exc))
+    print(f"{experiment_cls.name} — {experiment_cls.description}")
     print()
-    print(f"max hidden: {result.max_hidden_percent():.1f}% "
-          "(paper reports up to 34%)")
+    print(result.to_table())
+    if result.headline:
+        print()
+        for line in result.headline_lines():
+            print(line)
+    print()
+    print(f"traces: {', '.join(t.spec or t.label for t in result.traces)}")
+    print(f"timings: build {result.timings.get('trace_build_s', 0.0):.3f}s, "
+          f"run {result.timings.get('run_s', 0.0):.3f}s")
+    _emit_json(result, args.json_out)
     return 0
 
 
-def _cmd_fig3(args: argparse.Namespace) -> int:
-    trace = presets.sensitivity_trace(args.duration)
-    experiment = WindowSensitivityExperiment(phi=args.phi)
-    result = experiment.run(trace)
-    print("Figure 3 — Jaccard similarity vs baseline window")
-    print(result.to_table())
-    if args.plot:
-        for delta in (0.04, 0.10):
-            print()
-            print(result.to_cdf_plot(delta))
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    if args.names:
+        for name in experiment_names():
+            print(name)
+        return 0
+    rows = []
+    for name in experiment_names():
+        cls = get_experiment(name)
+        params = ", ".join(
+            f"{p.name}={p.describe_default()}" for p in cls.params()
+        )
+        rows.append({
+            "experiment": name,
+            "description": cls.description,
+            "default_trace": cls.default_trace,
+            "params": params or "-",
+        })
+    print(format_table(rows))
     return 0
 
 
-def _cmd_sec3(args: argparse.Namespace) -> int:
-    trace = presets.caida_like_day(0, args.duration)
-    experiment = DecayComparisonExperiment(
-        window_size=args.window, phi=args.phi
-    )
-    result = experiment.run(trace)
-    print("Section 3 — time-decaying vs disjoint-window detection")
-    print(f"truth occurrences: {result.num_truth_occurrences}, "
-          f"hidden: {result.num_hidden_occurrences}")
-    print(result.to_table())
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    rows = []
+    for name in scenario_names():
+        spec = get_scenario(name)
+        defaults = ", ".join(
+            f"{k}={v}" for k, v in spec.defaults().items()
+        )
+        rows.append({
+            "scenario": name,
+            "description": spec.description,
+            "example": spec.example,
+            "defaults": defaults or "-",
+        })
+    print(format_table(rows))
     return 0
 
 
@@ -97,24 +191,110 @@ def _cmd_detectors(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- paper-artefact aliases (thin wrappers over the registry path) -----------
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    spec = f"caida:day={args.day},duration={args.duration}"
+    try:
+        trace = TraceSpec.parse(spec).build()
+    except TraceSpecError as exc:
+        return _fail(str(exc))
+    print(f"synthetic CAIDA-like day {args.day}:")
+    for line in compute_stats(trace).to_lines():
+        print("  " + line)
+    return 0
+
+
+def _cmd_fig2(args: argparse.Namespace) -> int:
+    specs = [
+        f"caida:day={day},duration={args.duration}"
+        for day in range(args.days)
+    ]
+    try:
+        result = run_experiment(
+            "hidden-hhh",
+            trace_specs=specs,
+            overrides={"mode": args.mode},
+            labels=[f"day{day}" for day in range(args.days)],
+        )
+    except ValueError as exc:
+        # ExperimentError/TraceSpecError plus the cross-parameter checks
+        # the analysis harnesses enforce (all ValueError subclasses/uses).
+        return _fail(str(exc))
+    print("Figure 2 — percentage of hidden HHHs")
+    print(result.to_table())
+    print()
+    print(f"max hidden: {result.headline['max_hidden_percent']:.1f}% "
+          "(paper reports up to 34%)")
+    _emit_json(result, args.json_out)
+    return 0
+
+
+def _cmd_fig3(args: argparse.Namespace) -> int:
+    try:
+        result = run_experiment(
+            "window-sensitivity",
+            trace_specs=[f"sensitivity:duration={args.duration}"],
+            overrides={"phi": args.phi},
+        )
+    except ValueError as exc:
+        # ExperimentError/TraceSpecError plus the cross-parameter checks
+        # the analysis harnesses enforce (all ValueError subclasses/uses).
+        return _fail(str(exc))
+    print("Figure 3 — Jaccard similarity vs baseline window")
+    print(result.to_table())
+    if args.plot:
+        sensitivity = result.extras["sensitivity"]
+        for delta in (0.04, 0.10):
+            print()
+            print(sensitivity.to_cdf_plot(delta))
+    _emit_json(result, args.json_out)
+    return 0
+
+
+def _cmd_sec3(args: argparse.Namespace) -> int:
+    try:
+        result = run_experiment(
+            "decay-comparison",
+            trace_specs=[f"caida:day=0,duration={args.duration}"],
+            overrides={"window_size": args.window, "phi": args.phi},
+        )
+    except ValueError as exc:
+        # ExperimentError/TraceSpecError plus the cross-parameter checks
+        # the analysis harnesses enforce (all ValueError subclasses/uses).
+        return _fail(str(exc))
+    print("Section 3 — time-decaying vs disjoint-window detection")
+    print(f"truth occurrences: {result.headline['num_truth_occurrences']}, "
+          f"hidden: {result.headline['num_hidden_occurrences']}")
+    print(result.to_table())
+    _emit_json(result, args.json_out)
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
-    trace = presets.caida_like_day(0, args.duration)
     names = args.detector or ["countmin", "ondemand-tdbf", "spacesaving"]
-    known = detector_names()
-    for name in names:
-        if name not in known:
-            print(f"error: unknown detector {name!r}; see 'repro-hhh "
-                  "detectors' for the registry", file=sys.stderr)
-            return 2
-    columns = trace_columns(trace)
-    rows = [speedup_row(name, columns) for name in names]
+    try:
+        result = run_experiment(
+            "batch-throughput",
+            trace_specs=[f"caida:day=0,duration={args.duration}"],
+            overrides={"detectors": tuple(names)},
+        )
+    except ValueError as exc:
+        # ExperimentError/TraceSpecError plus the cross-parameter checks
+        # the analysis harnesses enforce (all ValueError subclasses/uses).
+        return _fail(str(exc))
     print("Batch vs scalar update throughput (packets/second)")
-    print(format_table(rows))
+    print(result.to_table())
+    _emit_json(result, args.json_out)
     return 0
 
 
 def _cmd_pcap(args: argparse.Namespace) -> int:
-    trace = presets.caida_like_day(args.day, args.duration)
+    spec = f"caida:day={args.day},duration={args.duration}"
+    try:
+        trace = TraceSpec.parse(spec).build()
+    except TraceSpecError as exc:
+        return _fail(str(exc))
     count = write_pcap(args.out, trace.packets())
     print(f"wrote {count} packets to {args.out}")
     return 0
@@ -131,46 +311,76 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("stats", help="summarise a synthetic trace")
-    p.add_argument("--day", type=int, default=0)
-    p.add_argument("--duration", type=float, default=120.0)
-    p.set_defaults(func=_cmd_stats)
+    p = sub.add_parser(
+        "run", help="run a registered experiment on string-addressed traces"
+    )
+    p.add_argument("experiment",
+                   help="registry name; see 'repro-hhh experiments'")
+    p.add_argument("--trace", action="append", metavar="SPEC",
+                   help="trace spec like 'caida:day=0,duration=60' "
+                        "(repeatable; default: the experiment's default)")
+    p.add_argument("--label", action="append",
+                   help="label for the matching --trace (repeatable)")
+    p.add_argument("--set", action="append", dest="set_", metavar="KEY=VALUE",
+                   help="override an experiment parameter (repeatable)")
+    p.add_argument("--json", dest="json_out", metavar="FILE",
+                   help="also write the result artifact as JSON")
+    p.add_argument("--smoke", action="store_true",
+                   help="tiny preset trace and parameters (CI smoke runs)")
+    p.set_defaults(func=_cmd_run)
 
-    p = sub.add_parser("fig2", help="hidden-HHH percentages (Figure 2)")
-    p.add_argument("--duration", type=float, default=120.0)
-    p.add_argument("--days", type=int, default=4)
-    p.add_argument("--mode", choices=("unique", "occurrences"),
-                   default="unique")
-    p.set_defaults(func=_cmd_fig2)
+    p = sub.add_parser("experiments", help="list the experiment registry")
+    p.add_argument("--names", action="store_true",
+                   help="plain names only (one per line, for scripting)")
+    p.set_defaults(func=_cmd_experiments)
 
-    p = sub.add_parser("fig3", help="window-size sensitivity (Figure 3)")
-    p.add_argument("--duration", type=float, default=240.0)
-    p.add_argument("--phi", type=float, default=0.05)
-    p.add_argument("--plot", action="store_true",
-                   help="also print ASCII CDF curves")
-    p.set_defaults(func=_cmd_fig3)
-
-    p = sub.add_parser("sec3", help="decay-vs-windows comparison (Section 3)")
-    p.add_argument("--duration", type=float, default=120.0)
-    p.add_argument("--window", type=float, default=10.0)
-    p.add_argument("--phi", type=float, default=0.05)
-    p.set_defaults(func=_cmd_sec3)
+    p = sub.add_parser("scenarios", help="list the trace-scenario registry")
+    p.set_defaults(func=_cmd_scenarios)
 
     p = sub.add_parser("detectors", help="list the detector registry")
     p.set_defaults(func=_cmd_detectors)
+
+    p = sub.add_parser("stats", help="summarise a synthetic trace")
+    p.add_argument("--day", type=_day_int, default=0)
+    p.add_argument("--duration", type=_positive_float, default=120.0)
+    p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser("fig2", help="hidden-HHH percentages (Figure 2)")
+    p.add_argument("--duration", type=_positive_float, default=120.0)
+    p.add_argument("--days", type=_min1_int, default=4)
+    p.add_argument("--mode", choices=("unique", "occurrences"),
+                   default="unique")
+    p.add_argument("--json", dest="json_out", metavar="FILE")
+    p.set_defaults(func=_cmd_fig2)
+
+    p = sub.add_parser("fig3", help="window-size sensitivity (Figure 3)")
+    p.add_argument("--duration", type=_positive_float, default=240.0)
+    p.add_argument("--phi", type=_phi_float, default=0.05)
+    p.add_argument("--plot", action="store_true",
+                   help="also print ASCII CDF curves")
+    p.add_argument("--json", dest="json_out", metavar="FILE")
+    p.set_defaults(func=_cmd_fig3)
+
+    p = sub.add_parser("sec3", help="decay-vs-windows comparison (Section 3)")
+    p.add_argument("--duration", type=_positive_float, default=120.0)
+    p.add_argument("--window", type=_positive_float, default=10.0)
+    p.add_argument("--phi", type=_phi_float, default=0.05)
+    p.add_argument("--json", dest="json_out", metavar="FILE")
+    p.set_defaults(func=_cmd_sec3)
 
     p = sub.add_parser(
         "bench", help="batch vs scalar update throughput by detector name"
     )
     p.add_argument("--detector", action="append", default=None,
                    help="registry name (repeatable; default: a sample)")
-    p.add_argument("--duration", type=float, default=20.0)
+    p.add_argument("--duration", type=_positive_float, default=20.0)
+    p.add_argument("--json", dest="json_out", metavar="FILE")
     p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("pcap", help="export a synthetic trace to pcap")
     p.add_argument("--out", required=True)
-    p.add_argument("--day", type=int, default=0)
-    p.add_argument("--duration", type=float, default=30.0)
+    p.add_argument("--day", type=_day_int, default=0)
+    p.add_argument("--duration", type=_positive_float, default=30.0)
     p.set_defaults(func=_cmd_pcap)
 
     return parser

@@ -1,0 +1,59 @@
+"""Registry-driven experiments — the analysis counterpart of ``repro.core``.
+
+Every artefact the repo reproduces (Figure 2 hidden-HHH percentages,
+Figure 3 window sensitivity, the Section 3 decay-vs-windows comparison,
+the batch-throughput bench, trace statistics) is an :class:`Experiment`
+subclass registered under a stable string name:
+
+- ``params()`` declares the tunable parameters (name, type, default,
+  validity check) that the CLI binds from ``--set key=value``;
+- ``run(trace)`` consumes a :class:`repro.trace.Trace` and returns one
+  uniform :class:`ExperimentResult` (rows + params + trace provenance +
+  timings) that renders as a text table and serializes to versioned JSON;
+- trace input is string-addressable via :class:`repro.trace.TraceSpec`
+  (``"caida:day=0,duration=120"``, ``"ddos-burst:duration=60"``, ...).
+
+``repro-hhh run <experiment> --trace SPEC --set key=value --json out.json``
+drives any of them; adding an experiment is one ``@register_experiment``
+class instead of a new CLI subcommand.
+"""
+
+from repro.experiments.base import (
+    Experiment,
+    ExperimentError,
+    Param,
+    check_phi,
+    check_positive,
+)
+from repro.experiments.registry import (
+    experiment_names,
+    get_experiment,
+    make_experiment,
+    register_experiment,
+)
+from repro.experiments.result import (
+    SCHEMA_ID,
+    ExperimentResult,
+    TraceProvenance,
+    jsonify,
+    validate_result_dict,
+)
+from repro.experiments.runner import run_experiment
+
+__all__ = [
+    "Experiment",
+    "ExperimentError",
+    "ExperimentResult",
+    "Param",
+    "SCHEMA_ID",
+    "TraceProvenance",
+    "check_phi",
+    "check_positive",
+    "experiment_names",
+    "get_experiment",
+    "jsonify",
+    "make_experiment",
+    "register_experiment",
+    "run_experiment",
+    "validate_result_dict",
+]

@@ -1,0 +1,218 @@
+"""The experiment contract: declared params, ``run(trace)``, uniform result.
+
+This mirrors what :mod:`repro.core` did for detectors.  An experiment is a
+class with
+
+- a class-level parameter declaration (:attr:`Experiment.PARAMS`), each a
+  :class:`Param` with a name, type, default, and optional validity check —
+  the single source of truth the CLI's ``--set key=value`` parsing, the
+  listings, and EXPERIMENTS.md render from;
+- :meth:`Experiment.run`, consuming one :class:`repro.trace.Trace` and
+  returning an :class:`ExperimentResult`;
+- :meth:`Experiment.run_many` for multi-trace pooling (Figure 2's four
+  days), which concatenates rows and recombines headlines.
+
+Experiments register themselves in :mod:`repro.experiments.registry` so
+the CLI and CI drive them by name, with trace input addressed as
+:class:`repro.trace.TraceSpec` strings.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, ClassVar, Sequence
+
+from repro.experiments.result import ExperimentResult, TraceProvenance
+from repro.trace.container import Trace
+
+
+class ExperimentError(ValueError):
+    """An unknown experiment or an invalid parameter binding."""
+
+
+@dataclass(frozen=True)
+class Param:
+    """One declared experiment parameter."""
+
+    name: str
+    kind: str  # "int" | "float" | "str" | "choice" | "floats" | "strs"
+    default: object
+    description: str = ""
+    choices: tuple[str, ...] = ()
+    #: Optional extra validation; raise ``ValueError`` to reject a value.
+    check: Callable[[object], None] | None = None
+
+    def parse(self, value: object) -> object:
+        """Coerce ``value`` (possibly a CLI string) to this param's type."""
+        try:
+            parsed = self._coerce(value)
+        except (TypeError, ValueError) as exc:
+            raise ExperimentError(
+                f"bad value for parameter {self.name!r}: {exc}"
+            ) from None
+        if self.check is not None:
+            try:
+                self.check(parsed)
+            except ValueError as exc:
+                raise ExperimentError(
+                    f"bad value for parameter {self.name!r}: {exc}"
+                ) from None
+        return parsed
+
+    def _coerce(self, value: object) -> object:
+        if self.kind == "int":
+            if isinstance(value, bool):
+                raise ValueError("expected an integer")
+            if isinstance(value, str):
+                return int(value)
+            if isinstance(value, int):
+                return value
+            raise ValueError(f"expected an integer, got {value!r}")
+        if self.kind == "float":
+            if isinstance(value, str):
+                return float(value)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                return float(value)
+            raise ValueError(f"expected a number, got {value!r}")
+        if self.kind == "str":
+            return str(value)
+        if self.kind == "choice":
+            value = str(value)
+            if value not in self.choices:
+                raise ValueError(
+                    f"expected one of {', '.join(self.choices)}, got {value!r}"
+                )
+            return value
+        if self.kind == "floats":
+            if isinstance(value, str):
+                parts = [p for p in value.split(",") if p.strip()]
+                if not parts:
+                    raise ValueError("expected a comma-separated float list")
+                return tuple(float(p) for p in parts)
+            return tuple(float(v) for v in value)  # type: ignore[union-attr]
+        if self.kind == "strs":
+            if isinstance(value, str):
+                parts = [p.strip() for p in value.split(",") if p.strip()]
+                if not parts:
+                    raise ValueError("expected a comma-separated list")
+                return tuple(parts)
+            return tuple(str(v) for v in value)  # type: ignore[union-attr]
+        raise ValueError(f"unknown param kind {self.kind!r}")
+
+    def describe_default(self) -> str:
+        """The default value in ``--set`` syntax (for listings)."""
+        if isinstance(self.default, tuple):
+            return ",".join(f"{v:g}" if isinstance(v, float) else str(v)
+                            for v in self.default)
+        if isinstance(self.default, float):
+            return f"{self.default:g}"
+        return str(self.default)
+
+
+def check_phi(value: object) -> None:
+    """Shared check for threshold parameters: phi must lie in (0, 1]."""
+    if not 0.0 < float(value) <= 1.0:  # type: ignore[arg-type]
+        raise ValueError(f"phi must be in (0, 1], got {value}")
+
+
+def check_positive(value: object) -> None:
+    """Shared check for strictly positive scalars."""
+    if float(value) <= 0.0:  # type: ignore[arg-type]
+        raise ValueError(f"must be positive, got {value}")
+
+
+class Experiment(ABC):
+    """Base class for registry-driven experiments."""
+
+    #: Registry name; set by subclasses.
+    name: ClassVar[str] = ""
+    #: One-line description for listings.
+    description: ClassVar[str] = ""
+    #: Declared parameters (the contract behind ``--set``).
+    PARAMS: ClassVar[tuple[Param, ...]] = ()
+    #: TraceSpec string used when the caller supplies no trace.
+    default_trace: ClassVar[str] = "caida:day=0,duration=60"
+    #: Tiny TraceSpec for CI smoke runs.
+    smoke_trace: ClassVar[str] = "caida:day=0,duration=5"
+    #: Param overrides applied (below explicit ones) for CI smoke runs.
+    smoke_overrides: ClassVar[dict[str, object]] = {}
+
+    def __init__(self, **overrides: object) -> None:
+        self.bound_params = self.bind_params(overrides)
+
+    @classmethod
+    def params(cls) -> tuple[Param, ...]:
+        """The declared parameters."""
+        return cls.PARAMS
+
+    @classmethod
+    def bind_params(cls, overrides: dict[str, object]) -> dict[str, object]:
+        """Merge ``overrides`` over declared defaults, with type coercion."""
+        declared = {p.name: p for p in cls.PARAMS}
+        unknown = sorted(set(overrides) - set(declared))
+        if unknown:
+            known = ", ".join(declared) or "(none)"
+            raise ExperimentError(
+                f"experiment {cls.name!r} has no parameter(s) "
+                f"{', '.join(map(repr, unknown))}; known: {known}"
+            )
+        bound: dict[str, object] = {}
+        for name, param in declared.items():
+            if name in overrides:
+                bound[name] = param.parse(overrides[name])
+            else:
+                bound[name] = param.default
+        return bound
+
+    @abstractmethod
+    def run(self, trace: Trace, label: str = "trace") -> ExperimentResult:
+        """Run on one trace, returning the uniform result artifact."""
+
+    def run_many(
+        self, traces: Sequence[Trace], labels: Sequence[str] | None = None
+    ) -> ExperimentResult:
+        """Run on several traces, pooling rows (Figure 2's four days)."""
+        labels = list(labels) if labels is not None else [
+            f"trace{i}" for i in range(len(traces))
+        ]
+        if len(labels) != len(traces):
+            raise ExperimentError("labels and traces must align")
+        results = [self.run(t, label) for t, label in zip(traces, labels)]
+        merged = self._fresh_result()
+        for result in results:
+            merged.rows.extend(result.rows)
+            merged.traces.extend(result.traces)
+        merged.headline = self.combine_headlines(
+            [result.headline for result in results]
+        )
+        return merged
+
+    def combine_headlines(
+        self, headlines: Sequence[dict[str, object]]
+    ) -> dict[str, object]:
+        """How ``run_many`` merges per-trace headlines.
+
+        The default keeps a single trace's headline and drops conflicting
+        multi-trace ones (experiments that support pooling override this).
+        """
+        return dict(headlines[0]) if len(headlines) == 1 else {}
+
+    def _fresh_result(self) -> ExperimentResult:
+        return ExperimentResult(experiment=self.name, params=dict(self.bound_params))
+
+    def _finish(
+        self,
+        trace: Trace,
+        label: str,
+        rows: Sequence[dict[str, object]],
+        headline: dict[str, object] | None = None,
+        extras: dict[str, object] | None = None,
+    ) -> ExperimentResult:
+        """Assemble the result artifact for a single-trace run."""
+        result = self._fresh_result()
+        result.rows = list(rows)
+        result.traces = [TraceProvenance.from_trace(trace, label)]
+        result.headline = dict(headline or {})
+        result.extras = dict(extras or {})
+        return result

@@ -1,0 +1,68 @@
+"""String-keyed experiment registry.
+
+The analysis counterpart of :mod:`repro.core.registry`: experiment classes
+register themselves under a short stable name so the CLI, CI smoke jobs,
+and library callers drive them uniformly::
+
+    from repro.experiments import make_experiment
+
+    exp = make_experiment("hidden-hhh", thresholds="0.01,0.05")
+    result = exp.run(trace)
+
+Registration happens as a side effect of importing the experiment modules;
+the public functions lazily import them so callers never see a
+half-populated registry.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import Experiment, ExperimentError
+
+_REGISTRY: dict[str, type[Experiment]] = {}
+
+
+def register_experiment(cls: type[Experiment]) -> type[Experiment]:
+    """Register an :class:`Experiment` subclass under its ``name``.
+
+    Usable as a class decorator; returns the class unchanged.
+    """
+    if not cls.name:
+        raise ValueError(f"experiment class {cls.__name__} has no name")
+    if cls.name in _REGISTRY:
+        raise ValueError(f"experiment {cls.name!r} is already registered")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def _ensure_populated() -> None:
+    # Importing the experiment modules runs their register_experiment calls.
+    from repro.experiments import (  # noqa: F401
+        decay,
+        hidden,
+        sensitivity,
+        stats,
+        throughput,
+    )
+
+
+def experiment_names() -> tuple[str, ...]:
+    """All registered experiment names, sorted."""
+    _ensure_populated()
+    return tuple(sorted(_REGISTRY))
+
+
+def get_experiment(name: str) -> type[Experiment]:
+    """The experiment class registered under ``name``."""
+    _ensure_populated()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ExperimentError(
+            f"unknown experiment {name!r}; known: {known}"
+        ) from None
+
+
+def make_experiment(name: str, **overrides: object) -> Experiment:
+    """Instantiate an experiment by name with parameter overrides."""
+    return get_experiment(name)(**overrides)

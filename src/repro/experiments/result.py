@@ -1,0 +1,219 @@
+"""The uniform experiment result artifact.
+
+Every registered experiment returns one :class:`ExperimentResult`: tabular
+``rows`` plus the parameters that produced them, the provenance of the
+trace(s) they were measured on, and wall-clock timings.  The same object
+renders as the paper's text tables (:meth:`ExperimentResult.to_table`) and
+serializes to a versioned JSON document (:meth:`ExperimentResult.to_json`)
+that CI archives as the machine-readable perf/accuracy trajectory.
+
+The JSON schema is deliberately flat and self-describing::
+
+    {
+      "schema": "repro-hhh/experiment-result/v1",
+      "experiment": "hidden-hhh",
+      "params": {...},
+      "traces": [{"spec": "caida:day=0,duration=60", "label": "day0",
+                  "num_packets": 48120, "duration_s": 59.99,
+                  "total_bytes": 33715560}],
+      "rows": [{...}, ...],
+      "headline": {"max_hidden_percent": 28.6},
+      "timings": {"trace_build_s": 0.41, "run_s": 2.05}
+    }
+
+:func:`validate_result_dict` checks a decoded document against this shape
+and is what the CLI tests (and downstream tooling) rely on.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.render import format_table
+from repro.trace.container import Trace
+
+#: Version tag embedded in every serialized result.
+SCHEMA_ID = "repro-hhh/experiment-result/v1"
+
+
+def jsonify(value: object) -> object:
+    """Recursively coerce a value into JSON-serializable builtins.
+
+    Handles the numpy scalars that leak out of vectorized row computations
+    and normalises tuples to lists (matching what a JSON round-trip
+    produces, so equality survives serialization).
+    """
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [jsonify(v) for v in value.tolist()]
+    if isinstance(value, (list, tuple)):
+        return [jsonify(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): jsonify(v) for k, v in value.items()}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(f"cannot serialize {type(value).__name__}: {value!r}")
+
+
+@dataclass
+class TraceProvenance:
+    """Where a result's input trace came from, and its basic shape."""
+
+    label: str
+    num_packets: int
+    duration_s: float
+    total_bytes: int
+    spec: str | None = None
+
+    @classmethod
+    def from_trace(
+        cls, trace: Trace, label: str, spec: str | None = None
+    ) -> "TraceProvenance":
+        """Provenance for an in-memory trace."""
+        return cls(
+            label=label,
+            num_packets=len(trace),
+            duration_s=round(float(trace.duration), 3),
+            total_bytes=int(trace.total_bytes),
+            spec=spec,
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "spec": self.spec,
+            "label": self.label,
+            "num_packets": self.num_packets,
+            "duration_s": self.duration_s,
+            "total_bytes": self.total_bytes,
+        }
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform result artifact shared by every registered experiment."""
+
+    experiment: str
+    params: dict[str, object]
+    rows: list[dict[str, object]] = field(default_factory=list)
+    traces: list[TraceProvenance] = field(default_factory=list)
+    headline: dict[str, object] = field(default_factory=dict)
+    timings: dict[str, float] = field(default_factory=dict)
+    #: Experiment-specific rich objects (CDFs, detectors, ...) for callers
+    #: that want more than the tabular view.  Never serialized.
+    extras: dict[str, object] = field(default_factory=dict)
+
+    def to_table(self) -> str:
+        """The rows as an aligned text table (the paper's rendering)."""
+        return format_table(self.rows)
+
+    def headline_lines(self) -> list[str]:
+        """The headline numbers as ``key: value`` lines."""
+        return [f"{key}: {value}" for key, value in self.headline.items()]
+
+    def to_dict(self) -> dict[str, object]:
+        """The versioned, JSON-serializable document."""
+        return {
+            "schema": SCHEMA_ID,
+            "experiment": self.experiment,
+            "params": jsonify(self.params),
+            "traces": [jsonify(t.to_dict()) for t in self.traces],
+            "rows": jsonify(self.rows),
+            "headline": jsonify(self.headline),
+            "timings": jsonify(self.timings),
+        }
+
+    def to_json(self, path: str | Path | None = None, indent: int = 2) -> str:
+        """Serialize to JSON text, optionally also writing ``path``."""
+        text = json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+        if path is not None:
+            Path(path).write_text(text + "\n")
+        return text
+
+    @classmethod
+    def from_dict(cls, document: dict[str, object]) -> "ExperimentResult":
+        """Rebuild a result from a decoded document (validates first)."""
+        validate_result_dict(document)
+        traces = [
+            TraceProvenance(
+                label=t["label"],
+                num_packets=t["num_packets"],
+                duration_s=t["duration_s"],
+                total_bytes=t["total_bytes"],
+                spec=t.get("spec"),
+            )
+            for t in document["traces"]
+        ]
+        return cls(
+            experiment=document["experiment"],
+            params=dict(document["params"]),
+            rows=[dict(r) for r in document["rows"]],
+            traces=traces,
+            headline=dict(document["headline"]),
+            timings=dict(document["timings"]),
+        )
+
+    @classmethod
+    def from_json(cls, text_or_path: str | Path) -> "ExperimentResult":
+        """Rebuild a result from JSON text or a ``.json`` file path."""
+        if isinstance(text_or_path, Path) or (
+            isinstance(text_or_path, str)
+            and text_or_path.endswith(".json")
+            and "\n" not in text_or_path
+        ):
+            text = Path(text_or_path).read_text()
+        else:
+            text = str(text_or_path)
+        return cls.from_dict(json.loads(text))
+
+
+def validate_result_dict(document: object) -> None:
+    """Raise ``ValueError`` unless ``document`` matches the v1 schema."""
+    if not isinstance(document, dict):
+        raise ValueError(f"result document must be an object, got "
+                         f"{type(document).__name__}")
+    if document.get("schema") != SCHEMA_ID:
+        raise ValueError(
+            f"unknown result schema {document.get('schema')!r}; "
+            f"expected {SCHEMA_ID!r}"
+        )
+    required = ("experiment", "params", "traces", "rows", "headline",
+                "timings")
+    missing = [key for key in required if key not in document]
+    if missing:
+        raise ValueError(f"result document missing keys: {missing}")
+    if not isinstance(document["experiment"], str) or not document["experiment"]:
+        raise ValueError("'experiment' must be a non-empty string")
+    for mapping in ("params", "headline", "timings"):
+        if not isinstance(document[mapping], dict):
+            raise ValueError(f"'{mapping}' must be an object")
+    for value in document["timings"].values():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ValueError("'timings' values must be numbers")
+    if not isinstance(document["rows"], list):
+        raise ValueError("'rows' must be an array")
+    for row in document["rows"]:
+        if not isinstance(row, dict):
+            raise ValueError("every row must be an object")
+    if not isinstance(document["traces"], list):
+        raise ValueError("'traces' must be an array")
+    for trace in document["traces"]:
+        if not isinstance(trace, dict):
+            raise ValueError("every trace provenance entry must be an object")
+        for key, kinds in (
+            ("label", str), ("num_packets", int),
+            ("duration_s", (int, float)), ("total_bytes", int),
+        ):
+            if key not in trace or not isinstance(trace[key], kinds):
+                raise ValueError(
+                    f"trace provenance needs {key!r} of type {kinds}"
+                )
+        spec = trace.get("spec")
+        if spec is not None and not isinstance(spec, str):
+            raise ValueError("trace provenance 'spec' must be a string or null")

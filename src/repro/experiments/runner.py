@@ -1,0 +1,73 @@
+"""Spec-to-artifact experiment driver.
+
+:func:`run_experiment` is the one path the CLI, the CI smoke job, and
+library callers use to go from *strings* (an experiment name, TraceSpec
+strings, ``key=value`` overrides) to a finished
+:class:`ExperimentResult` with trace provenance and wall-clock timings
+attached.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Mapping, Sequence
+
+from repro.experiments.base import ExperimentError
+from repro.experiments.registry import get_experiment
+from repro.experiments.result import ExperimentResult
+from repro.trace.spec import TraceSpec
+
+
+def run_experiment(
+    name: str,
+    trace_specs: Sequence[str] | None = None,
+    overrides: Mapping[str, object] | None = None,
+    labels: Sequence[str] | None = None,
+    smoke: bool = False,
+) -> ExperimentResult:
+    """Run a registered experiment over string-addressed traces.
+
+    ``trace_specs`` defaults to the experiment's ``default_trace`` (or its
+    tiny ``smoke_trace`` when ``smoke=True``); ``overrides`` are applied on
+    top of the smoke overrides, so explicit settings always win.  The
+    returned result carries the spec string of each input trace in its
+    provenance and ``trace_build_s`` / ``run_s`` timings.
+    """
+    cls = get_experiment(name)
+    params: dict[str, object] = {}
+    if smoke:
+        params.update(cls.smoke_overrides)
+    params.update(overrides or {})
+    experiment = cls(**params)
+
+    if not trace_specs:
+        trace_specs = [cls.smoke_trace if smoke else cls.default_trace]
+    specs = [TraceSpec.parse(text) for text in trace_specs]
+    if labels is None:
+        labels = [
+            spec.scenario if len(specs) == 1 else f"{spec.scenario}{i}"
+            for i, spec in enumerate(specs)
+        ]
+    if len(labels) != len(specs):
+        raise ExperimentError(
+            f"got {len(labels)} labels for {len(specs)} traces"
+        )
+
+    t0 = time.perf_counter()
+    traces = [spec.build() for spec in specs]
+    build_s = time.perf_counter() - t0
+
+    t1 = time.perf_counter()
+    if len(traces) == 1:
+        result = experiment.run(traces[0], label=labels[0])
+    else:
+        result = experiment.run_many(traces, labels=labels)
+    run_s = time.perf_counter() - t1
+
+    for provenance, spec in zip(result.traces, specs):
+        provenance.spec = spec.format()
+    result.timings = {
+        "trace_build_s": round(build_s, 3),
+        "run_s": round(run_s, 3),
+    }
+    return result

@@ -1,0 +1,50 @@
+"""Trace statistics as a registry experiment.
+
+Wraps :func:`repro.trace.stats.compute_stats` so any string-addressable
+workload can be summarised (and archived as JSON) through the same ``run``
+path as the paper experiments — useful when checking that a new scenario
+preset actually has the properties an experiment assumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+
+from repro.experiments.base import Experiment, Param, check_positive
+from repro.experiments.registry import register_experiment
+from repro.experiments.result import ExperimentResult
+from repro.trace.container import Trace
+from repro.trace.stats import compute_stats
+
+
+@register_experiment
+class TraceStatsExperiment(Experiment):
+    """Descriptive statistics (tail, burstiness, rates) for one trace."""
+
+    name = "trace-stats"
+    description = (
+        "descriptive trace statistics: volume, heavy-tail shares, "
+        "burstiness"
+    )
+    PARAMS = (
+        Param("rate_bin_s", "float", 1.0,
+              "bin width for the rate-CV computation, seconds",
+              check=check_positive),
+    )
+    default_trace = "caida:day=0,duration=60"
+    smoke_trace = "caida:day=0,duration=5"
+
+    def run(self, trace: Trace, label: str = "trace") -> ExperimentResult:
+        stats = compute_stats(trace, rate_bin_s=self.bound_params["rate_bin_s"])
+        rows = [
+            {"metric": f.name, "value": getattr(stats, f.name)}
+            for f in fields(stats)
+        ]
+        return self._finish(
+            trace, label, rows,
+            headline={
+                "num_packets": stats.num_packets,
+                "gini_coefficient": round(stats.gini_coefficient, 3),
+            },
+            extras={"stats": stats},
+        )

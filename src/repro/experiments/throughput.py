@@ -1,0 +1,65 @@
+"""The batch-throughput bench as a registry experiment.
+
+Shares its methodology with ``benchmarks/test_batch_throughput.py`` via
+:mod:`repro.analysis.throughput`, so the CLI's ``bench`` alias, the generic
+``run batch-throughput`` path, and the gated benchmark all measure the same
+thing.  JSON artifacts of this experiment are what CI archives as the
+``BENCH_*.json`` perf trajectory.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.throughput import speedup_row, trace_columns
+from repro.core import detector_names
+from repro.experiments.base import Experiment, ExperimentError, Param
+from repro.experiments.registry import register_experiment
+from repro.experiments.result import ExperimentResult
+from repro.trace.container import Trace
+
+
+def _check_min1(value: object) -> None:
+    if int(value) < 1:  # type: ignore[arg-type]
+        raise ValueError(f"must be >= 1, got {value}")
+
+
+@register_experiment
+class BatchThroughput(Experiment):
+    """Batch-vs-scalar update throughput for registry detectors."""
+
+    name = "batch-throughput"
+    description = (
+        "batch vs scalar update throughput (packets/second) by detector "
+        "registry name"
+    )
+    PARAMS = (
+        Param("detectors", "strs", ("countmin", "ondemand-tdbf", "spacesaving"),
+              "detector registry names to measure"),
+        Param("limit", "int", 20_000, "packets fed to each detector",
+              check=_check_min1),
+        Param("repeats", "int", 3, "best-of-N timing repeats",
+              check=_check_min1),
+    )
+    default_trace = "caida:day=0,duration=20"
+    smoke_trace = "caida:day=0,duration=4"
+    smoke_overrides = {"repeats": 1, "limit": 3000}
+
+    def run(self, trace: Trace, label: str = "trace") -> ExperimentResult:
+        known = detector_names()
+        unknown = [d for d in self.bound_params["detectors"] if d not in known]
+        if unknown:
+            raise ExperimentError(
+                f"unknown detector(s) {', '.join(map(repr, unknown))}; "
+                "see 'repro-hhh detectors' for the registry"
+            )
+        columns = trace_columns(trace, limit=self.bound_params["limit"])
+        rows = [
+            speedup_row(name, columns, repeats=self.bound_params["repeats"])
+            for name in self.bound_params["detectors"]
+        ]
+        return self._finish(
+            trace, label, rows,
+            headline={
+                "min_speedup": min(row["speedup"] for row in rows),
+                "max_batch_pps": max(row["batch_pps"] for row in rows),
+            },
+        )

@@ -31,11 +31,27 @@ from repro.trace.config import (
 from repro.trace.zipf import ZipfSampler
 from repro.trace.generator import SyntheticTraceGenerator, generate_trace
 from repro.trace import presets
+from repro.trace.spec import (
+    ScenarioSpec,
+    TraceSpec,
+    TraceSpecError,
+    build_trace,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
 from repro.trace.stats import TraceStats, compute_stats
 from repro.trace.ops import concat_traces, shift_trace, slice_time, thin_trace
 
 __all__ = [
     "Trace",
+    "TraceSpec",
+    "TraceSpecError",
+    "ScenarioSpec",
+    "build_trace",
+    "get_scenario",
+    "register_scenario",
+    "scenario_names",
     "SyntheticTraceConfig",
     "RateConfig",
     "BurstConfig",

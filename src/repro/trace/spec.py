@@ -1,0 +1,201 @@
+"""String-addressable trace specifications.
+
+Every workload the experiments consume is addressable as a short string —
+a *scenario* name plus ``key=value`` parameters::
+
+    caida:day=0,duration=120      # synthetic CAIDA-like day
+    zipf:skew=1.2,duration=60     # plain Zipf population, no dynamics
+    ddos-burst:duration=60        # violent short subnet attacks
+    pcap:/path/to/trace.pcap      # a recorded pcap file
+
+:class:`TraceSpec` parses these strings into (scenario, typed params),
+round-trips them back through :meth:`TraceSpec.format`, and materialises
+the actual :class:`repro.trace.Trace` via :meth:`TraceSpec.build`.
+
+Scenarios are registry entries, exactly like detectors in
+:mod:`repro.core` and experiments in :mod:`repro.experiments`: a builder
+callable registered under a stable name with
+:func:`register_scenario`.  The CLI's ``repro-hhh scenarios`` listing,
+the generic ``repro-hhh run --trace SPEC`` path, and the experiment
+result provenance all speak this one vocabulary, so adding a workload is
+one registration instead of a new subcommand.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.trace.container import Trace
+
+
+class TraceSpecError(ValueError):
+    """A malformed or unbuildable trace specification."""
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A registered scenario: trace builder plus listing metadata."""
+
+    name: str
+    builder: Callable[..., Trace]
+    description: str = ""
+    example: str = ""
+
+    def param_names(self) -> tuple[str, ...]:
+        """The keyword parameters the builder accepts."""
+        return tuple(inspect.signature(self.builder).parameters)
+
+    def defaults(self) -> dict[str, object]:
+        """The builder's default parameter values (for listings)."""
+        out: dict[str, object] = {}
+        for name, param in inspect.signature(self.builder).parameters.items():
+            if param.default is not inspect.Parameter.empty:
+                out[name] = param.default
+        return out
+
+
+_SCENARIOS: dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(
+    name: str,
+    builder: Callable[..., Trace],
+    *,
+    description: str = "",
+    example: str = "",
+) -> Callable[..., Trace]:
+    """Register ``builder`` under ``name``; returns the builder unchanged."""
+    if name in _SCENARIOS:
+        raise ValueError(f"scenario {name!r} is already registered")
+    _SCENARIOS[name] = ScenarioSpec(
+        name=name, builder=builder, description=description, example=example
+    )
+    return builder
+
+
+def scenario_names() -> tuple[str, ...]:
+    """All registered scenario names, sorted."""
+    _ensure_populated()
+    return tuple(sorted(_SCENARIOS))
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """The :class:`ScenarioSpec` registered under ``name``."""
+    _ensure_populated()
+    try:
+        return _SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(_SCENARIOS))
+        raise TraceSpecError(
+            f"unknown scenario {name!r}; known: {known}"
+        ) from None
+
+
+def _ensure_populated() -> None:
+    # Importing the presets module runs its register_scenario calls.
+    import repro.trace.presets  # noqa: F401
+
+
+def _parse_value(text: str) -> object:
+    """``key=value`` values: int, then float, then bool, else string."""
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    if text.lower() in ("true", "false"):
+        return text.lower() == "true"
+    return text
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """A parsed trace specification: scenario name plus typed parameters."""
+
+    scenario: str
+    params: dict[str, object] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, text: str) -> "TraceSpec":
+        """Parse ``"scenario:key=value,..."`` (or ``"pcap:path"``)."""
+        text = text.strip()
+        if not text:
+            raise TraceSpecError("empty trace spec")
+        scenario, _, remainder = text.partition(":")
+        scenario = scenario.strip()
+        if not scenario:
+            raise TraceSpecError(f"trace spec {text!r} has no scenario name")
+        if scenario == "pcap":
+            # The remainder is the path verbatim (it may contain '=' or
+            # ','); an explicit 'path=' prefix is tolerated.
+            path = remainder.removeprefix("path=")
+            if not path:
+                raise TraceSpecError("pcap spec needs a path: 'pcap:FILE'")
+            return cls("pcap", {"path": path})
+        params: dict[str, object] = {}
+        if remainder:
+            for pair in remainder.split(","):
+                key, eq, value = pair.partition("=")
+                key = key.strip()
+                if not eq or not key or not value.strip():
+                    raise TraceSpecError(
+                        f"bad parameter {pair!r} in trace spec {text!r}; "
+                        "expected key=value"
+                    )
+                if key in params:
+                    raise TraceSpecError(
+                        f"duplicate parameter {key!r} in trace spec {text!r}"
+                    )
+                params[key] = _parse_value(value.strip())
+        return cls(scenario, params)
+
+    def format(self) -> str:
+        """The canonical string form; ``parse(format()) == self``."""
+        if self.scenario == "pcap" and set(self.params) == {"path"}:
+            return f"pcap:{self.params['path']}"
+        if not self.params:
+            return self.scenario
+        pairs = ",".join(
+            f"{key}={_format_value(self.params[key])}"
+            for key in sorted(self.params)
+        )
+        return f"{self.scenario}:{pairs}"
+
+    def __str__(self) -> str:
+        return self.format()
+
+    def build(self) -> Trace:
+        """Materialise the trace this spec describes."""
+        spec = get_scenario(self.scenario)
+        try:
+            bound = inspect.signature(spec.builder).bind(**self.params)
+        except TypeError as exc:
+            accepted = ", ".join(spec.param_names()) or "(none)"
+            raise TraceSpecError(
+                f"scenario {self.scenario!r} rejected parameters "
+                f"{self.params!r}: {exc}; accepted parameters: {accepted}"
+            ) from None
+        try:
+            return spec.builder(*bound.args, **bound.kwargs)
+        except (TypeError, ValueError) as exc:
+            raise TraceSpecError(
+                f"scenario {self.scenario!r} rejected {self.format()!r}: {exc}"
+            ) from None
+
+
+def build_trace(text: str) -> Trace:
+    """Parse-and-build convenience: ``build_trace("zipf:skew=1.2")``."""
+    return TraceSpec.parse(text).build()

@@ -1,0 +1,143 @@
+"""Tests for the experiment registry and parameter binding."""
+
+import pytest
+
+from repro.experiments import (
+    Experiment,
+    ExperimentError,
+    Param,
+    experiment_names,
+    get_experiment,
+    make_experiment,
+)
+from repro.experiments.registry import register_experiment
+
+
+class TestRegistry:
+    def test_at_least_four_experiments(self):
+        assert len(experiment_names()) >= 4
+
+    def test_paper_artefacts_registered(self):
+        names = experiment_names()
+        for expected in (
+            "hidden-hhh", "window-sensitivity", "decay-comparison",
+            "batch-throughput",
+        ):
+            assert expected in names
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(ExperimentError, match="unknown experiment"):
+            get_experiment("nope")
+
+    def test_every_experiment_declares_contract(self):
+        for name in experiment_names():
+            cls = get_experiment(name)
+            assert cls.name == name
+            assert cls.description
+            assert cls.default_trace
+            assert cls.smoke_trace
+            for param in cls.params():
+                assert param.name
+                assert param.kind
+
+    def test_duplicate_registration_rejected(self):
+        class Dupe(Experiment):
+            name = "hidden-hhh"
+
+            def run(self, trace, label="trace"):
+                raise NotImplementedError
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_experiment(Dupe)
+
+
+class TestParamBinding:
+    def test_defaults_used(self):
+        exp = make_experiment("hidden-hhh")
+        assert exp.bound_params["mode"] == "unique"
+        assert exp.bound_params["window_sizes"] == (5.0, 10.0, 20.0)
+
+    def test_params_callable_on_class_and_instance(self):
+        cls = get_experiment("hidden-hhh")
+        declared = cls.params()
+        assert declared and all(p.name for p in declared)
+        # bound values live on `bound_params`, so params() stays callable
+        # on instances too.
+        assert make_experiment("hidden-hhh").params() == declared
+
+    def test_string_overrides_coerced(self):
+        exp = make_experiment(
+            "hidden-hhh", window_sizes="5,10", thresholds="0.05", step="2"
+        )
+        assert exp.bound_params["window_sizes"] == (5.0, 10.0)
+        assert exp.bound_params["thresholds"] == (0.05,)
+        assert exp.bound_params["step"] == 2.0
+
+    def test_typed_overrides_accepted(self):
+        exp = make_experiment("decay-comparison", window_size=5.0, seed=3)
+        assert exp.bound_params["window_size"] == 5.0
+        assert exp.bound_params["seed"] == 3
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(ExperimentError, match="no parameter"):
+            make_experiment("hidden-hhh", bogus=1)
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(ExperimentError, match="bad value"):
+            make_experiment("decay-comparison", counters_per_level="many")
+
+    def test_choice_rejected(self):
+        with pytest.raises(ExperimentError, match="one of"):
+            make_experiment("hidden-hhh", mode="fancy")
+
+    def test_check_rejects_bad_phi(self):
+        with pytest.raises(ExperimentError, match="phi"):
+            make_experiment("decay-comparison", phi=1.5)
+        with pytest.raises(ExperimentError, match="phi"):
+            make_experiment("window-sensitivity", phi="0")
+
+    def test_check_rejects_bad_threshold_list(self):
+        with pytest.raises(ExperimentError, match="phi"):
+            make_experiment("hidden-hhh", thresholds="0.05,2.0")
+
+
+class TestRunContract:
+    def test_run_produces_uniform_result(self, tiny_trace):
+        exp = make_experiment(
+            "hidden-hhh", window_sizes=(2.0,), thresholds=(0.05,)
+        )
+        result = exp.run(tiny_trace, label="tiny")
+        assert result.experiment == "hidden-hhh"
+        assert result.params["window_sizes"] == (2.0,)
+        assert result.rows and all(isinstance(r, dict) for r in result.rows)
+        assert result.traces[0].label == "tiny"
+        assert result.traces[0].num_packets == len(tiny_trace)
+        assert "max_hidden_percent" in result.headline
+
+    def test_run_many_pools_rows_and_headline(self, tiny_trace, calm_small_trace):
+        exp = make_experiment(
+            "hidden-hhh", window_sizes=(2.0,), thresholds=(0.05,)
+        )
+        pooled = exp.run_many(
+            [tiny_trace, calm_small_trace], labels=["a", "b"]
+        )
+        assert len(pooled.rows) == 2
+        assert [t.label for t in pooled.traces] == ["a", "b"]
+        singles = [
+            exp.run(t, label)
+            for t, label in [(tiny_trace, "a"), (calm_small_trace, "b")]
+        ]
+        assert pooled.headline["max_hidden_percent"] == max(
+            s.headline["max_hidden_percent"] for s in singles
+        )
+
+    def test_trace_stats_rows(self, tiny_trace):
+        result = make_experiment("trace-stats").run(tiny_trace)
+        metrics = {row["metric"] for row in result.rows}
+        assert "num_packets" in metrics
+        assert "gini_coefficient" in metrics
+
+    def test_batch_throughput_unknown_detector(self, tiny_trace):
+        exp = make_experiment("batch-throughput", detectors="nope")
+        with pytest.raises(ExperimentError, match="unknown detector"):
+            exp.run(tiny_trace)

@@ -1,0 +1,168 @@
+"""Tests for the uniform result artifact: schema, JSON round-trips."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    SCHEMA_ID,
+    ExperimentResult,
+    TraceProvenance,
+    jsonify,
+    validate_result_dict,
+)
+
+
+def _sample_result() -> ExperimentResult:
+    return ExperimentResult(
+        experiment="hidden-hhh",
+        params={"window_sizes": [5.0, 10.0], "mode": "unique"},
+        rows=[
+            {"trace": "day0", "window_s": 5.0, "hidden_%": 16.7},
+            {"trace": "day0", "window_s": 10.0, "hidden_%": 22.2},
+        ],
+        traces=[
+            TraceProvenance(
+                label="day0", num_packets=1000, duration_s=10.0,
+                total_bytes=700000, spec="caida:day=0,duration=10",
+            )
+        ],
+        headline={"max_hidden_percent": 22.2},
+        timings={"trace_build_s": 0.1, "run_s": 0.2},
+    )
+
+
+class TestJsonify:
+    def test_numpy_scalars_coerced(self):
+        out = jsonify({"a": np.int64(3), "b": np.float64(1.5)})
+        assert out == {"a": 3, "b": 1.5}
+        assert type(out["a"]) is int
+        assert type(out["b"]) is float
+
+    def test_tuples_become_lists(self):
+        assert jsonify((1.0, 2.0)) == [1.0, 2.0]
+
+    def test_arrays_become_lists(self):
+        assert jsonify(np.array([1, 2])) == [1, 2]
+
+    def test_unserializable_rejected(self):
+        with pytest.raises(TypeError):
+            jsonify(object())
+
+
+class TestRoundTrip:
+    def test_to_json_from_json(self):
+        result = _sample_result()
+        text = result.to_json()
+        rebuilt = ExperimentResult.from_json(text)
+        assert rebuilt.to_dict() == result.to_dict()
+        assert rebuilt.experiment == "hidden-hhh"
+        assert rebuilt.headline == {"max_hidden_percent": 22.2}
+        assert rebuilt.traces[0].spec == "caida:day=0,duration=10"
+
+    def test_to_json_writes_file(self, tmp_path):
+        path = tmp_path / "result.json"
+        result = _sample_result()
+        result.to_json(path)
+        rebuilt = ExperimentResult.from_json(path)
+        assert rebuilt.to_dict() == result.to_dict()
+
+    def test_document_is_schema_tagged(self):
+        document = json.loads(_sample_result().to_json())
+        assert document["schema"] == SCHEMA_ID
+        validate_result_dict(document)
+
+    def test_extras_never_serialized(self):
+        result = _sample_result()
+        result.extras["rich"] = object()
+        document = json.loads(result.to_json())
+        assert "extras" not in document
+
+    def test_table_renders_rows(self):
+        table = _sample_result().to_table()
+        assert "hidden_%" in table
+        assert "day0" in table
+
+
+class TestValidate:
+    def test_accepts_valid(self):
+        validate_result_dict(_sample_result().to_dict())
+
+    def test_rejects_non_dict(self):
+        with pytest.raises(ValueError, match="object"):
+            validate_result_dict([1, 2])
+
+    def test_rejects_wrong_schema(self):
+        document = _sample_result().to_dict()
+        document["schema"] = "something/else"
+        with pytest.raises(ValueError, match="schema"):
+            validate_result_dict(document)
+
+    def test_rejects_missing_keys(self):
+        document = _sample_result().to_dict()
+        del document["rows"]
+        with pytest.raises(ValueError, match="missing"):
+            validate_result_dict(document)
+
+    def test_rejects_non_dict_rows(self):
+        document = _sample_result().to_dict()
+        document["rows"] = [1, 2]
+        with pytest.raises(ValueError, match="row"):
+            validate_result_dict(document)
+
+    def test_rejects_bad_provenance(self):
+        document = _sample_result().to_dict()
+        del document["traces"][0]["num_packets"]
+        with pytest.raises(ValueError, match="num_packets"):
+            validate_result_dict(document)
+
+    def test_rejects_non_numeric_timings(self):
+        document = _sample_result().to_dict()
+        document["timings"]["run_s"] = "fast"
+        with pytest.raises(ValueError, match="timings"):
+            validate_result_dict(document)
+
+    def test_from_dict_validates(self):
+        with pytest.raises(ValueError):
+            ExperimentResult.from_dict({"schema": SCHEMA_ID})
+
+
+class TestRunnerIntegration:
+    def test_runner_attaches_provenance_and_timings(self):
+        from repro.experiments import run_experiment
+
+        result = run_experiment(
+            "trace-stats", trace_specs=["calm:duration=4"]
+        )
+        assert result.traces[0].spec == "calm:duration=4"
+        assert result.traces[0].label == "calm"
+        assert set(result.timings) == {"trace_build_s", "run_s"}
+        validate_result_dict(json.loads(result.to_json()))
+
+    def test_runner_smoke_mode(self):
+        from repro.experiments import get_experiment, run_experiment
+
+        result = run_experiment("batch-throughput", smoke=True)
+        cls = get_experiment("batch-throughput")
+        assert result.traces[0].spec == cls.smoke_trace
+        assert result.params["repeats"] == 1
+
+    def test_runner_explicit_overrides_beat_smoke(self):
+        from repro.experiments import run_experiment
+
+        result = run_experiment(
+            "batch-throughput", smoke=True,
+            overrides={"repeats": 2, "detectors": "countmin"},
+        )
+        assert result.params["repeats"] == 2
+        assert result.params["detectors"] == ("countmin",)
+
+    def test_runner_label_mismatch(self):
+        from repro.experiments import ExperimentError, run_experiment
+
+        with pytest.raises(ExperimentError, match="labels"):
+            run_experiment(
+                "trace-stats", trace_specs=["calm:duration=4"],
+                labels=["a", "b"],
+            )

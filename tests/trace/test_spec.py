@@ -1,0 +1,165 @@
+"""Tests for string-addressable trace specifications."""
+
+import pytest
+
+from repro.trace.container import Trace
+from repro.trace.spec import (
+    TraceSpec,
+    TraceSpecError,
+    build_trace,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
+
+
+class TestParse:
+    def test_scenario_only(self):
+        spec = TraceSpec.parse("calm")
+        assert spec.scenario == "calm"
+        assert spec.params == {}
+
+    def test_typed_params(self):
+        spec = TraceSpec.parse("caida:day=2,duration=30.5")
+        assert spec.params == {"day": 2, "duration": 30.5}
+        assert isinstance(spec.params["day"], int)
+        assert isinstance(spec.params["duration"], float)
+
+    def test_bool_and_string_values(self):
+        spec = TraceSpec.parse("caida:flag=true,name=abc")
+        assert spec.params == {"flag": True, "name": "abc"}
+
+    def test_pcap_path_form(self):
+        spec = TraceSpec.parse("pcap:/tmp/some=file.pcap")
+        assert spec.scenario == "pcap"
+        assert spec.params == {"path": "/tmp/some=file.pcap"}
+
+    def test_whitespace_tolerated(self):
+        spec = TraceSpec.parse("  zipf: skew=1.2 , duration=5 ")
+        assert spec.params == {"skew": 1.2, "duration": 5}
+
+    @pytest.mark.parametrize("text", [
+        "", "  ", ":day=0", "caida:day", "caida:=3", "caida:day=",
+        "caida:day=0,day=1", "pcap:",
+    ])
+    def test_malformed_specs_rejected(self, text):
+        with pytest.raises(TraceSpecError):
+            TraceSpec.parse(text)
+
+
+class TestFormatRoundTrip:
+    @pytest.mark.parametrize("text", [
+        "calm",
+        "caida:day=0,duration=120",
+        "zipf:duration=60.5,skew=1.2",
+        "pcap:/data/trace.pcap",
+        "flash-crowd:dormant_fraction=0.9",
+    ])
+    def test_parse_format_parse(self, text):
+        spec = TraceSpec.parse(text)
+        assert TraceSpec.parse(spec.format()) == spec
+
+    def test_format_is_canonical(self):
+        a = TraceSpec.parse("caida:duration=30,day=1")
+        b = TraceSpec.parse("caida:day=1,duration=30")
+        assert a.format() == b.format() == "caida:day=1,duration=30"
+
+    def test_str_matches_format(self):
+        spec = TraceSpec.parse("zipf:skew=1.3")
+        assert str(spec) == spec.format()
+
+
+class TestBuild:
+    def test_build_calm(self):
+        trace = build_trace("calm:duration=5")
+        assert isinstance(trace, Trace)
+        assert len(trace) > 0
+        assert trace.duration <= 5.0
+
+    def test_build_is_deterministic(self):
+        a = build_trace("zipf:skew=1.2,duration=4")
+        b = build_trace("zipf:skew=1.2,duration=4")
+        assert len(a) == len(b)
+        assert a.total_bytes == b.total_bytes
+
+    def test_unknown_scenario(self):
+        with pytest.raises(TraceSpecError, match="unknown scenario"):
+            build_trace("marsnet:duration=5")
+
+    def test_unknown_parameter(self):
+        with pytest.raises(TraceSpecError, match="accepted parameters"):
+            build_trace("calm:durationn=5")
+
+    def test_builder_value_error_wrapped(self):
+        with pytest.raises(TraceSpecError, match="day must be"):
+            build_trace("caida:day=9,duration=5")
+
+    def test_pcap_round_trip(self, tmp_path, tiny_trace):
+        from repro.packet.pcap import write_pcap
+
+        path = tmp_path / "t.pcap"
+        write_pcap(path, tiny_trace.packets())
+        loaded = build_trace(f"pcap:{path}")
+        assert len(loaded) == len(tiny_trace)
+        assert loaded.total_bytes == tiny_trace.total_bytes
+
+
+class TestScenarioRegistry:
+    def test_core_scenarios_registered(self):
+        names = scenario_names()
+        for expected in ("caida", "sensitivity", "calm", "zipf", "pcap"):
+            assert expected in names
+
+    def test_adversarial_scenarios_registered(self):
+        names = scenario_names()
+        for expected in ("ddos", "ddos-burst", "flash-crowd", "portscan"):
+            assert expected in names
+
+    def test_adversarial_scenarios_build(self):
+        for name in ("ddos-burst", "flash-crowd", "portscan"):
+            trace = build_trace(f"{name}:duration=5")
+            assert len(trace) > 0
+
+    def test_spec_metadata(self):
+        spec = get_scenario("caida")
+        assert "day" in spec.param_names()
+        assert spec.defaults()["day"] == 0
+        assert spec.description
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_scenario("calm", lambda: None)
+
+
+class TestAdversarialShapes:
+    def test_portscan_aggregate_heavy_leaves_light(self):
+        trace = build_trace("portscan:duration=10,scan_share=0.3,scanners=32")
+        by_src = trace.bytes_by_key(trace.start_time, trace.end_time + 1e-9)
+        total = sum(by_src.values())
+        # Group volumes by /24 to find the scanner subnet.
+        by_subnet = {}
+        for src, volume in by_src.items():
+            by_subnet.setdefault(src >> 8, []).append(volume)
+        subnet_share = {
+            net: sum(v) / total for net, v in by_subnet.items()
+        }
+        heaviest = max(subnet_share, key=subnet_share.get)
+        # The scan /24 carries roughly its designed share...
+        assert subnet_share[heaviest] > 0.15
+        # ...spread over many members, each individually light.
+        members = by_subnet[heaviest]
+        assert len(members) >= 24
+        assert max(members) / total < 0.05
+
+    def test_flash_crowd_ramps_up(self):
+        trace = build_trace("flash-crowd:duration=30")
+        quarter = trace.duration / 4
+        early = trace.bytes_by_key(
+            trace.start_time, trace.start_time + quarter
+        )
+        late = trace.bytes_by_key(
+            trace.end_time - quarter, trace.end_time + 1e-9
+        )
+        # The stampede activates sources: the active set grows materially
+        # from the first to the last quarter of the trace.
+        assert len(late) > 1.5 * len(early)
