@@ -113,10 +113,21 @@ def _parse_set_args(pairs: Sequence[str] | None) -> dict[str, object]:
 def _cmd_run(args: argparse.Namespace) -> int:
     try:
         experiment_cls = get_experiment(args.experiment)
+        overrides = _parse_set_args(args.set_)
+        # --shards / --workers are sugar for --set; binding validates them
+        # against the experiment's declared PARAMS like any override.
+        for key, value in (("shards", args.shards), ("workers", args.workers)):
+            if value is None:
+                continue
+            if key in overrides:
+                raise ExperimentError(
+                    f"--{key} conflicts with --set {key}=...; give one"
+                )
+            overrides[key] = value
         result = run_experiment(
             args.experiment,
             trace_specs=args.trace,
-            overrides=_parse_set_args(args.set_),
+            overrides=overrides,
             labels=args.label,
             smoke=args.smoke,
         )
@@ -185,6 +196,7 @@ def _cmd_detectors(args: argparse.Namespace) -> int:
             "name": name,
             "timestamped": "yes" if spec.timestamped else "no",
             "enumerable": "yes" if spec.enumerable else "no",
+            "mergeable": "yes" if spec.mergeable else "no",
             "description": spec.description,
         })
     print(format_table(rows))
@@ -323,6 +335,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="label for the matching --trace (repeatable)")
     p.add_argument("--set", action="append", dest="set_", metavar="KEY=VALUE",
                    help="override an experiment parameter (repeatable)")
+    p.add_argument("--shards", metavar="N",
+                   help="shard count(s) for sharded experiments "
+                        "(sugar for --set shards=N; accepts '1,2,4')")
+    p.add_argument("--workers", type=_min1_int, metavar="M",
+                   help="process-pool workers for sharded experiments "
+                        "(sugar for --set workers=M)")
     p.add_argument("--json", dest="json_out", metavar="FILE",
                    help="also write the result artifact as JSON")
     p.add_argument("--smoke", action="store_true",

@@ -18,6 +18,13 @@ detector uniformly without ``isinstance`` probing:
 - ``timestamped`` — ``update``/``estimate`` take meaningful time arguments
   (the continuous-time detectors of :mod:`repro.decay`);
 - ``enumerable`` — ``query`` can enumerate items (vs point queries only);
+- ``mergeable`` — ``merge`` of key-partitioned shards reproduces the
+  single-stream detector *exactly* (up to float rounding), so the sharded
+  engine may combine shards by merging.  Detectors whose merge is sound
+  but approximate (Space-Saving, Misra-Gries, the Count-Min candidate
+  tracker) stay ``mergeable=False`` and are combined by concatenating
+  per-shard reports instead — exact under key partitioning because each
+  key lives in exactly one shard;
 - ``probe`` — optional ``(detector, key, now) -> float`` point estimate for
   detectors whose estimate signature is nonstandard (hierarchical,
   membership-only).
@@ -39,6 +46,7 @@ class DetectorSpec:
     factory: Callable[..., Detector]
     timestamped: bool = False
     enumerable: bool = True
+    mergeable: bool = False
     description: str = ""
     probe: Callable[[Detector, int, float], float] | None = None
 
@@ -60,6 +68,7 @@ def register_detector(
     *,
     timestamped: bool = False,
     enumerable: bool = True,
+    mergeable: bool = False,
     description: str = "",
     probe: Callable[[Detector, int, float], float] | None = None,
 ) -> Callable[..., Detector]:
@@ -71,6 +80,7 @@ def register_detector(
         factory=factory,
         timestamped=timestamped,
         enumerable=enumerable,
+        mergeable=mergeable,
         description=description,
         probe=probe,
     )

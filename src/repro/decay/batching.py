@@ -19,7 +19,7 @@ from repro.core.detector import (
     as_uint64_keys,
     ensure_nonnegative_weights,
 )
-from repro.decay.laws import DecayLaw
+from repro.decay.laws import DecayLaw, same_law
 
 DecayFactor = Callable[[np.ndarray], np.ndarray]
 
@@ -47,6 +47,74 @@ def as_decayed_batch(
     keys = as_uint64_keys(keys)
     weights = ensure_nonnegative_weights(weights).astype(np.float64)
     return keys, weights, ts, decay_factor
+
+
+def merge_decayed_cells(
+    values: np.ndarray,
+    stamps: np.ndarray,
+    other_values: np.ndarray,
+    other_stamps: np.ndarray,
+    decay_factor: DecayFactor,
+) -> None:
+    """Fold another lazily-stamped cell array into ``(values, stamps)``,
+    in place.
+
+    Each cell pair is brought to the common frame ``max(stamp, other
+    stamp)`` and summed.  For value-linear laws (exponential decay) a cell
+    is a linear functional of its updates, so this reproduces exactly the
+    cell a single detector would hold after seeing both update streams —
+    the property the sharded engine's merge-based combination relies on.
+    Laws without ``decay_factor`` do not commute with summation; callers
+    must reject the merge instead of calling this.
+    """
+    frame = np.maximum(stamps, other_stamps)
+    merged = (
+        values * decay_factor(frame - stamps)
+        + other_values * decay_factor(frame - other_stamps)
+    )
+    np.copyto(values, merged)
+    np.copyto(stamps, frame)
+
+
+def same_value_linear_law(a: DecayLaw, b: DecayLaw) -> DecayFactor | None:
+    """The shared ``decay_factor`` of two identically-parameterised
+    value-linear laws, or ``None`` when merging them would be unsound."""
+    decay_factor = getattr(a, "decay_factor", None)
+    if decay_factor is None or not same_law(a, b):
+        return None
+    return decay_factor
+
+
+def merge_lazily_stamped(detector, other, geometry_attrs: tuple[str, ...]
+                         ) -> None:
+    """Validate and fold ``other`` into ``detector`` for the lazily-stamped
+    cell structures (``_values``/``_stamps`` arrays plus a ``law``).
+
+    The shared merge path of :class:`~repro.decay.OnDemandTDBF` and
+    :class:`~repro.decay.DecayedCountMin`: same type and geometry
+    (``geometry_attrs`` may include the hash-function lists — the
+    parameterised hash callables compare by family and seed), an
+    identically-parameterised value-linear law, then the exact
+    decay-to-common-frame cell sum of :func:`merge_decayed_cells`.
+    """
+    cls_name = type(detector).__name__
+    if type(other) is not type(detector) or any(
+        getattr(other, attr) != getattr(detector, attr)
+        for attr in geometry_attrs
+    ):
+        raise ValueError(
+            f"can only merge {cls_name} of equal geometry and hash functions"
+        )
+    decay_factor = same_value_linear_law(detector.law, other.law)
+    if decay_factor is None:
+        raise ValueError(
+            f"merging {cls_name} requires the same value-linear decay law "
+            f"on both sides; got {detector.law!r} and {other.law!r}"
+        )
+    merge_decayed_cells(
+        detector._values, detector._stamps,
+        other._values, other._stamps, decay_factor,
+    )
 
 
 def apply_decayed_batch(

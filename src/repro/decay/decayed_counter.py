@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro.core.detector import Detector
 from repro.core.registry import register_detector
-from repro.decay.laws import DecayLaw, ExponentialDecay
+from repro.decay.laws import DecayLaw, ExponentialDecay, same_law
 
 
 class DecayedCounter:
@@ -94,6 +94,37 @@ class ExactDecayedCounts(Detector):
             del self._counters[key]
         return len(dead)
 
+    def merge(self, other: Detector) -> None:
+        """Fold another instance's counters into this one.
+
+        Keys held by only one side are copied verbatim, so merging
+        key-partitioned shards (disjoint key sets) is exact under *any*
+        law.  Keys present on both sides are brought to a common frame and
+        summed — exact for value-linear laws (exponential), a one-sided
+        approximation otherwise.
+        """
+        if not isinstance(other, ExactDecayedCounts):
+            raise ValueError("can only merge ExactDecayedCounts")
+        if not same_law(self.law, other.law):
+            raise ValueError(
+                f"can only merge identical laws; got {self.law!r} "
+                f"and {other.law!r}"
+            )
+        decay = self.law.decay
+        for key, theirs in other._counters.items():
+            mine = self._counters.get(key)
+            if mine is None:
+                self._counters[key] = DecayedCounter(
+                    self.law, theirs.value, theirs.stamp
+                )
+                continue
+            frame = max(mine.stamp, theirs.stamp)
+            mine.value = (
+                decay(mine.value, frame - mine.stamp)
+                + decay(theirs.value, frame - theirs.stamp)
+            )
+            mine.stamp = frame
+
     def reset(self) -> None:
         """Drop all counters."""
         self._counters.clear()
@@ -113,6 +144,6 @@ def _exact_decayed_factory(law: DecayLaw | None = None) -> ExactDecayedCounts:
 
 
 register_detector(
-    "exact-decayed", _exact_decayed_factory, timestamped=True,
+    "exact-decayed", _exact_decayed_factory, timestamped=True, mergeable=True,
     description="Unbounded per-key decayed counters (ground truth)",
 )

@@ -21,7 +21,11 @@ import numpy as np
 
 from repro.core.detector import Detector
 from repro.core.registry import register_detector
-from repro.decay.batching import apply_decayed_batch, as_decayed_batch
+from repro.decay.batching import (
+    apply_decayed_batch,
+    as_decayed_batch,
+    merge_lazily_stamped,
+)
 from repro.decay.laws import DecayLaw, ExponentialDecay
 from repro.hashing.families import HashFamily, pairwise_indep_family
 
@@ -103,6 +107,16 @@ class DecayedCountMin(Detector):
         self._values.fill(0.0)
         self._stamps.fill(0.0)
 
+    def merge(self, other: Detector) -> None:
+        """Cellwise decay-to-common-frame sum (value-linear laws only).
+
+        Exact for exponential decay: each cell is a linear functional of
+        its updates, so merging key-partitioned shards reproduces the
+        single-stream sketch.  Requires equal geometry and an identically
+        parameterised value-linear law on both sides.
+        """
+        merge_lazily_stamped(self, other, ("width", "rows", "_hashes"))
+
     @property
     def num_counters(self) -> int:
         """Cells allocated (for resource accounting)."""
@@ -120,7 +134,8 @@ def _decayed_cm_factory(
 
 
 register_detector(
-    "decayed-countmin", _decayed_cm_factory, timestamped=True, enumerable=False,
+    "decayed-countmin", _decayed_cm_factory, timestamped=True,
+    enumerable=False, mergeable=True,
     description="Lazily-decayed Count-Min "
                 "(vectorized batch for exponential decay)",
 )

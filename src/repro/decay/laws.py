@@ -51,6 +51,16 @@ class DecayLaw(Protocol):
         ...
 
 
+def same_law(a: DecayLaw, b: DecayLaw) -> bool:
+    """Whether two laws are identically parameterised.
+
+    Compares type and exact parameter values — not ``repr``, whose
+    rounded formatting would conflate nearby parameters (e.g. taus that
+    differ by less than the displayed precision).
+    """
+    return type(a) is type(b) and a.__dict__ == b.__dict__
+
+
 class LinearDecay:
     """Subtract ``rate`` units per second, floored at zero.
 

@@ -29,7 +29,11 @@ import numpy as np
 
 from repro.core.detector import Detector
 from repro.core.registry import register_detector
-from repro.decay.batching import apply_decayed_batch, as_decayed_batch
+from repro.decay.batching import (
+    apply_decayed_batch,
+    as_decayed_batch,
+    merge_lazily_stamped,
+)
 from repro.decay.laws import DecayLaw, ExponentialDecay
 from repro.hashing.families import HashFamily, pairwise_indep_family
 
@@ -125,6 +129,14 @@ class OnDemandTDBF(Detector):
         self._values.fill(0.0)
         self._stamps.fill(0.0)
 
+    def merge(self, other: Detector) -> None:
+        """Cellwise decay-to-common-frame sum (value-linear laws only).
+
+        Exact for exponential decay by cell linearity — merging
+        key-partitioned shards reproduces the single-stream filter.
+        """
+        merge_lazily_stamped(self, other, ("cells", "hashes", "_funcs"))
+
     @property
     def num_counters(self) -> int:
         """Cells allocated; each cell is (value, stamp), twice the state of
@@ -143,7 +155,8 @@ def _ondemand_factory(
 
 
 register_detector(
-    "ondemand-tdbf", _ondemand_factory, timestamped=True, enumerable=False,
+    "ondemand-tdbf", _ondemand_factory, timestamped=True,
+    enumerable=False, mergeable=True,
     description="On-demand (lazy) time-decaying Bloom filter "
                 "(vectorized batch for exponential decay)",
 )

@@ -1,0 +1,75 @@
+"""Vectorized key → shard partitioning.
+
+The sharded engine routes every key to exactly one detector replica by
+hashing the key with a fixed salt that is independent of every hash family
+seed the detectors themselves use.  Scalar (:func:`shard_of_key`) and
+columnar (:func:`shard_ids`) routing are bit-exact twins, mirroring the
+scalar/vectorized hash pairs in :mod:`repro.hashing` — a key lands on the
+same shard whether it arrives through ``update`` or ``update_batch``.
+
+:func:`partition_batch` splits one columnar batch into per-shard columnar
+sub-batches with a single stable argsort + ``np.take`` gather, so each
+shard's slice stays time-sorted and contiguous and ``update_batch`` keeps
+its vectorized fast path per shard.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.detector import as_uint64_keys
+from repro.hashing.mixers import splitmix64, splitmix64_array
+
+_MASK64 = (1 << 64) - 1
+
+#: Salt decorrelating shard routing from every detector-internal hash
+#: (whose families are seeded via ``splitmix64`` of small seeds).
+SHARD_SALT = 0x8C5F9E3D2A714B6F
+
+
+def shard_of_key(key: int, num_shards: int) -> int:
+    """The shard index ``key`` routes to (scalar twin of :func:`shard_ids`)."""
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    return splitmix64((int(key) & _MASK64) ^ SHARD_SALT) % num_shards
+
+
+def shard_ids(keys: np.ndarray, num_shards: int) -> np.ndarray:
+    """Per-row shard index for a key column (bit-exact with the scalar)."""
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    mixed = splitmix64_array(as_uint64_keys(keys) ^ np.uint64(SHARD_SALT))
+    return (mixed % np.uint64(num_shards)).astype(np.int64)
+
+
+def partition_batch(
+    keys: np.ndarray,
+    weights: np.ndarray,
+    ts: np.ndarray | None,
+    num_shards: int,
+) -> list[tuple[np.ndarray, np.ndarray, np.ndarray | None]]:
+    """Split aligned columns into ``num_shards`` per-shard column triples.
+
+    Rows keep their relative (time) order within each shard — the sort on
+    shard id is stable — so per-shard sub-batches remain valid time-sorted
+    batches.  Keys keep their original dtype (object columns included);
+    only the routing hash canonicalises to uint64.
+    """
+    keys = np.asarray(keys)
+    if num_shards == 1:
+        return [(keys, weights, ts)]
+    ids = shard_ids(keys, num_shards)
+    order = np.argsort(ids, kind="stable")
+    keys_sorted = np.take(keys, order)
+    weights_sorted = np.take(weights, order)
+    ts_sorted = None if ts is None else np.take(ts, order)
+    bounds = np.searchsorted(ids[order], np.arange(num_shards + 1))
+    parts = []
+    for s in range(num_shards):
+        i, j = int(bounds[s]), int(bounds[s + 1])
+        parts.append((
+            keys_sorted[i:j],
+            weights_sorted[i:j],
+            None if ts_sorted is None else ts_sorted[i:j],
+        ))
+    return parts

@@ -1,0 +1,113 @@
+"""Shard-update execution backends behind one interface.
+
+:class:`ParallelRunner` executes the per-shard ``update_batch`` calls the
+sharded engine fans out.  Two backends:
+
+- ``serial`` — in-process loop, zero overhead; the default and the right
+  choice for tests, smoke runs, and single-core machines;
+- ``process`` — a persistent :class:`~concurrent.futures.ProcessPoolExecutor`
+  that ships ``(shard, columns)`` to workers and collects the updated
+  shards back.  Detectors pickle whole (hash functions included — see
+  :mod:`repro.hashing.families`), so the returned shard replaces the local
+  one and the two backends end in bit-identical states.
+
+The process backend pays one detector-state round-trip per shard per
+call, so it wins when batches are large (whole traces or whole windows)
+and loses on per-packet dribbles — exactly the trade the batch engine
+already made for vectorization.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.detector import Detector
+
+#: Columnar sub-batch for one shard: (keys, weights, ts-or-None).
+ShardPart = tuple[np.ndarray, np.ndarray, "np.ndarray | None"]
+
+_BACKENDS = ("serial", "process")
+
+
+def _update_shard(payload: tuple[Detector, ShardPart]) -> Detector:
+    """Worker task: fold one columnar sub-batch into one shard."""
+    detector, (keys, weights, ts) = payload
+    detector.update_batch(keys, weights, ts)
+    return detector
+
+
+class ParallelRunner:
+    """Executes shard updates on a serial or process-pool backend.
+
+    Parameters
+    ----------
+    backend:
+        ``"serial"`` or ``"process"``.
+    workers:
+        Process count for the ``process`` backend (default: the machine's
+        CPU count).  Ignored by the serial backend.
+    """
+
+    def __init__(self, backend: str = "serial", workers: int | None = None
+                 ) -> None:
+        if backend not in _BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; known: {', '.join(_BACKENDS)}"
+            )
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.backend = backend
+        self.workers = workers or os.cpu_count() or 1
+        self._pool: ProcessPoolExecutor | None = None
+
+    def update_shards(
+        self, shards: Sequence[Detector], parts: Sequence[ShardPart]
+    ) -> list[Detector]:
+        """Fold ``parts[i]`` into ``shards[i]`` for every shard; returns the
+        updated shard list (in-place objects for serial, replacements for
+        process).  Shards with an empty sub-batch are left untouched and
+        never shipped."""
+        if len(shards) != len(parts):
+            raise ValueError(
+                f"got {len(parts)} parts for {len(shards)} shards"
+            )
+        if self.backend == "serial":
+            for shard, (keys, weights, ts) in zip(shards, parts):
+                if len(keys):
+                    shard.update_batch(keys, weights, ts)
+            return list(shards)
+        busy = [i for i, part in enumerate(parts) if len(part[0])]
+        if not busy:
+            return list(shards)
+        pool = self._ensure_pool()
+        updated = list(shards)
+        results = pool.map(
+            _update_shard, [(shards[i], parts[i]) for i in busy]
+        )
+        for i, shard in zip(busy, results):
+            updated[i] = shard
+        return updated
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (no-op for the serial backend)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelRunner":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"ParallelRunner(backend={self.backend!r}, workers={self.workers})"

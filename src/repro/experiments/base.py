@@ -19,6 +19,7 @@ the CLI and CI drive them by name, with trace input addressed as
 
 from __future__ import annotations
 
+import difflib
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Callable, ClassVar, Sequence
@@ -36,7 +37,7 @@ class Param:
     """One declared experiment parameter."""
 
     name: str
-    kind: str  # "int" | "float" | "str" | "choice" | "floats" | "strs"
+    kind: str  # "int" | "float" | "str" | "choice" | "floats" | "ints" | "strs"
     default: object
     description: str = ""
     choices: tuple[str, ...] = ()
@@ -91,6 +92,15 @@ class Param:
                     raise ValueError("expected a comma-separated float list")
                 return tuple(float(p) for p in parts)
             return tuple(float(v) for v in value)  # type: ignore[union-attr]
+        if self.kind == "ints":
+            if isinstance(value, str):
+                parts = [p for p in value.split(",") if p.strip()]
+                if not parts:
+                    raise ValueError("expected a comma-separated integer list")
+                return tuple(int(p) for p in parts)
+            if isinstance(value, int) and not isinstance(value, bool):
+                return (value,)
+            return tuple(int(v) for v in value)  # type: ignore[union-attr]
         if self.kind == "strs":
             if isinstance(value, str):
                 parts = [p.strip() for p in value.split(",") if p.strip()]
@@ -120,6 +130,12 @@ def check_positive(value: object) -> None:
     """Shared check for strictly positive scalars."""
     if float(value) <= 0.0:  # type: ignore[arg-type]
         raise ValueError(f"must be positive, got {value}")
+
+
+def check_min1(value: object) -> None:
+    """Shared check for counts that must be at least 1."""
+    if int(value) < 1:  # type: ignore[arg-type]
+        raise ValueError(f"must be >= 1, got {value}")
 
 
 class Experiment(ABC):
@@ -152,10 +168,20 @@ class Experiment(ABC):
         declared = {p.name: p for p in cls.PARAMS}
         unknown = sorted(set(overrides) - set(declared))
         if unknown:
-            known = ", ".join(declared) or "(none)"
+            declared_desc = "; ".join(
+                f"{p.name} ({p.kind}, default {p.describe_default()})"
+                for p in cls.PARAMS
+            ) or "(none)"
+            hints = []
+            for name in unknown:
+                close = difflib.get_close_matches(name, declared, n=1)
+                if close:
+                    hints.append(f"did you mean {close[0]!r} for {name!r}?")
+            hint = (" " + " ".join(hints)) if hints else ""
             raise ExperimentError(
                 f"experiment {cls.name!r} has no parameter(s) "
-                f"{', '.join(map(repr, unknown))}; known: {known}"
+                f"{', '.join(map(repr, unknown))};{hint} "
+                f"declared parameters: {declared_desc}"
             )
         bound: dict[str, object] = {}
         for name, param in declared.items():

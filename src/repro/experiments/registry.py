@@ -40,6 +40,7 @@ def _ensure_populated() -> None:
         decay,
         hidden,
         sensitivity,
+        shard_scaling,
         stats,
         throughput,
     )

@@ -1,0 +1,170 @@
+"""Shard-scaling sweep: throughput and report accuracy vs shard count.
+
+The experiment behind the sharded engine's acceptance story: feed the
+same columnar packet stream through a single-stream detector and through
+:class:`repro.engine.ShardedDetector` at increasing shard counts
+(optionally fanning shard updates across a process pool), and record
+
+- packets/second and the speedup relative to the smallest swept shard
+  count, and
+- the report's Jaccard similarity against the single-stream report —
+  near 1.0 by construction, since key partitioning gives every key's
+  whole state to exactly one shard (small deviations come from per-shard
+  collision noise being *lower* than single-stream).
+
+``repro-hhh run shard-scaling --trace SPEC --shards 1,2,4 --workers 4``
+drives it; CI archives the JSON artifact as ``BENCH_shard-scaling.json``
+at smoke scale on the serial backend.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.throughput import trace_columns
+from repro.core import detector_names, get_spec
+from repro.engine import ParallelRunner, ShardedDetector
+from repro.experiments.base import (
+    Experiment,
+    ExperimentError,
+    Param,
+    check_min1,
+    check_phi,
+)
+from repro.experiments.registry import register_experiment
+from repro.experiments.result import ExperimentResult
+from repro.metrics.sets import jaccard
+from repro.trace.container import Trace
+
+
+def _check_shards(value: object) -> None:
+    counts = value  # already coerced to a tuple of ints
+    if not counts or any(s < 1 for s in counts):  # type: ignore[operator]
+        raise ValueError(f"shard counts must all be >= 1, got {value}")
+    if len(set(counts)) != len(counts):  # type: ignore[arg-type]
+        raise ValueError(f"duplicate shard counts in {value}")
+
+
+@register_experiment
+class ShardScaling(Experiment):
+    """Throughput + accuracy of key-partitioned sharding by shard count."""
+
+    name = "shard-scaling"
+    description = (
+        "sharded-engine throughput and report accuracy vs shard count "
+        "(serial or process-pool workers)"
+    )
+    PARAMS = (
+        Param("detector", "str", "countmin-hh",
+              "registry name of an enumerable detector to shard"),
+        Param("shards", "ints", (1, 2, 4),
+              "comma-separated shard counts to sweep", check=_check_shards),
+        Param("workers", "int", 1,
+              "process-pool workers for shard updates; 1 = serial in-process",
+              check=check_min1),
+        Param("phi", "float", 0.01,
+              "report threshold as a fraction of total bytes",
+              check=check_phi),
+        Param("limit", "int", 100_000, "packets fed to each configuration",
+              check=check_min1),
+        Param("repeats", "int", 3, "best-of-N timing repeats",
+              check=check_min1),
+    )
+    default_trace = "caida:day=0,duration=60"
+    smoke_trace = "caida:day=0,duration=4"
+    smoke_overrides = {
+        "shards": (1, 2), "workers": 1, "limit": 3000, "repeats": 1,
+    }
+
+    def run(self, trace: Trace, label: str = "trace") -> ExperimentResult:
+        name = self.bound_params["detector"]
+        if name not in detector_names():
+            raise ExperimentError(
+                f"unknown detector {name!r}; "
+                "see 'repro-hhh detectors' for the registry"
+            )
+        spec = get_spec(name)
+        if not spec.enumerable:
+            enumerable = ", ".join(
+                n for n in detector_names() if get_spec(n).enumerable
+            )
+            raise ExperimentError(
+                f"detector {name!r} cannot enumerate reports; "
+                f"shard-scaling needs one of: {enumerable}"
+            )
+        keys, weights, ts = trace_columns(
+            trace, limit=self.bound_params["limit"]
+        )
+        threshold = self.bound_params["phi"] * float(weights.sum())
+        now = float(ts[-1]) if len(ts) else 0.0
+        repeats = self.bound_params["repeats"]
+        workers = self.bound_params["workers"]
+
+        reference = spec.factory()
+        reference.update_batch(keys, weights, ts)
+        reference_report = self._query(reference, spec, threshold, now)
+
+        runner = (
+            ParallelRunner("process", workers) if workers > 1 else None
+        )
+        rows: list[dict[str, object]] = []
+        try:
+            if runner is not None:
+                # Warm the pool (fork + worker imports) outside every
+                # timed region so the first swept configuration — the
+                # speedup baseline — is not understated.
+                warm = ShardedDetector(spec.factory, workers, runner)
+                warm.update_batch(keys[:256], weights[:256], ts[:256])
+            measured: dict[int, float] = {}
+            for num_shards in self.bound_params["shards"]:
+                best = float("inf")
+                sharded = None
+                for _ in range(repeats):
+                    sharded = ShardedDetector(
+                        spec.factory, num_shards, runner
+                    )
+                    t0 = time.perf_counter()
+                    sharded.update_batch(keys, weights, ts)
+                    best = min(best, time.perf_counter() - t0)
+                report = self._query(sharded, spec, threshold, now)
+                # Clamp degenerate timings (coarse clocks on tiny batches)
+                # so pps stays finite for int rendering and JSON.
+                pps = len(keys) / max(best, 1e-9)
+                measured[num_shards] = pps
+                rows.append({
+                    "detector": name,
+                    "shards": num_shards,
+                    "backend": "process" if runner else "serial",
+                    "workers": workers if runner else 1,
+                    "packets": len(keys),
+                    "pps": int(pps),
+                    "speedup": 0.0,  # filled once the sweep's base is known
+                    "report_size": len(report),
+                    "jaccard_vs_single": round(
+                        jaccard(set(reference_report), set(report)), 4
+                    ),
+                })
+        finally:
+            if runner is not None:
+                runner.close()
+        # Speedup is always relative to the smallest swept shard count,
+        # regardless of sweep order.
+        base_pps = measured[min(measured)]
+        for row in rows:
+            row["speedup"] = round(measured[row["shards"]] / base_pps, 2)
+        return self._finish(
+            trace, label, rows,
+            headline={
+                "max_speedup": max(row["speedup"] for row in rows),
+                "min_jaccard": min(
+                    row["jaccard_vs_single"] for row in rows
+                ),
+                "reference_report_size": len(reference_report),
+            },
+        )
+
+    @staticmethod
+    def _query(detector, spec, threshold: float, now: float):
+        if spec.timestamped:
+            return detector.query(threshold, now)
+        return detector.query(threshold)

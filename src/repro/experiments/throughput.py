@@ -11,15 +11,15 @@ from __future__ import annotations
 
 from repro.analysis.throughput import speedup_row, trace_columns
 from repro.core import detector_names
-from repro.experiments.base import Experiment, ExperimentError, Param
+from repro.experiments.base import (
+    Experiment,
+    ExperimentError,
+    Param,
+    check_min1,
+)
 from repro.experiments.registry import register_experiment
 from repro.experiments.result import ExperimentResult
 from repro.trace.container import Trace
-
-
-def _check_min1(value: object) -> None:
-    if int(value) < 1:  # type: ignore[arg-type]
-        raise ValueError(f"must be >= 1, got {value}")
 
 
 @register_experiment
@@ -35,9 +35,9 @@ class BatchThroughput(Experiment):
         Param("detectors", "strs", ("countmin", "ondemand-tdbf", "spacesaving"),
               "detector registry names to measure"),
         Param("limit", "int", 20_000, "packets fed to each detector",
-              check=_check_min1),
+              check=check_min1),
         Param("repeats", "int", 3, "best-of-N timing repeats",
-              check=_check_min1),
+              check=check_min1),
     )
     default_trace = "caida:day=0,duration=20"
     smoke_trace = "caida:day=0,duration=4"

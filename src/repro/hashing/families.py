@@ -3,13 +3,19 @@
 A *hash family* hands out independent hash functions ``h_i: int -> [0, m)``
 from a single seed.  Sketches ask for ``rows`` functions at construction time
 and keep them for their lifetime, so the family objects are tiny and the
-returned callables close over plain integers only.
+returned callables carry plain integers only.
 
 Each family also hands out *vectorized* twins (``function_array`` /
 ``sign_array``) mapping a uint64 numpy array of keys to an array of slots or
 signs in one shot.  The vectorized functions are bit-exact with their scalar
 counterparts — the batch update paths in :mod:`repro.core` rely on that to
 keep ``update_batch`` equivalent to repeated scalar ``update``.
+
+The returned callables are module-level classes rather than closures so
+that every detector holding them is *picklable* — the sharded execution
+engine (:mod:`repro.engine`) ships detector shards across a process pool,
+which requires the whole detector state (hash functions included) to
+survive a pickle round-trip bit-exactly.
 """
 
 from __future__ import annotations
@@ -71,6 +77,158 @@ def _affine_mod_p(keys: np.ndarray, a: int, b: int) -> np.ndarray:
     return np.where(total >= np.uint64(_PRIME), total - np.uint64(_PRIME), total)
 
 
+class _ParamHashBase:
+    """Shared identity for the parameterised hash callables.
+
+    Two functions are equal iff they are the same class with the same
+    parameters — what merge validation needs to tell "same family and
+    seed" apart from "same geometry, different hashes".
+    """
+
+    __slots__ = ()
+
+    def _state(self) -> tuple:
+        return tuple(int(getattr(self, s)) for s in self.__slots__)
+
+    def __eq__(self, other: object) -> bool:
+        return type(other) is type(self) and (
+            other._state() == self._state()  # type: ignore[attr-defined]
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._state()))
+
+
+class _AffineSlot(_ParamHashBase):
+    """Scalar ``((a*key + b) mod p) mod m`` (picklable closure stand-in)."""
+
+    __slots__ = ("a", "b", "m")
+
+    def __init__(self, a: int, b: int, m: int) -> None:
+        self.a, self.b, self.m = a, b, m
+
+    def __call__(self, key: int) -> int:
+        return ((self.a * (key & _MASK64) + self.b) % _PRIME) % self.m
+
+
+class _AffineSign(_ParamHashBase):
+    """Scalar pairwise-independent +/-1 function (picklable)."""
+
+    __slots__ = ("a", "b")
+
+    def __init__(self, a: int, b: int) -> None:
+        self.a, self.b = a, b
+
+    def __call__(self, key: int) -> int:
+        return 1 if ((self.a * (key & _MASK64) + self.b) % _PRIME) & 1 else -1
+
+
+class _AffineSlotArray(_ParamHashBase):
+    """Vectorized twin of :class:`_AffineSlot` (bit-exact, picklable)."""
+
+    __slots__ = ("a", "b", "m")
+
+    def __init__(self, a: int, b: int, m: int) -> None:
+        self.a, self.b = a, b
+        self.m = np.uint64(m)
+
+    def __getstate__(self):
+        return (self.a, self.b, int(self.m))
+
+    def __setstate__(self, state) -> None:
+        self.a, self.b, m = state
+        self.m = np.uint64(m)
+
+    def __call__(self, keys: np.ndarray) -> np.ndarray:
+        return _affine_mod_p(keys, self.a, self.b) % self.m
+
+
+class _AffineSignArray(_ParamHashBase):
+    """Vectorized twin of :class:`_AffineSign` (bit-exact, picklable)."""
+
+    __slots__ = ("a", "b")
+
+    def __init__(self, a: int, b: int) -> None:
+        self.a, self.b = a, b
+
+    def __getstate__(self):
+        return (self.a, self.b)
+
+    def __setstate__(self, state) -> None:
+        self.a, self.b = state
+
+    def __call__(self, keys: np.ndarray) -> np.ndarray:
+        odd = _affine_mod_p(keys, self.a, self.b) & np.uint64(1)
+        return np.where(odd.astype(bool), 1, -1).astype(np.int64)
+
+
+class _MixerSlot(_ParamHashBase):
+    """Scalar ``splitmix64(key ^ salt) % m`` (picklable)."""
+
+    __slots__ = ("salt", "m")
+
+    def __init__(self, salt: int, m: int) -> None:
+        self.salt, self.m = salt, m
+
+    def __call__(self, key: int) -> int:
+        return splitmix64(key ^ self.salt) % self.m
+
+
+class _MixerSign(_ParamHashBase):
+    """Scalar mixer-based +/-1 function (picklable)."""
+
+    __slots__ = ("salt",)
+
+    def __init__(self, salt: int) -> None:
+        self.salt = salt
+
+    def __call__(self, key: int) -> int:
+        return 1 if splitmix64(key ^ self.salt) & 1 else -1
+
+
+class _MixerSlotArray(_ParamHashBase):
+    """Vectorized twin of :class:`_MixerSlot` (bit-exact, picklable)."""
+
+    __slots__ = ("salt", "m")
+
+    def __init__(self, salt: int, m: int) -> None:
+        self.salt = np.uint64(salt)
+        self.m = np.uint64(m)
+
+    def __getstate__(self):
+        return (int(self.salt), int(self.m))
+
+    def __setstate__(self, state) -> None:
+        salt, m = state
+        self.salt = np.uint64(salt)
+        self.m = np.uint64(m)
+
+    def __call__(self, keys: np.ndarray) -> np.ndarray:
+        mixed = splitmix64_array(np.asarray(keys, dtype=np.uint64) ^ self.salt)
+        return mixed % self.m
+
+
+class _MixerSignArray(_ParamHashBase):
+    """Vectorized twin of :class:`_MixerSign` (bit-exact, picklable)."""
+
+    __slots__ = ("salt",)
+
+    def __init__(self, salt: int) -> None:
+        self.salt = np.uint64(salt)
+
+    def __getstate__(self):
+        return int(self.salt)
+
+    def __setstate__(self, state) -> None:
+        self.salt = np.uint64(state)
+
+    def __call__(self, keys: np.ndarray) -> np.ndarray:
+        mixed = splitmix64_array(np.asarray(keys, dtype=np.uint64) ^ self.salt)
+        return np.where((mixed & np.uint64(1)).astype(bool), 1, -1).astype(
+            np.int64
+        )
+
+
 class HashFamily(Protocol):
     """Protocol for seeded hash families used by sketches."""
 
@@ -118,42 +276,24 @@ class MultiplyShiftFamily:
         if range_size <= 0:
             raise ValueError(f"range_size must be positive, got {range_size}")
         a, b = self._params(index)
-
-        def h(key: int, _a: int = a, _b: int = b, _m: int = range_size) -> int:
-            return ((_a * (key & _MASK64) + _b) % _PRIME) % _m
-
-        return h
+        return _AffineSlot(a, b, range_size)
 
     def sign_function(self, index: int) -> HashFunc:
         """Pairwise-independent +/-1 function."""
         a, b = self._params(index ^ 0x5A5A5A5A)
-
-        def s(key: int, _a: int = a, _b: int = b) -> int:
-            return 1 if ((_a * (key & _MASK64) + _b) % _PRIME) & 1 else -1
-
-        return s
+        return _AffineSign(a, b)
 
     def function_array(self, index: int, range_size: int) -> ArrayHashFunc:
         """Vectorized 2-universal function (bit-exact with scalar)."""
         if range_size <= 0:
             raise ValueError(f"range_size must be positive, got {range_size}")
         a, b = self._params(index)
-
-        def h(keys: np.ndarray, _a: int = a, _b: int = b,
-              _m: np.uint64 = np.uint64(range_size)) -> np.ndarray:
-            return _affine_mod_p(keys, _a, _b) % _m
-
-        return h
+        return _AffineSlotArray(a, b, range_size)
 
     def sign_array(self, index: int) -> ArrayHashFunc:
         """Vectorized +/-1 function (bit-exact with scalar)."""
         a, b = self._params(index ^ 0x5A5A5A5A)
-
-        def s(keys: np.ndarray, _a: int = a, _b: int = b) -> np.ndarray:
-            odd = _affine_mod_p(keys, _a, _b) & np.uint64(1)
-            return np.where(odd.astype(bool), 1, -1).astype(np.int64)
-
-        return s
+        return _AffineSignArray(a, b)
 
 
 class MixerFamily:
@@ -172,42 +312,24 @@ class MixerFamily:
         if range_size <= 0:
             raise ValueError(f"range_size must be positive, got {range_size}")
         salt = splitmix64((self.seed << 8) ^ (index * 0x9E37 + 0x79B9))
-
-        def h(key: int, _salt: int = salt, _m: int = range_size) -> int:
-            return splitmix64(key ^ _salt) % _m
-
-        return h
+        return _MixerSlot(salt, range_size)
 
     def sign_function(self, index: int) -> HashFunc:
         """Mixer-based +/-1 function."""
         salt = splitmix64((self.seed << 8) ^ (index * 0x85EB + 0xCA6B))
-
-        def s(key: int, _salt: int = salt) -> int:
-            return 1 if splitmix64(key ^ _salt) & 1 else -1
-
-        return s
+        return _MixerSign(salt)
 
     def function_array(self, index: int, range_size: int) -> ArrayHashFunc:
         """Vectorized mixer-based function (bit-exact with scalar)."""
         if range_size <= 0:
             raise ValueError(f"range_size must be positive, got {range_size}")
-        salt = np.uint64(splitmix64((self.seed << 8) ^ (index * 0x9E37 + 0x79B9)))
-
-        def h(keys: np.ndarray, _salt: np.uint64 = salt,
-              _m: np.uint64 = np.uint64(range_size)) -> np.ndarray:
-            return splitmix64_array(np.asarray(keys, dtype=np.uint64) ^ _salt) % _m
-
-        return h
+        salt = splitmix64((self.seed << 8) ^ (index * 0x9E37 + 0x79B9))
+        return _MixerSlotArray(salt, range_size)
 
     def sign_array(self, index: int) -> ArrayHashFunc:
         """Vectorized mixer-based +/-1 function (bit-exact with scalar)."""
-        salt = np.uint64(splitmix64((self.seed << 8) ^ (index * 0x85EB + 0xCA6B)))
-
-        def s(keys: np.ndarray, _salt: np.uint64 = salt) -> np.ndarray:
-            odd = splitmix64_array(np.asarray(keys, dtype=np.uint64) ^ _salt) & np.uint64(1)
-            return np.where(odd.astype(bool), 1, -1).astype(np.int64)
-
-        return s
+        salt = splitmix64((self.seed << 8) ^ (index * 0x85EB + 0xCA6B))
+        return _MixerSignArray(salt)
 
 
 def pairwise_indep_family(seed: int = 0) -> MultiplyShiftFamily:

@@ -111,8 +111,12 @@ class BloomFilter(Detector):
         """Bitwise OR (same geometry and family required)."""
         if not isinstance(other, BloomFilter) or (
             other.bits != self.bits or other.hashes != self.hashes
+            or other._funcs != self._funcs
         ):
-            raise ValueError("can only merge BloomFilter of equal geometry")
+            raise ValueError(
+                "can only merge BloomFilter of equal geometry and hash "
+                "functions"
+            )
         np.bitwise_or(self._array, other._array, out=self._array)
         self.inserted += other.inserted
 
@@ -136,7 +140,7 @@ class BloomFilter(Detector):
 
 
 register_detector(
-    "bloom", BloomFilter, enumerable=False,
+    "bloom", BloomFilter, enumerable=False, mergeable=True,
     description="Bloom filter membership (vectorized batch insertion)",
     probe=lambda det, key, now: 1.0 if key in det else 0.0,
 )

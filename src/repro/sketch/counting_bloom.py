@@ -88,9 +88,11 @@ class CountingBloomFilter(Detector):
         """Elementwise sum (same geometry and family required)."""
         if not isinstance(other, CountingBloomFilter) or (
             other.cells != self.cells or other.hashes != self.hashes
+            or other._funcs != self._funcs
         ):
             raise ValueError(
-                "can only merge CountingBloomFilter of equal geometry"
+                "can only merge CountingBloomFilter of equal geometry and "
+                "hash functions"
             )
         self._array += other._array
 
@@ -101,6 +103,6 @@ class CountingBloomFilter(Detector):
 
 
 register_detector(
-    "counting-bloom", CountingBloomFilter, enumerable=False,
+    "counting-bloom", CountingBloomFilter, enumerable=False, mergeable=True,
     description="Counting Bloom filter (vectorized batch insertion)",
 )

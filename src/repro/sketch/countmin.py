@@ -96,8 +96,12 @@ class CountMinSketch(Detector):
         """Elementwise sum (same geometry and family required)."""
         if not isinstance(other, CountMinSketch) or (
             other.width != self.width or other.rows != self.rows
+            or other._hashes != self._hashes
         ):
-            raise ValueError("can only merge CountMinSketch of equal geometry")
+            raise ValueError(
+                "can only merge CountMinSketch of equal geometry and hash "
+                "functions"
+            )
         self._table += other._table
         self.total += other.total
 
@@ -186,7 +190,7 @@ class CountMinHeavyHitters(Detector):
 
 
 register_detector(
-    "countmin", CountMinSketch, enumerable=False,
+    "countmin", CountMinSketch, enumerable=False, mergeable=True,
     description="Count-Min sketch (point estimates; vectorized batch path)",
 )
 register_detector(

@@ -81,8 +81,12 @@ class CountSketch(Detector):
         """Elementwise sum (same geometry and family required)."""
         if not isinstance(other, CountSketch) or (
             other.width != self.width or other.rows != self.rows
+            or other._hashes != self._hashes or other._signs != self._signs
         ):
-            raise ValueError("can only merge CountSketch of equal geometry")
+            raise ValueError(
+                "can only merge CountSketch of equal geometry and hash "
+                "functions"
+            )
         self._table += other._table
         self.total += other.total
 
@@ -93,6 +97,6 @@ class CountSketch(Detector):
 
 
 register_detector(
-    "countsketch", CountSketch, enumerable=False,
+    "countsketch", CountSketch, enumerable=False, mergeable=True,
     description="Count-Sketch (unbiased point estimates; vectorized batch)",
 )

@@ -36,9 +36,11 @@ from repro.trace.spec import (
     TraceSpec,
     TraceSpecError,
     build_trace,
+    clear_trace_cache,
     get_scenario,
     register_scenario,
     scenario_names,
+    trace_cache_keys,
 )
 from repro.trace.stats import TraceStats, compute_stats
 from repro.trace.ops import concat_traces, shift_trace, slice_time, thin_trace
@@ -49,6 +51,8 @@ __all__ = [
     "TraceSpecError",
     "ScenarioSpec",
     "build_trace",
+    "clear_trace_cache",
+    "trace_cache_keys",
     "get_scenario",
     "register_scenario",
     "scenario_names",

@@ -23,7 +23,9 @@ one registration instead of a new subcommand.
 
 from __future__ import annotations
 
+import difflib
 import inspect
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -88,8 +90,10 @@ def get_scenario(name: str) -> ScenarioSpec:
         return _SCENARIOS[name]
     except KeyError:
         known = ", ".join(sorted(_SCENARIOS))
+        close = difflib.get_close_matches(name, _SCENARIOS, n=1)
+        hint = f" did you mean {close[0]!r}?" if close else ""
         raise TraceSpecError(
-            f"unknown scenario {name!r}; known: {known}"
+            f"unknown scenario {name!r};{hint} registered scenarios: {known}"
         ) from None
 
 
@@ -119,6 +123,41 @@ def _format_value(value: object) -> str:
     if isinstance(value, float):
         return repr(value)
     return str(value)
+
+
+# -- the trace cache ---------------------------------------------------------
+#
+# Scenario builders are deterministic (seeded presets), so the canonical
+# spec string fully determines the trace.  Sweeps that re-run experiments
+# over the same spec (shard-scaling at every shard count, CI smoke loops)
+# therefore memoize builds here instead of regenerating identical traces.
+# ``pcap`` specs are never cached: the file behind the path can change.
+
+_CACHE_MAX = 8
+_TRACE_CACHE: "OrderedDict[str, Trace]" = OrderedDict()
+
+
+def _freeze_trace(trace: Trace) -> None:
+    """Make a cached trace's columns read-only.
+
+    Cache hits share one object across callers, so an in-place edit would
+    silently corrupt every later build of the same spec; freezing turns
+    that hazard into an immediate ``ValueError``.  Derivation helpers
+    (`trace/ops`, `slice_time`) return new traces, so read-only columns
+    cost nothing legitimate.
+    """
+    for name in Trace.__slots__:
+        getattr(trace, name).setflags(write=False)
+
+
+def clear_trace_cache() -> None:
+    """Drop every memoized trace (tests, or after freeing memory)."""
+    _TRACE_CACHE.clear()
+
+
+def trace_cache_keys() -> tuple[str, ...]:
+    """Canonical spec strings currently cached (LRU order, oldest first)."""
+    return tuple(_TRACE_CACHE)
 
 
 @dataclass(frozen=True)
@@ -177,8 +216,31 @@ class TraceSpec:
     def __str__(self) -> str:
         return self.format()
 
-    def build(self) -> Trace:
-        """Materialise the trace this spec describes."""
+    def build(self, cache: bool = True) -> Trace:
+        """Materialise the trace this spec describes.
+
+        Builds are memoized by canonical spec string (scenario builders
+        are deterministic), so repeated runs over the same spec — e.g. a
+        shard-scaling sweep — construct the trace once.  Pass
+        ``cache=False`` to force a rebuild; ``pcap`` specs are never
+        cached since the file behind the path can change.
+        """
+        cacheable = cache and self.scenario != "pcap"
+        if cacheable:
+            key = self.format()
+            cached = _TRACE_CACHE.get(key)
+            if cached is not None:
+                _TRACE_CACHE.move_to_end(key)
+                return cached
+        trace = self._build_uncached()
+        if cacheable:
+            _freeze_trace(trace)
+            _TRACE_CACHE[key] = trace
+            while len(_TRACE_CACHE) > _CACHE_MAX:
+                _TRACE_CACHE.popitem(last=False)
+        return trace
+
+    def _build_uncached(self) -> Trace:
         spec = get_scenario(self.scenario)
         try:
             bound = inspect.signature(spec.builder).bind(**self.params)

@@ -1,0 +1,87 @@
+"""ParallelRunner: serial and process backends end in identical states."""
+
+import numpy as np
+import pytest
+
+from repro.core import make_detector
+from repro.engine import ParallelRunner, ShardedDetector, partition_batch
+
+
+@pytest.fixture(scope="module")
+def columns():
+    rng = np.random.default_rng(31)
+    keys = rng.integers(0, 2**32, size=1500, dtype=np.uint64)
+    weights = rng.integers(40, 1500, size=1500, dtype=np.int64)
+    return keys, weights
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ValueError, match="unknown backend"):
+        ParallelRunner("threads")
+
+
+def test_bad_worker_count_rejected():
+    with pytest.raises(ValueError, match="workers"):
+        ParallelRunner("process", workers=0)
+
+
+def test_serial_updates_in_place(columns):
+    keys, weights = columns
+    shards = [make_detector("countmin") for _ in range(3)]
+    parts = partition_batch(keys, weights, None, 3)
+    runner = ParallelRunner("serial")
+    updated = runner.update_shards(shards, parts)
+    assert [id(s) for s in updated] == [id(s) for s in shards]
+    assert sum(s.total for s in updated) == int(weights.sum())
+
+
+def test_part_shard_mismatch_rejected(columns):
+    keys, weights = columns
+    shards = [make_detector("countmin") for _ in range(3)]
+    parts = partition_batch(keys, weights, None, 2)
+    with pytest.raises(ValueError, match="parts"):
+        ParallelRunner("serial").update_shards(shards, parts)
+
+
+def test_process_backend_matches_serial(columns):
+    """The process pool ships shards out and back with bit-identical
+    resulting state (detectors pickle whole, hash functions included)."""
+    keys, weights = columns
+    serial = ShardedDetector(lambda: make_detector("countmin"), 3)
+    serial.update_batch(keys, weights)
+    with ParallelRunner("process", workers=2) as runner:
+        parallel = ShardedDetector(
+            lambda: make_detector("countmin"), 3, runner=runner
+        )
+        parallel.update_batch(keys, weights)
+        # Second batch through the same persistent pool.
+        serial.update_batch(keys[:200], weights[:200])
+        parallel.update_batch(keys[:200], weights[:200])
+    for a, b in zip(serial.shards, parallel.shards):
+        assert (a._table == b._table).all()
+        assert a.total == b.total
+
+
+def test_process_backend_skips_empty_parts(columns):
+    """Shards with no rows in a batch are never shipped: their object
+    identity is preserved across a process-backend update."""
+    keys, weights = columns
+    with ParallelRunner("process", workers=2) as runner:
+        sharded = ShardedDetector(
+            lambda: make_detector("countmin"), 4, runner=runner
+        )
+        before = list(sharded.shards)
+        # Route everything to one shard by using a single repeated key.
+        one_key = np.full(50, keys[0], dtype=np.uint64)
+        sharded.update_batch(one_key, weights[:50])
+        untouched = [
+            i for i, (a, b) in enumerate(zip(before, sharded.shards))
+            if a is b
+        ]
+        assert len(untouched) == 3
+
+
+def test_close_is_idempotent():
+    runner = ParallelRunner("serial")
+    runner.close()
+    runner.close()

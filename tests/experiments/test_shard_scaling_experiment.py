@@ -1,0 +1,96 @@
+"""The shard-scaling experiment: rows, accuracy, and parameter errors."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentError,
+    make_experiment,
+    run_experiment,
+    validate_result_dict,
+)
+from repro.trace import build_trace
+
+
+@pytest.fixture(scope="module")
+def tiny_trace():
+    return build_trace("zipf:duration=6")
+
+
+class TestShardScaling:
+    def test_rows_and_headline(self, tiny_trace):
+        exp = make_experiment(
+            "shard-scaling", shards="1,2", repeats=1, limit=1500
+        )
+        result = exp.run(tiny_trace)
+        assert [row["shards"] for row in result.rows] == [1, 2]
+        for row in result.rows:
+            assert row["backend"] == "serial"
+            assert row["pps"] > 0
+            assert 0.0 <= row["jaccard_vs_single"] <= 1.0
+        assert result.rows[0]["speedup"] == 1.0
+        assert result.headline["min_jaccard"] >= 0.0
+        assert result.headline["reference_report_size"] >= 0
+
+    def test_key_partitioned_reports_stay_equivalent(self, tiny_trace):
+        """The accuracy column is the acceptance story: sharded reports
+        match single-stream reports (Jaccard 1.0) for the default
+        tracked-candidate detector on an uncontended trace."""
+        exp = make_experiment(
+            "shard-scaling", shards="1,4", repeats=1, limit=1500
+        )
+        result = exp.run(tiny_trace)
+        assert result.headline["min_jaccard"] == 1.0
+
+    def test_speedup_baseline_is_smallest_shard_count(self, tiny_trace):
+        """Sweep order does not change the baseline: speedup is always
+        relative to the smallest swept shard count."""
+        exp = make_experiment(
+            "shard-scaling", shards="4,1", repeats=1, limit=1000
+        )
+        result = exp.run(tiny_trace)
+        by_shards = {row["shards"]: row for row in result.rows}
+        assert by_shards[1]["speedup"] == 1.0
+        assert by_shards[4]["speedup"] == pytest.approx(
+            by_shards[4]["pps"] / by_shards[1]["pps"], abs=0.01
+        )
+
+    def test_enumerable_detector_required(self, tiny_trace):
+        exp = make_experiment("shard-scaling", detector="countmin",
+                              repeats=1, limit=500)
+        with pytest.raises(ExperimentError, match="cannot enumerate"):
+            exp.run(tiny_trace)
+
+    def test_unknown_detector_rejected(self, tiny_trace):
+        exp = make_experiment("shard-scaling", detector="nope",
+                              repeats=1, limit=500)
+        with pytest.raises(ExperimentError, match="unknown detector"):
+            exp.run(tiny_trace)
+
+    def test_bad_shard_list_rejected(self):
+        with pytest.raises(ExperimentError, match="shard counts"):
+            make_experiment("shard-scaling", shards="0,2")
+
+    def test_duplicate_shard_counts_rejected(self):
+        with pytest.raises(ExperimentError, match="duplicate"):
+            make_experiment("shard-scaling", shards="4,4,1")
+
+    def test_unknown_param_lists_declared_params(self):
+        with pytest.raises(ExperimentError) as excinfo:
+            make_experiment("shard-scaling", shard="1,2")
+        message = str(excinfo.value)
+        assert "did you mean 'shards'" in message
+        assert "declared parameters" in message
+        assert "workers (int, default 1)" in message
+
+    def test_smoke_artifact_validates(self):
+        result = run_experiment("shard-scaling", smoke=True)
+        validate_result_dict(result.to_dict())
+        assert [row["shards"] for row in result.rows] == [1, 2]
+
+    def test_spacesaving_detector_supported(self, tiny_trace):
+        exp = make_experiment(
+            "shard-scaling", detector="spacesaving", shards="1,2",
+            repeats=1, limit=800,
+        )
+        result = exp.run(tiny_trace)
+        assert len(result.rows) == 2

@@ -1,0 +1,75 @@
+"""CLI surface of the sharded engine: --shards/--workers and listings."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestRunShardFlags:
+    def test_shards_flag_is_set_sugar(self, tmp_path, capsys):
+        out = tmp_path / "result.json"
+        code = main([
+            "run", "shard-scaling", "--smoke", "--shards", "1,2",
+            "--json", str(out),
+        ])
+        assert code == 0
+        document = json.loads(out.read_text())
+        assert document["params"]["shards"] == [1, 2]
+        assert [row["shards"] for row in document["rows"]] == [1, 2]
+
+    def test_workers_flag_recorded_in_params(self, tmp_path):
+        out = tmp_path / "result.json"
+        code = main([
+            "run", "shard-scaling", "--smoke", "--shards", "1",
+            "--workers", "1", "--json", str(out),
+        ])
+        assert code == 0
+        assert json.loads(out.read_text())["params"]["workers"] == 1
+
+    def test_flag_and_set_conflict_is_an_error(self, capsys):
+        code = main([
+            "run", "shard-scaling", "--smoke", "--shards", "1,2",
+            "--set", "shards=1",
+        ])
+        assert code == 2
+        assert "--shards conflicts with --set" in capsys.readouterr().err
+
+    def test_shards_on_experiment_without_param_fails_cleanly(self, capsys):
+        code = main(["run", "trace-stats", "--smoke", "--shards", "2"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "has no parameter(s) 'shards'" in err
+        assert "declared parameters" in err
+
+    def test_unknown_set_lists_declared_params(self, capsys):
+        code = main([
+            "run", "shard-scaling", "--smoke", "--set", "shard=2",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "did you mean 'shards'" in err
+        assert "declared parameters" in err
+        assert "shards (ints, default 1,2,4)" in err
+
+    def test_bad_workers_rejected_by_argparse(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "shard-scaling", "--workers", "0"])
+
+
+class TestDetectorListing:
+    def test_mergeable_column(self, capsys):
+        assert main(["detectors"]) == 0
+        out = capsys.readouterr().out
+        header, separator, *rows = out.strip().splitlines()
+        assert "mergeable" in header
+        cells = {
+            row.split()[0]: row.split() for row in rows
+        }
+        assert cells["countmin"][3] == "yes"
+        assert cells["spacesaving"][3] == "no"
+
+    def test_experiments_listing_includes_shard_scaling(self, capsys):
+        assert main(["experiments", "--names"]) == 0
+        assert "shard-scaling" in capsys.readouterr().out.split()

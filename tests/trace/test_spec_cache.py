@@ -1,0 +1,110 @@
+"""The trace cache and the improved unknown-scenario diagnostics."""
+
+import pytest
+
+from repro.trace import TraceSpec, TraceSpecError, clear_trace_cache
+from repro.trace.spec import trace_cache_keys
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_trace_cache()
+    yield
+    clear_trace_cache()
+
+
+class TestTraceCache:
+    def test_repeated_builds_reuse_the_trace(self):
+        spec = TraceSpec.parse("zipf:duration=2,sources=100")
+        assert spec.build() is spec.build()
+
+    def test_cache_keys_are_canonical_spec_strings(self):
+        TraceSpec.parse("zipf:sources=100,duration=2").build()
+        assert trace_cache_keys() == ("zipf:duration=2,sources=100",)
+        # A differently-ordered but identical spec hits the same entry.
+        TraceSpec.parse("zipf:duration=2,sources=100").build()
+        assert len(trace_cache_keys()) == 1
+
+    def test_different_params_build_different_traces(self):
+        a = TraceSpec.parse("zipf:duration=2,sources=100").build()
+        b = TraceSpec.parse("zipf:duration=2,sources=200").build()
+        assert a is not b
+        assert len(trace_cache_keys()) == 2
+
+    def test_cache_false_forces_rebuild(self):
+        spec = TraceSpec.parse("zipf:duration=2,sources=100")
+        cached = spec.build()
+        rebuilt = spec.build(cache=False)
+        assert cached is not rebuilt
+        assert len(cached) == len(rebuilt)
+        assert (cached.ts == rebuilt.ts).all()
+
+    def test_uncached_build_does_not_populate(self):
+        TraceSpec.parse("zipf:duration=2,sources=100").build(cache=False)
+        assert trace_cache_keys() == ()
+
+    def test_pcap_is_never_cached(self, tmp_path):
+        from repro.packet.pcap import write_pcap
+
+        path = tmp_path / "t.pcap"
+        trace = TraceSpec.parse("zipf:duration=2,sources=100").build()
+        write_pcap(str(path), trace.packets())
+        spec = TraceSpec.parse(f"pcap:{path}")
+        first = spec.build()
+        assert first is not spec.build()
+        assert all(not key.startswith("pcap") for key in trace_cache_keys())
+
+    def test_cached_traces_are_frozen(self):
+        """Cache hits share one object, so in-place edits must fail loudly
+        instead of corrupting every later build of the same spec."""
+        import pytest as _pytest
+
+        trace = TraceSpec.parse("zipf:duration=2,sources=100").build()
+        with _pytest.raises(ValueError):
+            trace.ts += 1.0
+        with _pytest.raises(ValueError):
+            trace.length[0] = 0
+
+    def test_uncached_build_stays_writable(self):
+        trace = TraceSpec.parse("zipf:duration=2,sources=100").build(
+            cache=False
+        )
+        trace.ts += 0.0  # no error: private copy
+
+    def test_clear_trace_cache(self):
+        TraceSpec.parse("zipf:duration=2,sources=100").build()
+        clear_trace_cache()
+        assert trace_cache_keys() == ()
+
+    def test_cache_is_bounded(self):
+        for sources in range(100, 100 + 12):
+            TraceSpec.parse(f"zipf:duration=1,sources={sources}").build()
+        assert len(trace_cache_keys()) == 8  # LRU bound
+
+    def test_evicts_least_recently_used(self):
+        specs = [
+            TraceSpec.parse(f"zipf:duration=1,sources={sources}")
+            for sources in range(100, 109)  # one more than the bound
+        ]
+        for spec in specs:
+            spec.build()
+        assert specs[0].format() not in trace_cache_keys()
+        assert specs[-1].format() in trace_cache_keys()
+
+
+class TestUnknownScenarioDiagnostics:
+    def test_lists_registered_scenarios(self):
+        with pytest.raises(TraceSpecError) as excinfo:
+            TraceSpec.parse("nonsense:duration=5").build()
+        message = str(excinfo.value)
+        assert "registered scenarios" in message
+        assert "caida" in message and "zipf" in message
+
+    def test_suggests_closest_match(self):
+        with pytest.raises(TraceSpecError, match="did you mean 'zipf'"):
+            TraceSpec.parse("zpif:duration=5").build()
+
+    def test_no_suggestion_when_nothing_is_close(self):
+        with pytest.raises(TraceSpecError) as excinfo:
+            TraceSpec.parse("qqqqqqq").build()
+        assert "did you mean" not in str(excinfo.value)

@@ -1,0 +1,80 @@
+"""Windowed driver with a sharded per-window detector."""
+
+import pytest
+
+from repro.core import make_detector
+from repro.engine import ParallelRunner, ShardedDetector
+from repro.trace import build_trace
+from repro.windows.driver import WindowedDetectorDriver
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return build_trace("zipf:duration=30")
+
+
+def _reports(driver, trace):
+    return [(window.index, report) for window, report in driver.run(trace)]
+
+
+def test_sharded_windows_report_like_single_stream(trace):
+    """Per-window reports from a sharded detector match the single-stream
+    driver when per-shard capacity is not the binding constraint."""
+    single = WindowedDetectorDriver(
+        lambda: make_detector("spacesaving", capacity=512),
+        window_size=5.0, phi=0.05,
+    )
+    sharded = WindowedDetectorDriver(
+        lambda: make_detector("spacesaving", capacity=512),
+        window_size=5.0, phi=0.05, shards=4,
+    )
+    expected = _reports(single, trace)
+    got = _reports(sharded, trace)
+    assert len(expected) == len(got) > 0
+    for (i, a), (j, b) in zip(expected, got):
+        assert i == j
+        assert set(a) == set(b)
+
+
+def test_driver_builds_sharded_detectors(trace):
+    driver = WindowedDetectorDriver(
+        lambda: make_detector("countmin-hh"), window_size=5.0, shards=3
+    )
+    detector = driver.detector_factory()
+    assert isinstance(detector, ShardedDetector)
+    assert detector.num_shards == 3
+
+
+def test_shards_one_keeps_plain_factory(trace):
+    driver = WindowedDetectorDriver(
+        lambda: make_detector("countmin-hh"), window_size=5.0, shards=1
+    )
+    assert not isinstance(driver.detector_factory(), ShardedDetector)
+
+
+def test_shards_one_with_runner_still_uses_runner(trace):
+    """A requested runner is honored even at one shard — the single shard
+    routes through the runner's backend instead of being silently serial."""
+    runner = ParallelRunner("serial")
+    driver = WindowedDetectorDriver(
+        lambda: make_detector("countmin-hh"), window_size=5.0,
+        shards=1, runner=runner,
+    )
+    detector = driver.detector_factory()
+    assert isinstance(detector, ShardedDetector)
+    assert detector.runner is runner
+
+
+def test_runner_requires_shards():
+    with pytest.raises(ValueError, match="runner requires shards"):
+        WindowedDetectorDriver(
+            lambda: make_detector("countmin-hh"), window_size=5.0,
+            runner=ParallelRunner("serial"),
+        )
+
+
+def test_bad_shard_count_rejected():
+    with pytest.raises(ValueError, match="shards"):
+        WindowedDetectorDriver(
+            lambda: make_detector("countmin-hh"), window_size=5.0, shards=0
+        )
