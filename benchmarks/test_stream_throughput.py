@@ -1,0 +1,87 @@
+"""Streaming vs offline ingest throughput (the ISSUE's acceptance gate).
+
+The streaming pipeline re-chunks the stream into fixed 8192-packet
+columnar chunks and pays per-chunk slicing, policy, and bookkeeping
+overhead on top of the same vectorized ``update_batch`` calls the offline
+path makes once over the whole column set.  The gate: chunked streaming
+must sustain **>= 0.7x** of the offline batch path's packets/second for
+the vectorized Count-Min — the detector where chunking overhead is the
+largest *relative* cost (scalar-replay detectors drown it in update
+work, so their parity row is informative only).
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import write_result
+
+from repro.analysis.render import format_table
+from repro.core import get_spec
+from repro.stream import EveryNPackets, StreamPipeline, TraceSource
+from repro.trace import presets
+
+CHUNK = 8192
+REPEATS = 3
+REQUIRED_RATIO = 0.7
+
+#: (registry name, required streaming/offline ratio or None).
+CASES = [
+    ("countmin", REQUIRED_RATIO),   # vectorized: worst case for chunking
+    ("countmin-hh", None),          # scalar replay: parity, informative
+]
+
+
+def _offline_seconds(spec, trace) -> float:
+    best = float("inf")
+    for _ in range(REPEATS):
+        detector = spec.factory()
+        t0 = time.perf_counter()
+        detector.update_batch(trace.src, trace.length, trace.ts)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _streaming_seconds(spec, trace) -> float:
+    """End-to-end pipeline wall time: chunking + policy + updates."""
+    best = float("inf")
+    for _ in range(REPEATS):
+        pipeline = StreamPipeline(
+            spec.factory(),
+            EveryNPackets(10**12),  # ingest-only: measure the chunked path
+            timestamped=spec.timestamped,
+            emit_partial=False,
+        )
+        t0 = time.perf_counter()
+        for _emission in pipeline.process(TraceSource(trace), CHUNK):
+            pass
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_streaming_sustains_offline_throughput():
+    trace = presets.caida_like_day(0, duration=40.0)
+    rows = []
+    failures = []
+    for name, required in CASES:
+        spec = get_spec(name)
+        offline_s = _offline_seconds(spec, trace)
+        streaming_s = _streaming_seconds(spec, trace)
+        ratio = offline_s / streaming_s
+        rows.append({
+            "detector": name,
+            "packets": len(trace),
+            "chunk": CHUNK,
+            "offline_pps": int(len(trace) / offline_s),
+            "streaming_pps": int(len(trace) / streaming_s),
+            "ratio": round(ratio, 2),
+            "required": required if required is not None else "-",
+        })
+        if required is not None and ratio < required:
+            failures.append(f"{name}: {ratio:.2f}x < {required}x")
+    write_result(
+        "stream_throughput.txt",
+        f"Chunked streaming vs offline batch ingest (chunk={CHUNK})\n"
+        + format_table(rows),
+    )
+    assert not failures, "; ".join(failures)

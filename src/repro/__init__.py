@@ -16,6 +16,10 @@ The package provides, from the bottom up:
   ground-truth algorithms;
 - :mod:`repro.windows` — the three window models of the paper's Figure 1
   (disjoint, sliding, micro-shrunk) and streaming drivers;
+- :mod:`repro.stream` — the streaming runtime: chunked unbounded
+  ingestion (finite traces, infinite synthetic scenarios, drift splices),
+  online report emission with churn accounting, and pipeline
+  checkpoint/restore;
 - :mod:`repro.sketch` — the prior-work detectors the poster positions itself
   against (Count-Min, Space-Saving, HashPipe, RHHH, ...);
 - :mod:`repro.decay` — the direction the paper advocates in Section 3:

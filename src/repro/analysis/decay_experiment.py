@@ -39,6 +39,7 @@ from repro.net.prefix import Prefix
 from repro.sketch.rhhh import RHHH
 from repro.trace.container import Trace
 from repro.windows.disjoint import DisjointWindows
+from repro.windows.driver import window_slices
 from repro.windows.schedule import Window
 from repro.windows.sliding import SlidingWindows
 
@@ -181,20 +182,17 @@ class DecayComparisonExperiment:
         RNG-driven level sampling is unchanged).
         """
         series: Series = []
-        windows = list(DisjointWindows(self.window_size).over_trace(trace))
-        for window in windows:
-            i, j = trace.index_range(window.t0, window.t1)
+        for piece in window_slices(trace, self.window_size):
             detector = RHHH(
                 self.hierarchy,
                 self.counters_per_level,
-                seed=self.seed + window.index,
+                seed=self.seed + piece.window.index,
                 sample_levels=sample_levels,
             )
-            weights = trace.length[i:j]
-            detector.update_batch(trace.src[i:j], weights)
-            window_bytes = int(weights.sum())
-            result = detector.query_hhh(self.phi * window_bytes)
-            series.append((window, result.prefixes))
+            i, j = piece.start, piece.stop
+            detector.update_batch(trace.src[i:j], trace.length[i:j])
+            result = detector.query_hhh(self.phi * piece.bytes)
+            series.append((piece.window, result.prefixes))
         return series
 
     def _td_series(

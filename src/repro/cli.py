@@ -9,6 +9,13 @@ any string-addressable trace and emits the uniform JSON result artifact::
     repro-hhh scenarios                           # trace-scenario registry
     repro-hhh detectors                           # detector registry
 
+The streaming runtime has its own online driver — emissions print as they
+happen, and the pipeline can checkpoint at end of run and resume later::
+
+    repro-hhh stream <detector> --source SPEC [--chunk N]
+              [--emit-every Np|Ts|window:T] [--max-packets N]
+              [--checkpoint FILE] [--resume FILE --fast-forward]
+
 The paper's artefacts remain available as thin aliases over the same path
 (identical tables, same deterministic seeded presets)::
 
@@ -41,6 +48,7 @@ from repro.experiments import (
 from repro.packet.pcap import write_pcap
 from repro.trace.spec import TraceSpec, TraceSpecError, get_scenario, scenario_names
 from repro.trace.stats import compute_stats
+from repro.experiments.result import TraceProvenance
 
 
 # -- argparse value types (reject garbage before trace generation) -----------
@@ -203,6 +211,114 @@ def _cmd_detectors(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- the streaming runtime (online emissions, checkpoint/resume) -------------
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    import pickle
+    from pathlib import Path
+
+    from repro.core import get_enumerable_spec
+    from repro.stream import (
+        StreamPipeline,
+        build_stream_detector,
+        emission_rows,
+        parse_emission_policy,
+        parse_stream_spec,
+        report_churn,
+        skip_packets,
+    )
+
+    try:
+        spec = get_enumerable_spec(args.detector)
+        source = parse_stream_spec(args.source)
+        policy = parse_emission_policy(args.emit_every)
+    except ValueError as exc:
+        return _fail(str(exc))
+
+    detector, runner = build_stream_detector(
+        spec, shards=args.shards, workers=args.workers or 1
+    )
+    pipeline = StreamPipeline(
+        detector, policy,
+        phi=args.phi, key=args.key, timestamped=spec.timestamped,
+        reset_on_emit=not args.no_reset,
+        # A checkpointed run must stop with the open interval intact: the
+        # trailing partial flush would insert a spurious boundary and
+        # reset the detector, breaking bit-identical resume.
+        emit_partial=not args.checkpoint,
+    )
+    if args.resume:
+        try:
+            pipeline.restore(pickle.loads(Path(args.resume).read_bytes()))
+        except (OSError, ValueError, pickle.PickleError) as exc:
+            return _fail(f"cannot resume from {args.resume}: {exc}")
+        print(f"resumed at packet {pipeline.packets} "
+              f"(emission {pipeline.emissions}) from {args.resume}")
+        if args.fast_forward:
+            source = skip_packets(source, pipeline.packets)
+
+    emissions = []
+    previous: dict[int, float] = {}
+    try:
+        # Online: each emission prints the moment its boundary is crossed,
+        # while the stream keeps flowing.
+        for emission in pipeline.process(
+            source, args.chunk, max_packets=args.max_packets
+        ):
+            stats = report_churn(previous, emission.report)
+            previous = emission.report
+            flag = " partial" if emission.partial else ""
+            print(
+                f"emit {emission.index:>4}  "
+                f"[{emission.window.t0:10.3f}, {emission.window.t1:10.3f})  "
+                f"pkts {emission.packets:>8}  report {len(emission.report):>4}  "
+                f"+{stats.entries:<3} -{stats.exits:<3} "
+                f"jaccard {stats.jaccard:4.2f}  "
+                f"{int(emission.pps):>8} pps{flag}"
+            )
+            emissions.append(emission)
+    finally:
+        if runner is not None:
+            runner.close()
+
+    print()
+    print(
+        f"stream: {pipeline.packets} packets, {pipeline.bytes} bytes, "
+        f"{pipeline.chunk_index} chunks, {pipeline.emissions} emissions"
+    )
+    if args.checkpoint:
+        Path(args.checkpoint).write_bytes(
+            pickle.dumps(pipeline.checkpoint(), protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        print(f"checkpoint -> {args.checkpoint}")
+    if args.json_out:
+        result = ExperimentResult(
+            experiment="stream",
+            params={
+                "detector": args.detector, "source": args.source,
+                "chunk": args.chunk, "emit": args.emit_every,
+                "phi": args.phi, "key": args.key,
+                "max_packets": args.max_packets, "shards": args.shards,
+                "workers": args.workers or 1,
+            },
+            rows=emission_rows(emissions),
+            traces=[
+                TraceProvenance(
+                    label="stream",
+                    num_packets=pipeline.packets,
+                    duration_s=round(
+                        emissions[-1].window.t1 - emissions[0].window.t0, 3
+                    ) if emissions else 0.0,
+                    total_bytes=pipeline.bytes,
+                    spec=args.source,
+                )
+            ],
+            headline={"num_emissions": pipeline.emissions},
+        )
+        _emit_json(result, args.json_out)
+    return 0
+
+
 # -- paper-artefact aliases (thin wrappers over the registry path) -----------
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -346,6 +462,51 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--smoke", action="store_true",
                    help="tiny preset trace and parameters (CI smoke runs)")
     p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser(
+        "stream",
+        help="drive a detector over a chunked stream with online emissions",
+    )
+    p.add_argument("detector",
+                   help="registry name of an enumerable detector")
+    p.add_argument("--source", required=True, metavar="SPEC",
+                   help="stream spec: trace specs spliced with '+', "
+                        "interleaved with '&', 'repeat:' for infinite "
+                        "scenario sources, '@xF' rate rewrite")
+    p.add_argument("--chunk", type=_min1_int, default=8192, metavar="N",
+                   help="packets per columnar chunk (default 8192)")
+    p.add_argument("--emit-every", default="2s", metavar="POLICY",
+                   help="'Np' packets, 'Ts' trace seconds, or 'window:T' "
+                        "driver-aligned (default 2s)")
+    p.add_argument("--phi", type=_phi_float, default=0.02,
+                   help="report threshold as a fraction of interval bytes")
+    p.add_argument("--key", choices=("src", "dst"), default="src",
+                   help="trace column keying the detector")
+    p.add_argument("--max-packets", type=_min1_int, default=1_000_000,
+                   metavar="N",
+                   help="hard packet cap (bounds infinite 'repeat:' "
+                        "sources; default 1000000)")
+    p.add_argument("--shards", type=_min1_int, default=1,
+                   help="key-partitioned shards wrapping the detector")
+    p.add_argument("--workers", type=_min1_int, default=None,
+                   help="process-pool workers for shard updates")
+    p.add_argument("--no-reset", action="store_true",
+                   help="keep detector state across emissions "
+                        "(continuous-time detectors)")
+    p.add_argument("--checkpoint", metavar="FILE",
+                   help="write the pipeline checkpoint at end of run "
+                        "(suppresses the trailing partial report so a "
+                        "resumed run continues the open interval "
+                        "bit-identically)")
+    p.add_argument("--resume", metavar="FILE",
+                   help="restore a checkpoint before streaming")
+    p.add_argument("--fast-forward", action="store_true",
+                   help="with --resume: skip the packets already consumed, "
+                        "so the same deterministic --source continues "
+                        "where the checkpoint stopped")
+    p.add_argument("--json", dest="json_out", metavar="FILE",
+                   help="also write the emission table as a JSON artifact")
+    p.set_defaults(func=_cmd_stream)
 
     p = sub.add_parser("experiments", help="list the experiment registry")
     p.add_argument("--names", action="store_true",

@@ -10,21 +10,35 @@ See ``ROADMAP.md`` ("Architecture") for the layering:
 core -> sketch/decay -> windows -> analysis/cli.
 """
 
+from repro.core.checkpoint import (
+    STATE_SCHEMA,
+    CheckpointError,
+    load_checkpoint,
+    read_checkpoint,
+    write_checkpoint,
+)
 from repro.core.detector import Detector, as_batch
 from repro.core.registry import (
     DetectorSpec,
     detector_names,
+    get_enumerable_spec,
     get_spec,
     make_detector,
     register_detector,
 )
 
 __all__ = [
+    "CheckpointError",
     "Detector",
     "DetectorSpec",
+    "STATE_SCHEMA",
     "as_batch",
     "detector_names",
+    "get_enumerable_spec",
     "get_spec",
+    "load_checkpoint",
     "make_detector",
+    "read_checkpoint",
     "register_detector",
+    "write_checkpoint",
 ]

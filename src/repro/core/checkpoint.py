@@ -1,0 +1,109 @@
+"""Versioned detector checkpoint artifacts.
+
+A checkpoint captures a detector's *complete* mutable state — counter
+tables, candidate maps, RNG states, lazily-decayed cell stamps, the
+deterministically-seeded hash functions — so that restoring it into a
+compatible instance and continuing the stream is bit-identical to never
+having stopped.  That is the contract the streaming runtime
+(:mod:`repro.stream`) relies on to snapshot a pipeline mid-stream and
+resume it later, and it is enforced registry-wide by
+``tests/core/test_checkpoint_equivalence.py``.
+
+The artifact is a small versioned envelope::
+
+    {
+      "schema": "repro-hhh/detector-state/v1",
+      "detector": "CountMinSketch",
+      "payload": b"..."        # pickled state snapshot
+    }
+
+``payload`` is a pickle of the detector's state (every detector in the
+registry pickles whole since the hash families became picklable callables
+— see :mod:`repro.hashing.families`).  The envelope stays a plain dict so
+callers can embed it in larger artifacts (the stream checkpoint does) or
+write it to disk via :func:`write_checkpoint` / :func:`read_checkpoint`.
+
+:meth:`repro.core.Detector.save_state` snapshots into this envelope;
+:meth:`repro.core.Detector.load_state` validates the schema *and* the
+detector class before restoring, so loading a Count-Min checkpoint into a
+Space-Saving raises instead of silently corrupting state.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.detector import Detector
+
+#: Version tag embedded in every detector-state artifact.
+STATE_SCHEMA = "repro-hhh/detector-state/v1"
+
+
+class CheckpointError(ValueError):
+    """A malformed, mistyped, or wrong-version checkpoint artifact."""
+
+
+def pack_state(detector: "Detector", payload: object) -> dict[str, object]:
+    """Wrap ``payload`` in the versioned envelope for ``detector``.
+
+    The payload is pickled immediately, so the artifact is a deep snapshot:
+    later updates to the live detector cannot leak into it.
+    """
+    return {
+        "schema": STATE_SCHEMA,
+        "detector": type(detector).__qualname__,
+        "payload": pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL),
+    }
+
+
+def unpack_state(detector: "Detector", state: object) -> object:
+    """Validate an envelope against ``detector`` and return its payload."""
+    if not isinstance(state, dict):
+        raise CheckpointError(
+            f"checkpoint must be a dict, got {type(state).__name__}"
+        )
+    schema = state.get("schema")
+    if schema != STATE_SCHEMA:
+        raise CheckpointError(
+            f"unknown checkpoint schema {schema!r}; expected {STATE_SCHEMA!r}"
+        )
+    saved = state.get("detector")
+    expected = type(detector).__qualname__
+    if saved != expected:
+        raise CheckpointError(
+            f"checkpoint holds {saved!r} state; cannot load into {expected!r}"
+        )
+    payload = state.get("payload")
+    if not isinstance(payload, bytes):
+        raise CheckpointError("checkpoint payload must be bytes")
+    return pickle.loads(payload)
+
+
+def write_checkpoint(
+    detector: "Detector", path: str | Path
+) -> dict[str, object]:
+    """Snapshot ``detector`` to ``path``; returns the artifact written."""
+    state = detector.save_state()
+    Path(path).write_bytes(
+        pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+    )
+    return state
+
+
+def read_checkpoint(path: str | Path) -> dict[str, object]:
+    """Read a checkpoint artifact written by :func:`write_checkpoint`."""
+    state = pickle.loads(Path(path).read_bytes())
+    if not isinstance(state, dict) or state.get("schema") != STATE_SCHEMA:
+        raise CheckpointError(
+            f"{path} does not hold a {STATE_SCHEMA!r} artifact"
+        )
+    return state
+
+
+def load_checkpoint(detector: "Detector", path: str | Path) -> "Detector":
+    """Restore ``detector`` in place from ``path``; returns it for chaining."""
+    detector.load_state(read_checkpoint(path))
+    return detector

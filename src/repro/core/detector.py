@@ -154,6 +154,35 @@ class Detector(abc.ABC):
             f"{type(self).__name__} does not support merging"
         )
 
+    def save_state(self) -> dict[str, object]:
+        """Snapshot the complete mutable state as a versioned artifact.
+
+        The default captures the instance ``__dict__`` (counter tables,
+        candidate maps, RNG states, hash functions — every detector in the
+        registry pickles whole), deep-copied via pickle so later updates
+        never leak into the snapshot.  Restoring the artifact with
+        :meth:`load_state` and continuing the stream is bit-identical to
+        never having stopped; ``tests/core/test_checkpoint_equivalence.py``
+        enforces this registry-wide.  Composite detectors that hold
+        non-picklable runtime objects (the sharded engine's process-pool
+        runner) override both methods to snapshot only detector state.
+        """
+        from repro.core.checkpoint import pack_state
+
+        return pack_state(self, dict(self.__dict__))
+
+    def load_state(self, state: dict[str, object]) -> None:
+        """Restore a :meth:`save_state` artifact in place.
+
+        Validates the artifact's schema version and detector class first,
+        so loading mismatched state raises instead of corrupting counters.
+        """
+        from repro.core.checkpoint import unpack_state
+
+        payload = unpack_state(self, state)
+        self.__dict__.clear()
+        self.__dict__.update(payload)  # type: ignore[arg-type]
+
     @property
     @abc.abstractmethod
     def num_counters(self) -> int:

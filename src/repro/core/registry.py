@@ -112,3 +112,29 @@ def get_spec(name: str) -> DetectorSpec:
 def make_detector(name: str, **kwargs) -> Detector:
     """Build a detector by registry name, forwarding ``kwargs``."""
     return get_spec(name).factory(**kwargs)
+
+
+def get_enumerable_spec(
+    name: str, error: type[ValueError] = ValueError
+) -> DetectorSpec:
+    """The spec for ``name``, required to enumerate reports.
+
+    Report-driven consumers (shard-scaling, the streaming pipeline) need
+    ``query`` to enumerate items; this shared gate raises ``error`` (a
+    ``ValueError`` subclass, e.g. ``ExperimentError``) with the registered
+    alternatives when the detector is unknown or point-query only.
+    """
+    _ensure_populated()
+    if name not in _REGISTRY:
+        known = ", ".join(sorted(_REGISTRY))
+        raise error(f"unknown detector {name!r}; known: {known}")
+    spec = _REGISTRY[name]
+    if not spec.enumerable:
+        enumerable = ", ".join(
+            n for n in sorted(_REGISTRY) if _REGISTRY[n].enumerable
+        )
+        raise error(
+            f"detector {name!r} cannot enumerate reports; "
+            f"need one of: {enumerable}"
+        )
+    return spec

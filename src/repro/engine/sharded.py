@@ -127,6 +127,33 @@ class ShardedDetector(Detector):
         """Counters across all shards (capacity scales with the count)."""
         return sum(shard.num_counters for shard in self.shards)
 
+    def save_state(self) -> dict[str, object]:
+        """Shard-wise snapshot (the factory and runner are runtime wiring,
+        not state: a live process pool cannot be pickled, and restore
+        targets an identically-configured instance anyway)."""
+        from repro.core.checkpoint import pack_state
+
+        return pack_state(
+            self,
+            {
+                "num_shards": self.num_shards,
+                "shards": [shard.save_state() for shard in self.shards],
+            },
+        )
+
+    def load_state(self, state: dict[str, object]) -> None:
+        """Restore shard states in place; shard count must match."""
+        from repro.core.checkpoint import CheckpointError, unpack_state
+
+        payload = unpack_state(self, state)
+        if payload["num_shards"] != self.num_shards:
+            raise CheckpointError(
+                f"checkpoint has {payload['num_shards']} shards; this "
+                f"detector has {self.num_shards}"
+            )
+        for shard, shard_state in zip(self.shards, payload["shards"]):
+            shard.load_state(shard_state)
+
     # -- sharding-specific surface ----------------------------------------
 
     def estimate(self, key: int, *args: float) -> float:

@@ -42,6 +42,7 @@ def _ensure_populated() -> None:
         sensitivity,
         shard_scaling,
         stats,
+        stream_replay,
         throughput,
     )
 

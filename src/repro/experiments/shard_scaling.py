@@ -22,7 +22,7 @@ from __future__ import annotations
 import time
 
 from repro.analysis.throughput import trace_columns
-from repro.core import detector_names, get_spec
+from repro.core import get_enumerable_spec
 from repro.engine import ParallelRunner, ShardedDetector
 from repro.experiments.base import (
     Experiment,
@@ -78,20 +78,7 @@ class ShardScaling(Experiment):
 
     def run(self, trace: Trace, label: str = "trace") -> ExperimentResult:
         name = self.bound_params["detector"]
-        if name not in detector_names():
-            raise ExperimentError(
-                f"unknown detector {name!r}; "
-                "see 'repro-hhh detectors' for the registry"
-            )
-        spec = get_spec(name)
-        if not spec.enumerable:
-            enumerable = ", ".join(
-                n for n in detector_names() if get_spec(n).enumerable
-            )
-            raise ExperimentError(
-                f"detector {name!r} cannot enumerate reports; "
-                f"shard-scaling needs one of: {enumerable}"
-            )
+        spec = get_enumerable_spec(name, error=ExperimentError)
         keys, weights, ts = trace_columns(
             trace, limit=self.bound_params["limit"]
         )

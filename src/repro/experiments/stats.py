@@ -14,6 +14,7 @@ from repro.experiments.base import Experiment, Param, check_positive
 from repro.experiments.registry import register_experiment
 from repro.experiments.result import ExperimentResult
 from repro.trace.container import Trace
+from repro.trace.spec import cache_info
 from repro.trace.stats import compute_stats
 
 
@@ -40,11 +41,16 @@ class TraceStatsExperiment(Experiment):
             {"metric": f.name, "value": getattr(stats, f.name)}
             for f in fields(stats)
         ]
+        # Build-path memoization counters, so sweeps that re-run on the
+        # same spec can see whether they actually hit the trace cache.
+        cache = cache_info()
         return self._finish(
             trace, label, rows,
             headline={
                 "num_packets": stats.num_packets,
                 "gini_coefficient": round(stats.gini_coefficient, 3),
+                "trace_cache_hits": cache.hits,
+                "trace_cache_misses": cache.misses,
             },
-            extras={"stats": stats},
+            extras={"stats": stats, "trace_cache": cache},
         )

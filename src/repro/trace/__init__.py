@@ -32,10 +32,12 @@ from repro.trace.zipf import ZipfSampler
 from repro.trace.generator import SyntheticTraceGenerator, generate_trace
 from repro.trace import presets
 from repro.trace.spec import (
+    CacheInfo,
     ScenarioSpec,
     TraceSpec,
     TraceSpecError,
     build_trace,
+    cache_info,
     clear_trace_cache,
     get_scenario,
     register_scenario,
@@ -51,6 +53,8 @@ __all__ = [
     "TraceSpecError",
     "ScenarioSpec",
     "build_trace",
+    "CacheInfo",
+    "cache_info",
     "clear_trace_cache",
     "trace_cache_keys",
     "get_scenario",

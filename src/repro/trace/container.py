@@ -116,6 +116,10 @@ class Trace:
     def slice_time(self, t0: float, t1: float) -> "Trace":
         """The sub-trace with timestamps in [t0, t1)."""
         i, j = self.index_range(t0, t1)
+        return self.slice_index(i, j)
+
+    def slice_index(self, i: int, j: int) -> "Trace":
+        """The sub-trace of packets [i, j) (columns are shared views)."""
         return Trace(
             self.ts[i:j], self.src[i:j], self.dst[i:j], self.length[i:j],
             self.sport[i:j], self.dport[i:j], self.proto[i:j],

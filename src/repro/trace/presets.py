@@ -305,6 +305,37 @@ def portscan_trace(
     return generate_trace(portscan_config(duration, seed, scan_share, scanners))
 
 
+def drift_trace(
+    duration: float = 60.0,
+    seed: int = 4242,
+    attack_share: float = 0.6,
+) -> Trace:
+    """A drift splice: calm → ddos-burst → calm, thirds of ``duration``.
+
+    The canonical streaming scenario: the heavy-hitter population is
+    stable, then a violent burst regime rewrites it, then it reverts.
+    Online emissions should show churn flipping on at the first seam and
+    off again after the second — the signature the ``stream-replay``
+    experiment asserts on.  Built with the splice ops of
+    :mod:`repro.trace.ops`, so the timeline is continuous.
+    """
+    from repro.trace.ops import concat_traces, shift_trace
+
+    third = duration / 3.0
+    phases = [
+        calm_trace(third, seed),
+        ddos_burst_trace(third, seed + 1, attack_share),
+        calm_trace(third, seed + 2),
+    ]
+    spliced: list[Trace] = []
+    clock = 0.0
+    for phase in phases:
+        gap = phase.duration / max(len(phase) - 1, 1)
+        spliced.append(shift_trace(phase, clock - phase.start_time))
+        clock = spliced[-1].end_time + gap
+    return concat_traces(spliced)
+
+
 def scaled_config(
     base: SyntheticTraceConfig, rate_scale: float
 ) -> SyntheticTraceConfig:
@@ -363,6 +394,11 @@ register_scenario(
     "portscan", portscan_trace,
     description="hierarchical portscan /24: heavy aggregate, tiny leaves",
     example="portscan:scan_share=0.25,scanners=64",
+)
+register_scenario(
+    "drift", drift_trace,
+    description="drift splice: calm -> ddos-burst -> calm thirds",
+    example="drift:duration=60,attack_share=0.6",
 )
 register_scenario(
     "pcap", _pcap_trace,

@@ -27,7 +27,7 @@ import difflib
 import inspect
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, NamedTuple
 
 from repro.trace.container import Trace
 
@@ -135,6 +135,33 @@ def _format_value(value: object) -> str:
 
 _CACHE_MAX = 8
 _TRACE_CACHE: "OrderedDict[str, Trace]" = OrderedDict()
+_CACHE_HITS = 0
+_CACHE_MISSES = 0
+
+
+class CacheInfo(NamedTuple):
+    """Trace-cache counters, in the spirit of ``functools.lru_cache``."""
+
+    hits: int
+    misses: int
+    size: int
+    maxsize: int
+
+
+def cache_info() -> CacheInfo:
+    """Hits/misses of the memoized ``TraceSpec.build`` path.
+
+    Only cacheable builds count (``pcap`` and ``cache=False`` builds are
+    outside the memo and tally as neither); counters reset together with
+    the entries in :func:`clear_trace_cache`.  Surfaced by the
+    ``trace-stats`` experiment so sweep memoization is observable.
+    """
+    return CacheInfo(
+        hits=_CACHE_HITS,
+        misses=_CACHE_MISSES,
+        size=len(_TRACE_CACHE),
+        maxsize=_CACHE_MAX,
+    )
 
 
 def _freeze_trace(trace: Trace) -> None:
@@ -151,8 +178,11 @@ def _freeze_trace(trace: Trace) -> None:
 
 
 def clear_trace_cache() -> None:
-    """Drop every memoized trace (tests, or after freeing memory)."""
+    """Drop every memoized trace and reset the hit/miss counters."""
+    global _CACHE_HITS, _CACHE_MISSES
     _TRACE_CACHE.clear()
+    _CACHE_HITS = 0
+    _CACHE_MISSES = 0
 
 
 def trace_cache_keys() -> tuple[str, ...]:
@@ -225,15 +255,18 @@ class TraceSpec:
         ``cache=False`` to force a rebuild; ``pcap`` specs are never
         cached since the file behind the path can change.
         """
+        global _CACHE_HITS, _CACHE_MISSES
         cacheable = cache and self.scenario != "pcap"
         if cacheable:
             key = self.format()
             cached = _TRACE_CACHE.get(key)
             if cached is not None:
+                _CACHE_HITS += 1
                 _TRACE_CACHE.move_to_end(key)
                 return cached
         trace = self._build_uncached()
         if cacheable:
+            _CACHE_MISSES += 1
             _freeze_trace(trace)
             _TRACE_CACHE[key] = trace
             while len(_TRACE_CACHE) > _CACHE_MAX:

@@ -11,15 +11,24 @@
   at the end of each time window" practice the paper describes).
 """
 
-from repro.windows.schedule import Window, align_start
+from repro.windows.schedule import Window, align_start, edge_iter, edge_schedule
 from repro.windows.disjoint import DisjointWindows
 from repro.windows.sliding import SlidingWindows
 from repro.windows.shrunk import NestedShrunkWindows
-from repro.windows.driver import StreamingDetector, WindowedDetectorDriver
+from repro.windows.driver import (
+    StreamingDetector,
+    WindowSlice,
+    WindowedDetectorDriver,
+    window_slices,
+)
 
 __all__ = [
     "Window",
+    "WindowSlice",
     "align_start",
+    "edge_iter",
+    "edge_schedule",
+    "window_slices",
     "DisjointWindows",
     "SlidingWindows",
     "NestedShrunkWindows",

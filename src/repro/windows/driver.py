@@ -29,6 +29,7 @@ float-epsilon "exactly full" test with an explicit policy.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Iterator, Protocol
 
 import numpy as np
@@ -36,7 +37,68 @@ import numpy as np
 from repro.engine import ParallelRunner, sharded_factory
 from repro.packet.model import Packet
 from repro.trace.container import Trace
-from repro.windows.schedule import Window
+from repro.windows.schedule import Window, edge_schedule
+
+
+@dataclass(frozen=True)
+class WindowSlice:
+    """One window of a trace with its packet/byte offsets.
+
+    ``start``/``stop`` are packet indices into the trace's columns
+    (half-open) and ``bytes`` the window's byte volume — computed once by
+    :func:`window_slices` and shared by every consumer (the driver's own
+    reporting loop, the Section 3 harness, window-aligned stream emission)
+    instead of each recomputing ``searchsorted`` boundaries.
+    """
+
+    window: Window
+    start: int
+    stop: int
+    bytes: int
+
+    @property
+    def packets(self) -> int:
+        """Packets in the window."""
+        return self.stop - self.start
+
+
+def window_slices(
+    trace: Trace, window_size: float, emit_partial: bool = False
+) -> list[WindowSlice]:
+    """Per-window packet/byte offsets for the disjoint schedule.
+
+    Edges come from :func:`repro.windows.schedule.edge_schedule` (the
+    accumulating schedule, bit-identical to historic driver behaviour);
+    packet boundaries are one vectorized ``searchsorted`` over the
+    timestamp column.  The trailing partial window is included only under
+    ``emit_partial``.
+    """
+    if len(trace) == 0:
+        return []
+    edges = edge_schedule(
+        trace.start_time, trace.end_time, window_size, emit_partial
+    )
+    cuts = np.searchsorted(trace.ts, np.asarray(edges), side="left")
+    slices: list[WindowSlice] = []
+    start = 0
+    # Each window's left edge is the previous right edge (the trace start
+    # for the first), so window bounds and packet offsets agree exactly —
+    # deriving t0 as ``edge - window_size`` can land one float ulp off the
+    # accumulated boundary the packet cut was made at.
+    left = trace.start_time
+    for index, (edge, stop) in enumerate(zip(edges, cuts)):
+        stop = int(stop)
+        slices.append(
+            WindowSlice(
+                window=Window(left, edge, index),
+                start=start,
+                stop=stop,
+                bytes=int(trace.length[start:stop].sum()),
+            )
+        )
+        start = stop
+        left = edge
+    return slices
 
 
 class StreamingDetector(Protocol):
@@ -117,24 +179,15 @@ class WindowedDetectorDriver:
         self.shards = shards
         self.runner = runner
 
-    def _window_edges(self, trace: Trace) -> list[float]:
-        """Right edges of the windows to report, in order.
+    def window_slices(self, trace: Trace) -> list[WindowSlice]:
+        """The driver's window schedule with packet/byte offsets exposed.
 
-        Edges accumulate (``edge += window_size``) exactly like the seed's
-        per-packet loop did, so boundary placement is bit-identical to
-        historic behaviour.  A window is *complete* once the trace extends
-        to its right edge; the trailing partial window is included only
-        under ``emit_partial``.
+        This is the single place boundaries are computed; :meth:`run`
+        consumes it internally, and callers that need offsets (the
+        Section 3 harness, window-aligned stream emission) share it
+        instead of recomputing ``searchsorted`` per window.
         """
-        edges: list[float] = []
-        edge = trace.start_time + self.window_size
-        end = trace.end_time
-        while end >= edge:
-            edges.append(edge)
-            edge += self.window_size
-        if self.emit_partial:
-            edges.append(edge)
-        return edges
+        return window_slices(trace, self.window_size, self.emit_partial)
 
     def _window_keys(self, trace: Trace, i: int, j: int) -> np.ndarray:
         """Keys of packets [i, j): the raw column or key_func extraction.
@@ -155,19 +208,11 @@ class WindowedDetectorDriver:
         The report maps keys to estimated byte volumes at or above the
         window's threshold.
         """
-        if len(trace) == 0:
-            return
-        edges = self._window_edges(trace)
-        cuts = np.searchsorted(trace.ts, np.asarray(edges), side="left")
-        start_index = 0
-        for window_index, (edge, end_index) in enumerate(zip(edges, cuts)):
-            i, j = start_index, int(end_index)
-            start_index = j
+        for piece in self.window_slices(trace):
             detector = self.detector_factory()
-            window_bytes = int(trace.length[i:j].sum())
-            if j > i:
-                self._feed(detector, trace, i, j)
-            yield self._report(window_index, edge, detector, window_bytes)
+            if piece.stop > piece.start:
+                self._feed(detector, trace, piece.start, piece.stop)
+            yield self._report(piece, detector)
 
     def _feed(
         self, detector: StreamingDetector, trace: Trace, i: int, j: int
@@ -184,13 +229,8 @@ class WindowedDetectorDriver:
                 update(key, weight)
 
     def _report(
-        self,
-        index: int,
-        window_end: float,
-        detector: StreamingDetector,
-        window_bytes: int,
+        self, piece: WindowSlice, detector: StreamingDetector
     ) -> tuple[Window, dict[int, float]]:
-        window = Window(window_end - self.window_size, window_end, index)
-        threshold = self.phi * window_bytes
-        report = detector.query(threshold) if window_bytes else {}
-        return window, report
+        threshold = self.phi * piece.bytes
+        report = detector.query(threshold) if piece.bytes else {}
+        return piece.window, report

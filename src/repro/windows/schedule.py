@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator
 
 
 @dataclass(frozen=True, slots=True, order=True)
@@ -39,3 +40,37 @@ def align_start(start: float, end: float) -> tuple[float, float]:
     if end <= start:
         raise ValueError(f"empty time span [{start}, {end})")
     return start, end
+
+
+def edge_iter(start: float, size: float) -> Iterator[float]:
+    """The unbounded accumulating right-edge schedule from ``start``.
+
+    Edges accumulate (``edge += size``) exactly like the seed's per-packet
+    loop, so every consumer — the windowed driver, window-aligned stream
+    emission — places boundaries bit-identically.
+    """
+    if size <= 0:
+        raise ValueError(f"window size must be positive, got {size}")
+    edge = start + size
+    while True:
+        yield edge
+        edge += size
+
+
+def edge_schedule(
+    start: float, end: float, size: float, include_partial: bool = False
+) -> list[float]:
+    """Right edges of the complete windows covering ``[start, end]``.
+
+    A window is *complete* once the span extends to its right edge; with
+    ``include_partial`` the first edge past ``end`` (the trailing partial
+    window) is appended too.
+    """
+    edges: list[float] = []
+    for edge in edge_iter(start, size):
+        if end < edge:
+            if include_partial:
+                edges.append(edge)
+            break
+        edges.append(edge)
+    return edges

@@ -1,0 +1,99 @@
+"""The stream-replay experiment: emission rows, churn during drift, and
+the acceptance criterion — churn flips during the ddos-burst regime."""
+
+import pytest
+
+from repro.experiments import make_experiment, run_experiment
+from repro.experiments.base import ExperimentError
+from repro.trace.spec import build_trace
+
+
+@pytest.fixture(scope="module")
+def drift_result():
+    return run_experiment(
+        "stream-replay",
+        trace_specs=["drift:duration=30"],
+        overrides={"chunk": 2048, "emit": "2s"},
+    )
+
+
+class TestStreamReplay:
+    def test_rows_cover_the_stream(self, drift_result):
+        rows = drift_result.rows
+        assert rows
+        assert sum(r["packets"] for r in rows) == (
+            drift_result.headline["stream_packets"]
+        )
+        assert [r["emission"] for r in rows] == list(range(len(rows)))
+
+    def test_churn_flips_during_the_burst_regime(self, drift_result):
+        """The acceptance criterion: on the calm -> ddos-burst -> calm
+        splice, at least 3 emissions inside the burst third must flip
+        membership (entries or exits)."""
+        duration = 30.0
+        burst = [
+            row for row in drift_result.rows
+            if row["t0"] >= duration / 3 and row["t1"] <= 2 * duration / 3
+        ]
+        assert len(burst) >= 3
+        flips = [
+            row for row in burst
+            if row["entries"] + row["exits"] > 0
+        ]
+        assert len(flips) >= 3
+        assert drift_result.headline["churn_flips"] >= 3
+        assert drift_result.headline["num_emissions"] >= 3
+
+    def test_result_serializes(self, drift_result, tmp_path):
+        from repro.experiments import validate_result_dict
+
+        validate_result_dict(drift_result.to_dict())
+        path = tmp_path / "stream.json"
+        drift_result.to_json(path)
+        assert path.exists()
+
+    def test_smoke_configuration_is_bounded(self):
+        result = run_experiment("stream-replay", smoke=True)
+        assert result.headline["stream_packets"] <= 30_000
+
+    def test_source_param_overrides_the_trace(self):
+        result = run_experiment(
+            "stream-replay",
+            trace_specs=["calm:duration=2"],
+            overrides={
+                "source": "repeat:zipf:duration=1,sources=100",
+                "max_packets": 4000,
+                "emit": "1000p",
+                "chunk": 512,
+            },
+        )
+        assert result.headline["stream_packets"] == 4000
+        assert result.headline["source"].startswith("repeat:")
+        # Provenance reflects the stream actually consumed, not the
+        # ignored input trace.
+        assert result.traces[0].num_packets == 4000
+
+    def test_sharded_run_matches_plain_reports(self):
+        trace_spec = ["drift:duration=10"]
+        overrides = {"chunk": 1024, "emit": "2s"}
+        plain = run_experiment("stream-replay", trace_spec,
+                               overrides=overrides)
+        sharded = run_experiment(
+            "stream-replay", trace_spec, overrides={**overrides, "shards": 3}
+        )
+        # Key partitioning is exact bookkeeping: same report sizes.
+        assert [r["report_size"] for r in sharded.rows] == [
+            r["report_size"] for r in plain.rows
+        ]
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ExperimentError):
+            make_experiment("stream-replay", emit="sideways")
+        with pytest.raises(ExperimentError):
+            make_experiment("stream-replay", chunk=0)
+        exp = make_experiment("stream-replay", detector="countmin")
+        with pytest.raises(ExperimentError, match="enumerate"):
+            exp.run(build_trace("calm:duration=2"))
+        exp = make_experiment("stream-replay", detector="bogus")
+        with pytest.raises(ExperimentError, match="unknown detector"):
+            exp.run(build_trace("calm:duration=2"))

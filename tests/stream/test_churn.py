@@ -1,0 +1,81 @@
+"""Churn accounting between consecutive online reports."""
+
+import pytest
+
+from repro.stream import report_churn
+from repro.stream.churn import churn_series, emission_rows
+from repro.stream.emission import Emission
+from repro.windows.schedule import Window
+
+
+def _emission(index, report, packets=10, volume=1000):
+    return Emission(
+        index=index,
+        window=Window(float(index), float(index + 1), index),
+        report=report,
+        packets=packets,
+        bytes=volume,
+        start_packet=index * packets,
+        end_packet=(index + 1) * packets,
+        chunk_index=index,
+        wall_s=0.001,
+    )
+
+
+class TestReportChurn:
+    def test_identical_reports_have_no_churn(self):
+        report = {1: 10.0, 2: 5.0}
+        stats = report_churn(report, dict(report))
+        assert stats.jaccard == 1.0
+        assert stats.entries == stats.exits == 0
+        assert stats.rank_displacement == 0.0
+        assert not stats.flipped
+
+    def test_entries_and_exits(self):
+        stats = report_churn({1: 10.0, 2: 5.0}, {2: 6.0, 3: 4.0, 4: 2.0})
+        assert stats.entries == 2
+        assert stats.exits == 1
+        assert stats.common == 1
+        assert stats.jaccard == pytest.approx(1 / 4)
+        assert stats.flipped
+
+    def test_empty_reports_agree_perfectly(self):
+        stats = report_churn({}, {})
+        assert stats.jaccard == 1.0
+        assert not stats.flipped
+
+    def test_rank_displacement_sees_reshuffles(self):
+        # Same membership, reversed volume order: every key moves by the
+        # maximal displacement while jaccard stays 1.0.
+        previous = {1: 30.0, 2: 20.0, 3: 10.0}
+        current = {1: 10.0, 2: 20.0, 3: 30.0}
+        stats = report_churn(previous, current)
+        assert stats.jaccard == 1.0
+        assert stats.rank_displacement == pytest.approx(4 / 3)
+
+    def test_rank_displacement_zero_below_two_common_keys(self):
+        assert report_churn({1: 5.0}, {1: 9.0}).rank_displacement == 0.0
+
+
+class TestSeries:
+    def test_first_emission_counts_as_entries(self):
+        series = churn_series(
+            [_emission(0, {1: 5.0, 2: 3.0}), _emission(1, {1: 5.0})]
+        )
+        assert series[0].entries == 2
+        assert series[0].exits == 0
+        assert series[1].exits == 1
+
+    def test_emission_rows_are_json_flat(self):
+        from repro.experiments.result import jsonify
+
+        rows = emission_rows(
+            [_emission(0, {1: 5.0}), _emission(1, {2: 4.0})]
+        )
+        assert len(rows) == 2
+        jsonify(rows)  # must not raise
+        assert rows[1]["entries"] == 1 and rows[1]["exits"] == 1
+        assert set(rows[0]) == {
+            "emission", "t0", "t1", "packets", "bytes", "report_size",
+            "jaccard", "entries", "exits", "rank_disp", "pps", "wall_ms",
+        }

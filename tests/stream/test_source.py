@@ -1,0 +1,188 @@
+"""Stream sources: chunking, infinite generation, composition ops."""
+
+import numpy as np
+import pytest
+
+from repro.stream import (
+    InterleaveSource,
+    ScenarioSource,
+    SpliceSource,
+    TraceSource,
+    interleave,
+    parse_stream_spec,
+    rate_rewrite,
+    skip_packets,
+    splice,
+)
+from repro.trace.spec import TraceSpec, TraceSpecError, build_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return build_trace("zipf:duration=5,sources=200")
+
+
+class TestChunking:
+    def test_chunks_cover_the_trace_exactly(self, trace):
+        chunks = list(TraceSource(trace).chunks(700))
+        assert sum(len(c) for c in chunks) == len(trace)
+        assert all(len(c) == 700 for c in chunks[:-1])
+        assert np.array_equal(
+            np.concatenate([c.ts for c in chunks]), trace.ts
+        )
+        assert np.array_equal(
+            np.concatenate([c.src for c in chunks]), trace.src
+        )
+
+    def test_chunk_larger_than_trace(self, trace):
+        chunks = list(TraceSource(trace).chunks(10**9))
+        assert len(chunks) == 1
+        assert len(chunks[0]) == len(trace)
+
+    def test_chunks_are_traces_in_time_order(self, trace):
+        for chunk in TraceSource(trace).chunks(512):
+            assert np.all(np.diff(chunk.ts) >= 0)
+
+    def test_bad_chunk_size_rejected(self, trace):
+        with pytest.raises(ValueError, match="chunk_size"):
+            next(TraceSource(trace).chunks(0))
+
+    def test_empty_trace_yields_nothing(self):
+        from repro.trace.container import Trace
+
+        assert list(TraceSource(Trace.empty()).chunks(64)) == []
+
+
+class TestScenarioSource:
+    def test_runs_past_one_cycle(self):
+        source = ScenarioSource("zipf:duration=1,sources=100")
+        one_cycle = len(build_trace("zipf:duration=1,sources=100"))
+        taken = 0
+        for chunk in source.chunks(256):
+            taken += len(chunk)
+            if taken > 3 * one_cycle:
+                break
+        assert taken > 3 * one_cycle  # kept producing beyond one build
+
+    def test_timeline_is_continuous_and_sorted(self):
+        source = ScenarioSource("zipf:duration=1,sources=100", cycles=3)
+        segments = list(source.segments())
+        assert len(segments) == 3
+        ts = np.concatenate([s.ts for s in segments])
+        assert np.all(np.diff(ts) >= 0)
+
+    def test_reseeds_each_cycle(self):
+        source = ScenarioSource("zipf:duration=1,sources=100", cycles=2)
+        first, second = source.segments()
+        assert not np.array_equal(first.src, second.src)
+
+    def test_deterministic_for_a_seed(self):
+        def take(seed):
+            src = ScenarioSource(
+                "zipf:duration=1,sources=100", seed=seed, cycles=2
+            )
+            return np.concatenate([s.src for s in src.segments()])
+
+        assert np.array_equal(take(5), take(5))
+        assert not np.array_equal(take(5), take(6))
+
+    def test_rejects_pcap(self):
+        with pytest.raises(TraceSpecError, match="pcap"):
+            ScenarioSource(TraceSpec.parse("pcap:/tmp/x.pcap"))
+
+    def test_rejects_unknown_scenario_eagerly(self):
+        with pytest.raises(TraceSpecError, match="registered scenarios"):
+            ScenarioSource("nonsense:duration=1")
+
+
+class TestOps:
+    def test_splice_is_sequential_and_continuous(self, trace):
+        spliced = SpliceSource(TraceSource(trace), TraceSource(trace))
+        segments = list(spliced.segments())
+        assert len(segments) == 2
+        assert segments[1].start_time > segments[0].end_time
+        assert sum(len(s) for s in segments) == 2 * len(trace)
+
+    def test_interleave_merges_by_timestamp(self, trace):
+        overlay = InterleaveSource(TraceSource(trace), TraceSource(trace))
+        merged = list(overlay.segments())
+        ts = np.concatenate([s.ts for s in merged])
+        assert len(ts) == 2 * len(trace)
+        assert np.all(np.diff(ts) >= 0)
+        # Every original packet appears twice.
+        assert np.array_equal(np.unique(ts), np.unique(trace.ts))
+
+    def test_interleave_bounds_memory_with_infinite_sources(self, trace):
+        overlay = interleave(
+            TraceSource(trace),
+            ScenarioSource("zipf:duration=1,sources=100"),
+        )
+        taken = 0
+        for chunk in overlay.chunks(512):
+            assert np.all(np.diff(chunk.ts) >= 0)
+            taken += len(chunk)
+            if taken > 2 * len(trace):
+                break
+        assert taken > 2 * len(trace)
+
+    def test_rate_rewrite_compresses_time(self, trace):
+        fast = rate_rewrite(TraceSource(trace), 2.0)
+        (segment,) = fast.segments()
+        assert len(segment) == len(trace)
+        assert segment.duration == pytest.approx(trace.duration / 2.0)
+        assert segment.start_time == pytest.approx(trace.start_time)
+        assert np.array_equal(segment.length, trace.length)
+
+    def test_rate_rewrite_rejects_nonpositive(self, trace):
+        with pytest.raises(ValueError, match="speedup"):
+            rate_rewrite(TraceSource(trace), 0.0)
+
+    def test_skip_packets(self, trace):
+        skipped = skip_packets(TraceSource(trace), 100)
+        (segment,) = skipped.segments()
+        assert len(segment) == len(trace) - 100
+        assert np.array_equal(segment.ts, trace.ts[100:])
+        # skip=0 is the identity.
+        assert skip_packets(TraceSource(trace), 0) is not None
+
+    def test_single_source_facades_pass_through(self, trace):
+        source = TraceSource(trace)
+        assert splice(source) is source
+        assert interleave(source) is source
+
+
+class TestStreamSpecParsing:
+    def test_plain_trace_spec(self):
+        source = parse_stream_spec("zipf:duration=1,sources=100")
+        assert isinstance(source, TraceSource)
+
+    def test_splice_spec(self):
+        source = parse_stream_spec(
+            "calm:duration=2+ddos-burst:duration=2"
+        )
+        assert isinstance(source, SpliceSource)
+        assert len(source.sources) == 2
+
+    def test_interleave_spec(self):
+        source = parse_stream_spec(
+            "calm:duration=2&zipf:duration=2,sources=100"
+        )
+        assert isinstance(source, InterleaveSource)
+
+    def test_repeat_spec_is_infinite(self):
+        source = parse_stream_spec("repeat:zipf:duration=1,sources=100")
+        assert isinstance(source, ScenarioSource)
+        assert source.cycles is None
+
+    def test_rate_suffix(self):
+        from repro.stream import RateRewriteSource
+
+        source = parse_stream_spec("calm:duration=2@x4")
+        assert isinstance(source, RateRewriteSource)
+        assert source.speedup == 4.0
+
+    def test_bad_specs_rejected(self):
+        for bad in ("", "a++b", "calm:duration=2@y3", "calm:duration=2@xq",
+                    "&calm:duration=2"):
+            with pytest.raises((TraceSpecError, ValueError)):
+                parse_stream_spec(bad)

@@ -1,0 +1,135 @@
+"""The ``repro-hhh stream`` subcommand: online emission, checkpoint files,
+resume with fast-forward, and the JSON artifact."""
+
+import json
+import re
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import validate_result_dict
+
+SOURCE = "drift:duration=12"
+
+
+def _run(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+class TestStreamCommand:
+    def test_emissions_print_online(self, capsys):
+        code, out = _run(
+            capsys, "stream", "countmin-hh",
+            "--source", SOURCE, "--chunk", "2048", "--emit-every", "2s",
+        )
+        assert code == 0
+        emits = [line for line in out.splitlines() if line.startswith("emit")]
+        assert len(emits) >= 3
+        assert re.search(r"stream: \d+ packets", out)
+
+    def test_emit_every_packets(self, capsys):
+        code, out = _run(
+            capsys, "stream", "spacesaving",
+            "--source", SOURCE, "--chunk", "1024",
+            "--emit-every", "3000p", "--max-packets", "9000",
+        )
+        assert code == 0
+        assert out.count("pkts     3000") >= 2
+
+    def test_json_artifact_validates(self, capsys, tmp_path):
+        path = tmp_path / "stream.json"
+        code, _ = _run(
+            capsys, "stream", "countmin-hh",
+            "--source", SOURCE, "--chunk", "2048",
+            "--json", str(path),
+        )
+        assert code == 0
+        document = json.loads(path.read_text())
+        validate_result_dict(document)
+        assert document["experiment"] == "stream"
+        assert document["traces"][0]["spec"] == SOURCE
+        assert document["rows"]
+
+    @staticmethod
+    def _emission_fields(out):
+        """(index, window, pkts, report) per printed emission — the
+        deterministic columns (pps and the resumed run's first churn line
+        are process-local)."""
+        rows = []
+        for line in out.splitlines():
+            if line.startswith("emit"):
+                parts = line.split()
+                rows.append((parts[1], parts[2], parts[3], parts[5], parts[7]))
+        return rows
+
+    def test_checkpoint_and_resume_round_trip(self, capsys, tmp_path):
+        """Split run + resume reproduces the uninterrupted emissions —
+        the checkpoint stops with the open interval intact (no spurious
+        partial flush at the stop point)."""
+        code, uninterrupted = _run(
+            capsys, "stream", "countmin-hh",
+            "--source", SOURCE, "--chunk", "2048",
+            "--emit-every", "3000p", "--max-packets", "8192",
+        )
+        assert code == 0
+        checkpoint = tmp_path / "pipeline.ckpt"
+        code, first = _run(
+            capsys, "stream", "countmin-hh",
+            "--source", SOURCE, "--chunk", "2048",
+            "--emit-every", "3000p", "--max-packets", "4096",
+            "--checkpoint", str(checkpoint),
+        )
+        assert code == 0 and checkpoint.exists()
+        assert "partial" not in first  # open interval kept for the resume
+        code, second = _run(
+            capsys, "stream", "countmin-hh",
+            "--source", SOURCE, "--chunk", "2048",
+            "--emit-every", "3000p", "--max-packets", "4096",
+            "--resume", str(checkpoint), "--fast-forward",
+        )
+        assert code == 0
+        assert "resumed at packet 4096" in second
+        combined = self._emission_fields(first) + self._emission_fields(second)
+        assert combined == self._emission_fields(uninterrupted)
+
+    def test_infinite_source_is_bounded(self, capsys):
+        code, out = _run(
+            capsys, "stream", "countmin-hh",
+            "--source", "repeat:zipf:duration=1,sources=100",
+            "--chunk", "512", "--emit-every", "1000p",
+            "--max-packets", "3000",
+        )
+        assert code == 0
+        assert "stream: 3000 packets" in out
+
+    def test_unknown_detector_fails_cleanly(self, capsys):
+        code = main(["stream", "bogus", "--source", SOURCE])
+        assert code == 2
+        assert "unknown detector" in capsys.readouterr().err
+
+    def test_non_enumerable_detector_fails_cleanly(self, capsys):
+        code = main(["stream", "countmin", "--source", SOURCE])
+        assert code == 2
+        assert "enumerate" in capsys.readouterr().err
+
+    def test_bad_source_fails_cleanly(self, capsys):
+        code = main(["stream", "countmin-hh", "--source", "nope:x=1"])
+        assert code == 2
+        assert "registered scenarios" in capsys.readouterr().err
+
+    def test_bad_emission_policy_fails_cleanly(self, capsys):
+        code = main(["stream", "countmin-hh", "--source", SOURCE,
+                     "--emit-every", "sideways"])
+        assert code == 2
+        assert "emission policy" in capsys.readouterr().err
+
+    def test_run_alias_reaches_stream_replay(self, capsys, tmp_path):
+        path = tmp_path / "replay.json"
+        code, out = _run(
+            capsys, "run", "stream-replay", "--smoke", "--json", str(path),
+        )
+        assert code == 0
+        validate_result_dict(json.loads(path.read_text()))
+        assert "churn_flips" in out

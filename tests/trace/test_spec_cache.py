@@ -3,7 +3,7 @@
 import pytest
 
 from repro.trace import TraceSpec, TraceSpecError, clear_trace_cache
-from repro.trace.spec import trace_cache_keys
+from repro.trace.spec import cache_info, trace_cache_keys
 
 
 @pytest.fixture(autouse=True)
@@ -90,6 +90,43 @@ class TestTraceCache:
             spec.build()
         assert specs[0].format() not in trace_cache_keys()
         assert specs[-1].format() in trace_cache_keys()
+
+
+class TestCacheInfo:
+    def test_counts_hits_and_misses(self):
+        spec = TraceSpec.parse("zipf:duration=2,sources=100")
+        assert cache_info() == (0, 0, 0, 8)
+        spec.build()
+        assert cache_info().misses == 1
+        assert cache_info().hits == 0
+        spec.build()
+        spec.build()
+        assert cache_info().hits == 2
+        assert cache_info().misses == 1
+        assert cache_info().size == 1
+
+    def test_uncached_builds_count_as_neither(self):
+        spec = TraceSpec.parse("zipf:duration=2,sources=100")
+        spec.build(cache=False)
+        assert cache_info().hits == 0
+        assert cache_info().misses == 0
+
+    def test_clear_resets_counters(self):
+        spec = TraceSpec.parse("zipf:duration=2,sources=100")
+        spec.build()
+        spec.build()
+        clear_trace_cache()
+        assert cache_info() == (0, 0, 0, 8)
+
+    def test_trace_stats_surfaces_the_counters(self):
+        from repro.experiments import run_experiment
+
+        spec = "zipf:duration=2,sources=100"
+        run_experiment("trace-stats", trace_specs=[spec])
+        result = run_experiment("trace-stats", trace_specs=[spec])
+        assert result.headline["trace_cache_hits"] >= 1
+        assert result.headline["trace_cache_misses"] >= 1
+        assert result.extras["trace_cache"].hits >= 1
 
 
 class TestUnknownScenarioDiagnostics:

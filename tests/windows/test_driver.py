@@ -138,6 +138,54 @@ class TestFinalWindowPolicy:
         assert window.index == 0
 
 
+class TestWindowSlices:
+    """The driver's exposed per-window packet/byte offsets."""
+
+    def test_slices_partition_the_trace(self, tiny_trace):
+        from repro.windows.driver import window_slices
+
+        slices = window_slices(tiny_trace, 1.0, emit_partial=True)
+        assert slices[0].start == 0
+        for previous, current in zip(slices, slices[1:]):
+            assert current.start == previous.stop
+            assert current.window.index == previous.window.index + 1
+        assert slices[-1].stop == len(tiny_trace)
+        assert sum(s.bytes for s in slices) == tiny_trace.total_bytes
+        assert sum(s.packets for s in slices) == len(tiny_trace)
+
+    def test_offsets_match_trace_index_range(self, tiny_trace):
+        from repro.windows.driver import window_slices
+
+        for piece in window_slices(tiny_trace, 1.0):
+            i, j = tiny_trace.index_range(piece.window.t0, piece.window.t1)
+            assert (piece.start, piece.stop) == (i, j)
+            assert piece.bytes == int(
+                tiny_trace.length[piece.start:piece.stop].sum()
+            )
+
+    def test_driver_method_matches_run_windows(self, tiny_trace):
+        driver = WindowedDetectorDriver(
+            ExactCounter, window_size=1.0, phi=0.1
+        )
+        slices = driver.window_slices(tiny_trace)
+        windows = [window for window, _ in driver.run(tiny_trace)]
+        assert [s.window for s in slices] == windows
+
+    def test_empty_trace_has_no_slices(self):
+        from repro.windows.driver import window_slices
+
+        assert window_slices(Trace.empty(), 1.0) == []
+
+    def test_partial_slice_only_under_emit_partial(self):
+        from repro.windows.driver import window_slices
+
+        trace = trace_from([(0.0, 1, 10), (0.5, 1, 20), (1.7, 2, 30)])
+        assert len(window_slices(trace, 1.0)) == 1
+        flushed = window_slices(trace, 1.0, emit_partial=True)
+        assert len(flushed) == 2
+        assert flushed[1].packets == 1
+
+
 class TestBatchPath:
     def test_batch_and_keyfunc_paths_agree(self, tiny_trace):
         # key_func=None takes the columnar fast path; an equivalent
