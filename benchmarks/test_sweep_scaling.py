@@ -1,0 +1,83 @@
+"""Sweep-engine throughput: cells/second vs worker count.
+
+The sweep engine packages whole experiment cells as the unit of parallel
+work; this benchmark records how cell throughput scales when the same
+grid fans out over a process pool.  Cells here are deliberately uniform
+and compute-bound (detector-accuracy over mid-size traces) so the ratio
+measures the engine's fan-out, not cell skew.  No timing gate — shared
+runners are too noisy for that — but the recorded table is the reference
+trajectory, and every configuration must complete all cells ok.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from benchmarks.conftest import write_result
+
+from repro.analysis.render import format_table
+from repro.sweep import SweepRunner
+
+GRID = (
+    "exp=detector-accuracy;"
+    "trace=zipf:duration=20,ddos-burst:duration=20,calm:duration=20,"
+    "flash-crowd:duration=20;"
+    "detector=countmin-hh,spacesaving,misragries;phi=0.01"
+)
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _measure(workers: int):
+    backend = "serial" if workers == 1 else "process"
+    with SweepRunner(backend, workers) as runner:
+        # Warm the pool (fork + imports) so the measured pass prices cell
+        # execution, not interpreter start-up.
+        if backend == "process":
+            runner.run("exp=trace-stats;trace=zipf:duration=2")
+        result = runner.run(GRID)
+    assert result.num_errors == 0, [
+        cell.error for cell in result.cells if cell.status == "error"
+    ]
+    return result
+
+
+def test_cells_per_second_vs_workers():
+    rows = []
+    base = None
+    for workers in WORKER_COUNTS:
+        if workers > (os.cpu_count() or 1):
+            continue
+        result = _measure(workers)
+        pace = result.timings["cells_per_s"]
+        base = base or pace
+        rows.append({
+            "workers": workers,
+            "backend": result.backend,
+            "cells": result.num_cells,
+            "total_s": result.timings["total_s"],
+            "cells_per_s": pace,
+            "vs_serial": round(pace / base, 2),
+        })
+    write_result(
+        "sweep_scaling.txt",
+        "Sweep-engine cell throughput by worker count "
+        "(detector-accuracy grid, 12 cells)\n" + format_table(rows),
+    )
+    assert rows, "no configuration fit this machine"
+    assert all(row["cells"] == 12 for row in rows)
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2, reason="needs >= 2 cores to exercise the pool"
+)
+def test_process_backend_matches_serial_results():
+    """Fan-out must not change what the cells compute: serial and process
+    sweeps of the same grid produce identical rows."""
+    serial = _measure(1)
+    parallel = _measure(2)
+    for s_cell, p_cell in zip(serial.cells, parallel.cells):
+        assert s_cell.rows == p_cell.rows
+        assert s_cell.headline == p_cell.headline

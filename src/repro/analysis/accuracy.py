@@ -1,0 +1,106 @@
+"""Exact-ground-truth accuracy scoring for enumerable detectors.
+
+The shared harness behind two consumers:
+
+- the ``detector-accuracy`` experiment — deterministic
+  precision/recall/F1 rows for any enumerable registry detector on any
+  string-addressable trace (the accuracy face of a sweep grid's
+  ``detector`` axis);
+- the registry-wide conformance suite
+  (``tests/core/test_accuracy_conformance.py``) — every enumerable
+  detector is held to the :class:`repro.core.AccuracyFloor` declared next
+  to its registry entry.
+
+Ground truth is computed exactly from the columnar trace under the truth
+mode the detector's registry entry declares: whole-trace byte counts
+(``total``), exponentially decayed byte counts at end of trace
+(``decayed``, ``horizon`` = tau, matching the decayed factories'
+defaults), or byte counts over the trailing ``horizon`` seconds
+(``window``, matching the sliding-window factories' defaults).  The
+detector then answers the question it was built for, so the scores
+measure approximation error — not a mismatch between decay frames.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import DetectorSpec
+from repro.core.registry import TRUTH_MODES
+from repro.metrics.classification import ClassificationReport, classify_sets
+from repro.trace.container import Trace
+
+
+def exact_truth(
+    trace: Trace, mode: str = "total", horizon: float = 10.0,
+    key: str = "src",
+) -> dict[int, float]:
+    """Per-key exact mass at end of trace under the declared truth mode."""
+    if mode not in TRUTH_MODES:
+        raise ValueError(
+            f"unknown truth mode {mode!r}; known: {', '.join(TRUTH_MODES)}"
+        )
+    col = trace.key_column(key)
+    if not len(trace):
+        return {}
+    if mode == "window":
+        i = int(np.searchsorted(trace.ts, trace.end_time - horizon, "left"))
+        return trace.bytes_by_key_index(i, len(trace), key)
+    weights = trace.length.astype(np.float64)
+    if mode == "decayed":
+        weights = weights * np.exp((trace.ts - trace.end_time) / horizon)
+    keys, inverse = np.unique(col, return_inverse=True)
+    sums = np.bincount(inverse, weights=weights)
+    return {int(k): float(s) for k, s in zip(keys, sums)}
+
+
+def accuracy_row(
+    spec: DetectorSpec,
+    trace: Trace,
+    phi: float,
+    key: str = "src",
+    truth_mode: str | None = None,
+    horizon: float | None = None,
+) -> dict[str, object]:
+    """Score one fresh default-constructed detector against exact truth.
+
+    ``truth_mode``/``horizon`` default to the registry entry's declared
+    :class:`~repro.core.AccuracyFloor` (or ``total`` when none is
+    declared).  The threshold is ``phi`` times the total exact mass under
+    that truth, applied identically to the truth set and the detector's
+    ``query`` — so the row is a like-for-like set comparison.
+    """
+    declared = spec.accuracy
+    mode = truth_mode or (declared.truth if declared else "total")
+    tau = horizon if horizon is not None else (
+        declared.horizon if declared else 10.0
+    )
+    truth = exact_truth(trace, mode, tau, key)
+    total_mass = float(sum(truth.values()))
+    threshold = phi * total_mass
+    truth_set = {k for k, v in truth.items() if v >= threshold}
+
+    detector = spec.factory()
+    col = trace.key_column(key)
+    detector.update_batch(
+        col, trace.length, trace.ts if spec.timestamped else None
+    )
+    if spec.timestamped:
+        report = detector.query(threshold, float(trace.end_time))
+    else:
+        report = detector.query(threshold)
+    scored: ClassificationReport = classify_sets(truth_set, set(report))
+    return {
+        "detector": spec.name,
+        "truth": mode,
+        "phi": phi,
+        "packets": len(trace),
+        "truth_size": len(truth_set),
+        "report_size": len(report),
+        "tp": scored.true_positives,
+        "fp": scored.false_positives,
+        "fn": scored.false_negatives,
+        "precision": round(scored.precision, 4),
+        "recall": round(scored.recall, 4),
+        "f1": round(scored.f1, 4),
+    }

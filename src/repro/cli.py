@@ -9,6 +9,13 @@ any string-addressable trace and emits the uniform JSON result artifact::
     repro-hhh scenarios                           # trace-scenario registry
     repro-hhh detectors                           # detector registry
 
+The sweep engine fans a grid of (experiment x trace x detector x params)
+cells out across cores and aggregates one comparative artifact::
+
+    repro-hhh sweep --grid "exp=...;trace=...;detector=a,b;phi=0.01,0.001"
+              [--workers N] [--backend serial|process]
+              [--group-by COLS] [--best METRIC] [--json FILE]
+
 The streaming runtime has its own online driver — emissions print as they
 happen, and the pipeline can checkpoint at end of run and resume later::
 
@@ -208,6 +215,75 @@ def _cmd_detectors(args: argparse.Namespace) -> int:
             "description": spec.description,
         })
     print(format_table(rows))
+    return 0
+
+
+# -- the sweep engine (parallel parameter grids) ------------------------------
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.sweep import SweepError, SweepRunner, SweepSpec
+
+    if args.backend == "serial" and (args.workers or 1) > 1:
+        return _fail(
+            f"--workers {args.workers} needs the process backend; drop "
+            "--backend serial or use --backend process"
+        )
+    backend = args.backend or (
+        "process" if (args.workers or 1) > 1 else "serial"
+    )
+    try:
+        spec = SweepSpec.parse(args.grid)
+        # workers=None lets the process backend default to the machine's
+        # CPU count (`--backend process` alone means "use the cores").
+        with SweepRunner(backend, args.workers) as runner:
+            result = runner.run(spec)
+    except ValueError as exc:
+        # Nothing ran: bad grid grammar or unknown experiment / axis /
+        # detector names.  SweepError / ExperimentError — all ValueError
+        # uses.
+        return _fail(str(exc))
+    # The sweep completed; from here on a rendering/selection error
+    # (--group-by or --best typo) must not discard the run — the flat
+    # table, per-cell diagnostics, and the --json artifact still emit.
+    view_error: SweepError | None = None
+    try:
+        group_by = (
+            [c.strip() for c in args.group_by.split(",") if c.strip()]
+            if args.group_by else None
+        )
+        table = result.to_table(group_by)
+    except SweepError as exc:
+        view_error = exc
+        table = result.to_table()
+    print(f"sweep — {result.num_cells} cells "
+          f"({result.mode} expansion, {result.backend} backend, "
+          f"{result.workers} worker{'s' if result.workers != 1 else ''})")
+    print()
+    print(table)
+    print()
+    if args.best:
+        try:
+            best = result.best_cell(args.best)
+            print(f"best cell by {args.best}: #{best.index} {best.label()} "
+                  f"({args.best}={best.headline[args.best]})")
+        except SweepError as exc:
+            view_error = view_error or exc
+    print(f"cells: {result.num_ok} ok, {result.num_errors} failed; "
+          f"total {result.timings.get('total_s', 0.0):.3f}s "
+          f"({result.timings.get('cells_per_s', 0.0):.2f} cells/s)")
+    for cell in result.cells:
+        if cell.status != "ok":
+            print(f"cell {cell.index} [{cell.label()}] failed: {cell.error}",
+                  file=sys.stderr)
+    if args.json_out:
+        result.to_json(args.json_out)
+        print(f"wrote {args.json_out}")
+    if result.num_errors:
+        if view_error is not None:
+            print(f"error: {view_error}", file=sys.stderr)
+        return 1
+    if view_error is not None:
+        return _fail(str(view_error))
     return 0
 
 
@@ -462,6 +538,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--smoke", action="store_true",
                    help="tiny preset trace and parameters (CI smoke runs)")
     p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser(
+        "sweep",
+        help="fan a grid of experiment x trace x param cells across cores",
+    )
+    p.add_argument("--grid", required=True, metavar="GRID",
+                   help="semicolon-separated axes: 'exp=a,b;trace=S1,S2;"
+                        "param=v1,v2' ('zip:' prefix for zipped expansion; "
+                        "param axes apply to the experiments that declare "
+                        "them)")
+    p.add_argument("--workers", type=_min1_int, default=None, metavar="N",
+                   help="process-pool workers (>1 implies the process "
+                        "backend; default: serial, or every core when "
+                        "--backend process is given without --workers)")
+    p.add_argument("--backend", choices=("serial", "process"), default=None,
+                   help="cell execution backend (default: from --workers)")
+    p.add_argument("--group-by", metavar="COLS",
+                   help="pivot the cell table by comma-separated columns "
+                        "(e.g. 'experiment,detector'), averaging metrics")
+    p.add_argument("--best", metavar="METRIC",
+                   help="also report the best cell by a headline metric")
+    p.add_argument("--json", dest="json_out", metavar="FILE",
+                   help="write the repro-hhh/sweep-result/v1 artifact")
+    p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser(
         "stream",

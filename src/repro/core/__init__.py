@@ -19,6 +19,7 @@ from repro.core.checkpoint import (
 )
 from repro.core.detector import Detector, as_batch
 from repro.core.registry import (
+    AccuracyFloor,
     DetectorSpec,
     detector_names,
     get_enumerable_spec,
@@ -28,6 +29,7 @@ from repro.core.registry import (
 )
 
 __all__ = [
+    "AccuracyFloor",
     "CheckpointError",
     "Detector",
     "DetectorSpec",

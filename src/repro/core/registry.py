@@ -27,7 +27,16 @@ detector uniformly without ``isinstance`` probing:
   key lives in exactly one shard;
 - ``probe`` — optional ``(detector, key, now) -> float`` point estimate for
   detectors whose estimate signature is nonstandard (hierarchical,
-  membership-only).
+  membership-only);
+- ``accuracy`` — for enumerable detectors, the :class:`AccuracyFloor` the
+  registry-wide conformance suite
+  (``tests/core/test_accuracy_conformance.py``) and the
+  ``detector-accuracy`` experiment hold the detector to: minimum
+  recall/F1 against exact ground truth, plus which ground truth the
+  detector answers for (whole-trace byte counts, exponentially decayed
+  counts, or a trailing window).  Declaring the floor next to the entry —
+  not inside a test — means a future regression in any update path fails
+  loudly without the test knowing detector internals.
 """
 
 from __future__ import annotations
@@ -36,6 +45,40 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.core.detector import Detector
+from repro.core.suggest import closest_hint
+
+#: Ground-truth modes an :class:`AccuracyFloor` can declare.
+TRUTH_MODES = ("total", "decayed", "window")
+
+
+@dataclass(frozen=True)
+class AccuracyFloor:
+    """Minimum accuracy an enumerable detector must clear, and against what.
+
+    ``truth`` selects the exact reference the detector is scored against —
+    ``"total"`` (byte counts over the whole trace), ``"decayed"``
+    (exponentially decayed byte counts at end of trace; ``horizon`` is the
+    tau, matching the registry factory defaults), or ``"window"`` (byte
+    counts over the trailing ``horizon`` seconds).  ``recall``/``f1`` are
+    the floors enforced on the zipf and ddos-burst conformance presets.
+    """
+
+    recall: float
+    f1: float
+    truth: str = "total"
+    horizon: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.truth not in TRUTH_MODES:
+            raise ValueError(
+                f"unknown truth mode {self.truth!r}; "
+                f"known: {', '.join(TRUTH_MODES)}"
+            )
+        for name, value in (("recall", self.recall), ("f1", self.f1)):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} floor must be in [0, 1], got {value}")
+        if self.horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {self.horizon}")
 
 
 @dataclass(frozen=True)
@@ -49,6 +92,7 @@ class DetectorSpec:
     mergeable: bool = False
     description: str = ""
     probe: Callable[[Detector, int, float], float] | None = None
+    accuracy: AccuracyFloor | None = None
 
     def estimate(self, detector: Detector, key: int, now: float) -> float:
         """Uniform point estimate regardless of the detector's signature."""
@@ -71,6 +115,7 @@ def register_detector(
     mergeable: bool = False,
     description: str = "",
     probe: Callable[[Detector, int, float], float] | None = None,
+    accuracy: AccuracyFloor | None = None,
 ) -> Callable[..., Detector]:
     """Register ``factory`` under ``name``; returns the factory unchanged."""
     if name in _REGISTRY:
@@ -83,6 +128,7 @@ def register_detector(
         mergeable=mergeable,
         description=description,
         probe=probe,
+        accuracy=accuracy,
     )
     return factory
 
@@ -105,8 +151,10 @@ def get_spec(name: str) -> DetectorSpec:
     try:
         return _REGISTRY[name]
     except KeyError:
-        known = ", ".join(sorted(_REGISTRY))
-        raise KeyError(f"unknown detector {name!r}; known: {known}") from None
+        raise KeyError(
+            f"unknown detector {name!r};{closest_hint(name, _REGISTRY)} "
+            f"known: {', '.join(sorted(_REGISTRY))}"
+        ) from None
 
 
 def make_detector(name: str, **kwargs) -> Detector:
@@ -126,8 +174,10 @@ def get_enumerable_spec(
     """
     _ensure_populated()
     if name not in _REGISTRY:
-        known = ", ".join(sorted(_REGISTRY))
-        raise error(f"unknown detector {name!r}; known: {known}")
+        raise error(
+            f"unknown detector {name!r};{closest_hint(name, _REGISTRY)} "
+            f"known: {', '.join(sorted(_REGISTRY))}"
+        )
     spec = _REGISTRY[name]
     if not spec.enumerable:
         enumerable = ", ".join(

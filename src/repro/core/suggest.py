@@ -1,0 +1,22 @@
+"""The shared ``did you mean`` hint for mistyped registry names.
+
+Every string-keyed registry (detectors, experiments, scenarios, sweep
+axes, result columns/metrics) rejects unknown names with the same
+closest-match suggestion; keeping the formatting here means the hint
+reads identically everywhere and is tuned in one place.
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import Iterable
+
+
+def closest_hint(name: str, known: Iterable[str]) -> str:
+    """``" did you mean 'x'?"`` for the closest known name, or ``""``.
+
+    The leading space lets callers splice the hint directly after a
+    ``;``-terminated clause without double-spacing when there is no match.
+    """
+    close = difflib.get_close_matches(name, list(known), n=1)
+    return f" did you mean {close[0]!r}?" if close else ""

@@ -9,7 +9,7 @@ tested and benchmarked against.
 from __future__ import annotations
 
 from repro.core.detector import Detector
-from repro.core.registry import register_detector
+from repro.core.registry import AccuracyFloor, register_detector
 from repro.decay.laws import DecayLaw, ExponentialDecay, same_law
 
 
@@ -146,4 +146,5 @@ def _exact_decayed_factory(law: DecayLaw | None = None) -> ExactDecayedCounts:
 register_detector(
     "exact-decayed", _exact_decayed_factory, timestamped=True, mergeable=True,
     description="Unbounded per-key decayed counters (ground truth)",
+    accuracy=AccuracyFloor(recall=0.99, f1=0.99, truth="decayed", horizon=10.0),
 )

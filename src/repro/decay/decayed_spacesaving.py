@@ -16,7 +16,7 @@ used in the experiments (hundreds) the linear scan is not the bottleneck.
 from __future__ import annotations
 
 from repro.core.detector import Detector
-from repro.core.registry import register_detector
+from repro.core.registry import AccuracyFloor, register_detector
 from repro.decay.decayed_counter import DecayedCounter
 from repro.decay.laws import DecayLaw, ExponentialDecay
 
@@ -131,4 +131,5 @@ def _decayed_ss_factory(
 register_detector(
     "decayed-spacesaving", _decayed_ss_factory, timestamped=True,
     description="Space-Saving over decayed counts (scalar-replay batch)",
+    accuracy=AccuracyFloor(recall=0.95, f1=0.95, truth="decayed", horizon=10.0),
 )

@@ -20,7 +20,7 @@ from __future__ import annotations
 from collections import deque
 
 from repro.core.detector import Detector
-from repro.core.registry import register_detector
+from repro.core.registry import AccuracyFloor, register_detector
 from repro.sketch.spacesaving import SpaceSaving
 
 
@@ -120,4 +120,5 @@ def _sliding_factory(
 register_detector(
     "sliding-spacesaving", _sliding_factory, timestamped=True,
     description="Bucketed sliding-window Space-Saving (scalar-replay batch)",
+    accuracy=AccuracyFloor(recall=0.95, f1=0.85, truth="window", horizon=10.0),
 )

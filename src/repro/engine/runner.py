@@ -1,7 +1,9 @@
-"""Shard-update execution backends behind one interface.
+"""Task execution backends behind one interface.
 
-:class:`ParallelRunner` executes the per-shard ``update_batch`` calls the
-sharded engine fans out.  Two backends:
+:class:`ParallelRunner` executes independent work units — the per-shard
+``update_batch`` calls the sharded engine fans out, and, through the
+generic :meth:`ParallelRunner.map_tasks`, whole experiment cells for the
+sweep engine (:mod:`repro.sweep`).  Two backends:
 
 - ``serial`` — in-process loop, zero overhead; the default and the right
   choice for tests, smoke runs, and single-core machines;
@@ -21,7 +23,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -64,6 +66,23 @@ class ParallelRunner:
         self.workers = workers or os.cpu_count() or 1
         self._pool: ProcessPoolExecutor | None = None
 
+    def map_tasks(self, fn: Callable, payloads: Sequence) -> list:
+        """Apply ``fn`` to every payload, returning results in order.
+
+        The generic fan-out behind both shard updates and whole-sweep-cell
+        execution: the serial backend is a plain in-process loop; the
+        process backend ships ``(fn, payload)`` pairs through the
+        persistent pool, so both ``fn`` and each payload must be picklable
+        (``fn`` must be a module-level callable).  Results are collected in
+        payload order regardless of completion order.
+        """
+        if self.backend == "serial":
+            return [fn(payload) for payload in payloads]
+        payloads = list(payloads)
+        if not payloads:
+            return []
+        return list(self._ensure_pool().map(fn, payloads))
+
     def update_shards(
         self, shards: Sequence[Detector], parts: Sequence[ShardPart]
     ) -> list[Detector]:
@@ -83,9 +102,8 @@ class ParallelRunner:
         busy = [i for i, part in enumerate(parts) if len(part[0])]
         if not busy:
             return list(shards)
-        pool = self._ensure_pool()
         updated = list(shards)
-        results = pool.map(
+        results = self.map_tasks(
             _update_shard, [(shards[i], parts[i]) for i in busy]
         )
         for i, shard in zip(busy, results):

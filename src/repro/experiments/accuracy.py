@@ -1,0 +1,72 @@
+"""Registered experiment: exact-truth accuracy for one named detector.
+
+The registry face of :mod:`repro.analysis.accuracy`: score any enumerable
+detector's report against exact ground truth on any string-addressable
+trace, as deterministic precision/recall/F1 rows (fresh default-seeded
+detector, exact columnar truth — no timing columns, so the same cell
+always produces byte-identical rows).  This is the experiment a sweep
+grid's ``detector`` axis naturally drives::
+
+    repro-hhh sweep --grid "exp=detector-accuracy;trace=zipf:duration=30,ddos-burst:duration=30;detector=countmin-hh,spacesaving;phi=0.01,0.001"
+
+One ``phi`` per run keeps cells independent; sweep the axis instead of
+passing a list.  The registry-wide conformance suite
+(``tests/core/test_accuracy_conformance.py``) runs the same harness
+against the :class:`repro.core.AccuracyFloor` declared on each entry.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.accuracy import accuracy_row
+from repro.core import get_enumerable_spec
+from repro.experiments.base import (
+    Experiment,
+    ExperimentError,
+    Param,
+    check_phi,
+)
+from repro.experiments.registry import register_experiment
+from repro.experiments.result import ExperimentResult
+from repro.trace.container import Trace
+
+
+@register_experiment
+class DetectorAccuracy(Experiment):
+    """Precision/recall/F1 of a registry detector vs exact ground truth."""
+
+    name = "detector-accuracy"
+    description = (
+        "precision/recall/F1 of one enumerable detector against exact "
+        "ground truth (truth mode from the registry's accuracy metadata)"
+    )
+    PARAMS = (
+        Param("detector", "str", "countmin-hh",
+              "registry name of an enumerable detector to score"),
+        Param("phi", "float", 0.01,
+              "heavy-hitter threshold as a fraction of total truth mass",
+              check=check_phi),
+        Param("key", "choice", "src", "trace column keying the detector",
+              choices=("src", "dst")),
+    )
+    default_trace = "zipf:duration=30"
+    smoke_trace = "zipf:duration=4"
+
+    def run(self, trace: Trace, label: str = "trace") -> ExperimentResult:
+        spec = get_enumerable_spec(
+            self.bound_params["detector"], error=ExperimentError
+        )
+        row = accuracy_row(
+            spec, trace,
+            phi=self.bound_params["phi"],
+            key=self.bound_params["key"],
+        )
+        row = {"trace": label, **row}
+        return self._finish(
+            trace, label, [row],
+            headline={
+                "recall": row["recall"],
+                "precision": row["precision"],
+                "f1": row["f1"],
+                "truth_size": row["truth_size"],
+            },
+        )

@@ -174,6 +174,9 @@ class Experiment(ABC):
             ) or "(none)"
             hints = []
             for name in unknown:
+                # Several unknowns can each have their own close match, so
+                # this composes its own multi-name hint rather than using
+                # the single-name repro.core.suggest.closest_hint format.
                 close = difflib.get_close_matches(name, declared, n=1)
                 if close:
                     hints.append(f"did you mean {close[0]!r} for {name!r}?")

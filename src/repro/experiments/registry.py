@@ -16,6 +16,7 @@ half-populated registry.
 
 from __future__ import annotations
 
+from repro.core.suggest import closest_hint
 from repro.experiments.base import Experiment, ExperimentError
 
 _REGISTRY: dict[str, type[Experiment]] = {}
@@ -37,12 +38,14 @@ def register_experiment(cls: type[Experiment]) -> type[Experiment]:
 def _ensure_populated() -> None:
     # Importing the experiment modules runs their register_experiment calls.
     from repro.experiments import (  # noqa: F401
+        accuracy,
         decay,
         hidden,
         sensitivity,
         shard_scaling,
         stats,
         stream_replay,
+        sweep,
         throughput,
     )
 
@@ -61,7 +64,8 @@ def get_experiment(name: str) -> type[Experiment]:
     except KeyError:
         known = ", ".join(sorted(_REGISTRY))
         raise ExperimentError(
-            f"unknown experiment {name!r}; known: {known}"
+            f"unknown experiment {name!r};{closest_hint(name, _REGISTRY)} "
+            f"known: {known}"
         ) from None
 
 

@@ -40,6 +40,23 @@ from repro.trace.container import Trace
 SCHEMA_ID = "repro-hhh/experiment-result/v1"
 
 
+def read_json_text(text_or_path: str | Path) -> str:
+    """Resolve a ``from_json`` argument to JSON text.
+
+    A :class:`Path`, or a single-line string ending in ``.json``, is read
+    from disk; anything else is taken as the JSON text itself.  Shared by
+    :meth:`ExperimentResult.from_json` and the sweep layer's
+    ``SweepResult.from_json`` so the sniffing rule cannot drift.
+    """
+    if isinstance(text_or_path, Path) or (
+        isinstance(text_or_path, str)
+        and text_or_path.endswith(".json")
+        and "\n" not in text_or_path
+    ):
+        return Path(text_or_path).read_text()
+    return str(text_or_path)
+
+
 def jsonify(value: object) -> object:
     """Recursively coerce a value into JSON-serializable builtins.
 
@@ -162,15 +179,7 @@ class ExperimentResult:
     @classmethod
     def from_json(cls, text_or_path: str | Path) -> "ExperimentResult":
         """Rebuild a result from JSON text or a ``.json`` file path."""
-        if isinstance(text_or_path, Path) or (
-            isinstance(text_or_path, str)
-            and text_or_path.endswith(".json")
-            and "\n" not in text_or_path
-        ):
-            text = Path(text_or_path).read_text()
-        else:
-            text = str(text_or_path)
-        return cls.from_dict(json.loads(text))
+        return cls.from_dict(json.loads(read_json_text(text_or_path)))
 
 
 def validate_result_dict(document: object) -> None:

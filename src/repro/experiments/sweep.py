@@ -1,0 +1,85 @@
+"""Registered meta-experiment: run a sweep grid as one experiment.
+
+Adapts :mod:`repro.sweep` to the uniform :class:`Experiment` contract so
+the sweep engine rides every registry-driven surface for free — ``repro-hhh
+run sweep --set grid=...``, the CI smoke loop (which runs every registered
+experiment and archives ``BENCH_sweep.json``), and the JSON result
+artifact.  The rows are the sweep's flat per-cell view (identity + swept
+params + headline metrics); the full ``repro-hhh/sweep-result/v1``
+artifact rides in ``extras["sweep"]``.
+
+The input trace is *ignored* — a sweep grid carries its own trace axis (or
+falls back to each experiment's ``default_trace``); ``default_trace`` here
+is just a tiny calm preset so the uniform spec-to-artifact path stays
+cheap.  The dedicated ``repro-hhh sweep`` subcommand is the full-featured
+driver (workers, pivot tables, best-cell selection).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import Experiment, ExperimentError, Param, check_min1
+from repro.experiments.registry import register_experiment
+from repro.experiments.result import ExperimentResult
+from repro.sweep.runner import SweepRunner
+from repro.sweep.spec import SweepSpec
+from repro.trace.container import Trace
+
+_DEFAULT_GRID = (
+    "exp=detector-accuracy,trace-stats;"
+    "trace=zipf:duration=8,calm:duration=8;"
+    "detector=countmin-hh,spacesaving;phi=0.02"
+)
+
+_SMOKE_GRID = (
+    "exp=detector-accuracy;trace=zipf:duration=3;"
+    "detector=countmin-hh,spacesaving;phi=0.02"
+)
+
+
+def _check_grid(value: object) -> None:
+    SweepSpec.parse(str(value))  # raises SweepError on bad grammar
+
+
+@register_experiment
+class SweepExperiment(Experiment):
+    """Expand a parameter grid into cells and run them all (meta)."""
+
+    name = "sweep"
+    description = (
+        "meta-experiment: expand a grid of experiment x trace x parameter "
+        "cells and run each on the serial/process backend"
+    )
+    PARAMS = (
+        Param("grid", "str", _DEFAULT_GRID,
+              "sweep grid: 'exp=...;trace=...;param=v1,v2' "
+              "(zip: prefix for zipped expansion)", check=_check_grid),
+        Param("backend", "choice", "serial",
+              "cell execution backend", choices=("serial", "process")),
+        Param("workers", "int", 1,
+              "process-pool workers for the process backend",
+              check=check_min1),
+    )
+    default_trace = "calm:duration=2"
+    smoke_trace = "calm:duration=2"
+    smoke_overrides = {"grid": _SMOKE_GRID}
+
+    def run(self, trace: Trace, label: str = "trace") -> ExperimentResult:
+        spec = SweepSpec.parse(self.bound_params["grid"])
+        try:
+            with SweepRunner(
+                self.bound_params["backend"], self.bound_params["workers"]
+            ) as runner:
+                sweep = runner.run(spec)
+        except ValueError as exc:
+            raise ExperimentError(str(exc)) from None
+        return self._finish(
+            trace, label, sweep.rows(),
+            headline={
+                "num_cells": sweep.num_cells,
+                "num_ok": sweep.num_ok,
+                "num_errors": sweep.num_errors,
+                "backend": sweep.backend,
+                "cells_per_s": sweep.timings.get("cells_per_s", 0.0),
+            },
+            extras={"sweep": sweep},
+        )

@@ -27,7 +27,7 @@ from repro.core.detector import (
     as_uint64_keys,
     ensure_nonnegative_weights,
 )
-from repro.core.registry import register_detector
+from repro.core.registry import AccuracyFloor, register_detector
 from repro.hashing.families import HashFamily, pairwise_indep_family
 
 
@@ -197,4 +197,5 @@ register_detector(
     "countmin-hh", CountMinHeavyHitters,
     description="Count-Min with candidate tracking for heavy-hitter reports",
     probe=lambda det, key, now: det.sketch.estimate(key),
+    accuracy=AccuracyFloor(recall=0.95, f1=0.95),
 )

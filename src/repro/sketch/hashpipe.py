@@ -18,7 +18,7 @@ poster critiques.
 from __future__ import annotations
 
 from repro.core.detector import Detector
-from repro.core.registry import register_detector
+from repro.core.registry import AccuracyFloor, register_detector
 from repro.hashing.families import HashFamily, pairwise_indep_family
 
 _EMPTY = -1
@@ -118,4 +118,5 @@ class HashPipe(Detector):
 register_detector(
     "hashpipe", HashPipe,
     description="HashPipe d-stage in-switch pipeline (scalar-replay batch)",
+    accuracy=AccuracyFloor(recall=0.95, f1=0.95),
 )

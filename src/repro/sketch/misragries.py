@@ -9,7 +9,7 @@ the classic guarantee for byte-weighted streams.
 from __future__ import annotations
 
 from repro.core.detector import Detector
-from repro.core.registry import register_detector
+from repro.core.registry import AccuracyFloor, register_detector
 
 
 class MisraGries(Detector):
@@ -107,4 +107,5 @@ class MisraGries(Detector):
 register_detector(
     "misragries", MisraGries,
     description="Misra-Gries frequent items (scalar-replay batch)",
+    accuracy=AccuracyFloor(recall=0.80, f1=0.85),
 )

@@ -19,7 +19,7 @@ from __future__ import annotations
 import random
 
 from repro.core.detector import Detector
-from repro.core.registry import register_detector
+from repro.core.registry import AccuracyFloor, register_detector
 from repro.hhh.exact_hhh import HHHItem, HHHResult
 from repro.hierarchy.domain import SourceHierarchy
 from repro.net.prefix import Prefix
@@ -140,4 +140,5 @@ register_detector(
     "rhhh", RHHH,
     description="Randomized HHH (per-level Space-Saving; scalar-replay batch)",
     probe=lambda det, key, now: det.estimate(key, 0),
+    accuracy=AccuracyFloor(recall=0.70, f1=0.70),
 )

@@ -17,7 +17,7 @@ from __future__ import annotations
 import heapq
 
 from repro.core.detector import Detector
-from repro.core.registry import register_detector
+from repro.core.registry import AccuracyFloor, register_detector
 
 
 class SpaceSaving(Detector):
@@ -152,4 +152,5 @@ class SpaceSaving(Detector):
 register_detector(
     "spacesaving", SpaceSaving,
     description="Space-Saving top-k counter table (scalar-replay batch)",
+    accuracy=AccuracyFloor(recall=0.95, f1=0.90),
 )

@@ -15,7 +15,7 @@ from __future__ import annotations
 import math
 
 from repro.core.detector import Detector
-from repro.core.registry import register_detector
+from repro.core.registry import AccuracyFloor, register_detector
 from repro.hashing.families import HashFamily, pairwise_indep_family
 from repro.sketch.countsketch import CountSketch
 
@@ -158,4 +158,5 @@ class UnivMon(Detector):
 register_detector(
     "univmon", UnivMon,
     description="UnivMon universal sketch (scalar-replay batch)",
+    accuracy=AccuracyFloor(recall=0.85, f1=0.90),
 )

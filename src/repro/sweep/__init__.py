@@ -1,0 +1,43 @@
+"""Parameter-grid sweeps over the experiment registry.
+
+The layer that composes everything below it: a :class:`SweepSpec` declares
+axes (experiment names, trace specs, ``--set``-style parameter values),
+expands into independent :class:`SweepCell`\\ s, and a :class:`SweepRunner`
+executes each cell — one ``Experiment.run`` on its own memoized trace — on
+the engine's serial or process backend, aggregating everything into one
+versioned ``repro-hhh/sweep-result/v1`` artifact with per-cell provenance,
+comparative pivot tables, and best-cell selection.
+
+``repro-hhh sweep --grid "exp=...;trace=...;detector=...,..." --workers N``
+drives it from the CLI; the registered ``sweep`` meta-experiment gives CI
+a smoke-scale cell.
+"""
+
+from repro.sweep.result import (
+    SWEEP_SCHEMA_ID,
+    CellOutcome,
+    SweepResult,
+    validate_sweep_dict,
+)
+from repro.sweep.runner import SweepRunner, run_sweep
+from repro.sweep.spec import (
+    RESERVED_AXES,
+    SweepAxis,
+    SweepCell,
+    SweepError,
+    SweepSpec,
+)
+
+__all__ = [
+    "RESERVED_AXES",
+    "SWEEP_SCHEMA_ID",
+    "CellOutcome",
+    "SweepAxis",
+    "SweepCell",
+    "SweepError",
+    "SweepResult",
+    "SweepRunner",
+    "SweepSpec",
+    "run_sweep",
+    "validate_sweep_dict",
+]

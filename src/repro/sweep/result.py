@@ -1,0 +1,296 @@
+"""The versioned sweep result artifact.
+
+A sweep produces one :class:`SweepResult`: per-cell provenance (experiment,
+trace spec, raw parameter bindings, status, wall time) plus each cell's
+full ``repro-hhh/experiment-result/v1`` document, wrapped in a
+``repro-hhh/sweep-result/v1`` envelope.  The same object renders as
+comparative pivot tables (:meth:`SweepResult.to_table` with ``group_by``)
+and supports best-cell selection over any headline metric.
+
+Serialization is deterministic: ``SweepResult.from_json(text).to_json()``
+reproduces ``text`` byte for byte, which is what lets CI archive sweep
+artifacts and downstream tooling diff them.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.render import format_table
+from repro.core.suggest import closest_hint
+from repro.experiments.result import (
+    jsonify,
+    read_json_text,
+    validate_result_dict,
+)
+from repro.sweep.spec import SweepError, cell_label
+
+#: Version tag embedded in every serialized sweep result.
+SWEEP_SCHEMA_ID = "repro-hhh/sweep-result/v1"
+
+#: Cell identity columns always present in the flat row view.
+_CELL_COLUMNS = ("cell", "experiment", "trace", "status")
+
+
+@dataclass
+class CellOutcome:
+    """One executed sweep cell: identity, status, and its result document."""
+
+    index: int
+    experiment: str
+    trace: str | None
+    params: dict[str, object]
+    status: str  # "ok" | "error"
+    wall_s: float
+    error: str | None = None
+    #: The cell's ``repro-hhh/experiment-result/v1`` document (``None`` on
+    #: error) — full per-cell provenance, rows, headline, and timings.
+    result: dict[str, object] | None = None
+
+    def label(self) -> str:
+        """Human-readable cell identity for tables and messages."""
+        return cell_label(self.experiment, self.trace, self.params)
+
+    @property
+    def headline(self) -> dict[str, object]:
+        return dict((self.result or {}).get("headline", {}))  # type: ignore[arg-type]
+
+    @property
+    def rows(self) -> list[dict[str, object]]:
+        return list((self.result or {}).get("rows", ()))  # type: ignore[arg-type]
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "index": self.index,
+            "experiment": self.experiment,
+            "trace": self.trace,
+            "params": self.params,
+            "status": self.status,
+            "wall_s": self.wall_s,
+            "error": self.error,
+            "result": self.result,
+        }
+
+    @classmethod
+    def from_dict(cls, document: dict[str, object]) -> "CellOutcome":
+        return cls(
+            index=document["index"],
+            experiment=document["experiment"],
+            trace=document["trace"],
+            params=dict(document["params"]),
+            status=document["status"],
+            wall_s=document["wall_s"],
+            error=document.get("error"),
+            result=document.get("result"),
+        )
+
+
+@dataclass
+class SweepResult:
+    """Uniform artifact for one executed sweep."""
+
+    grid: str
+    mode: str
+    backend: str
+    workers: int
+    cells: list[CellOutcome] = field(default_factory=list)
+    timings: dict[str, float] = field(default_factory=dict)
+
+    # -- summary ---------------------------------------------------------
+
+    @property
+    def num_cells(self) -> int:
+        return len(self.cells)
+
+    @property
+    def num_ok(self) -> int:
+        return sum(1 for cell in self.cells if cell.status == "ok")
+
+    @property
+    def num_errors(self) -> int:
+        return self.num_cells - self.num_ok
+
+    # -- tabular views ---------------------------------------------------
+
+    def rows(self) -> list[dict[str, object]]:
+        """One flat row per cell: identity columns, swept params, and the
+        cell's headline metrics (columns are the union across cells, so
+        heterogeneous experiments align)."""
+        raw = []
+        columns: list[str] = list(_CELL_COLUMNS)
+        for cell in self.cells:
+            row: dict[str, object] = {
+                "cell": cell.index,
+                "experiment": cell.experiment,
+                "trace": cell.trace if cell.trace is not None else "-",
+                "status": cell.status,
+            }
+            for key, value in cell.params.items():
+                row[key] = value
+            for key, value in cell.headline.items():
+                row.setdefault(key, value)
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+            raw.append(row)
+        return [{c: row.get(c, "") for c in columns} for row in raw]
+
+    def pivot(self, group_by) -> list[dict[str, object]]:
+        """Comparative pivot: group the flat rows by one or more columns and
+        average the numeric metric columns (plus a ``cells`` count).
+
+        Only ok cells are aggregated — an error cell has no metrics, and
+        counting it would misstate how many cells back each average (the
+        flat :meth:`rows` view is where failures are visible).
+        """
+        keys = [group_by] if isinstance(group_by, str) else list(group_by)
+        rows = self.rows()
+        available = list(rows[0]) if rows else []
+        for key in keys:
+            if key not in available:
+                raise SweepError(
+                    f"unknown group_by column {key!r};"
+                    f"{closest_hint(key, available)} "
+                    f"available: {', '.join(available)}"
+                )
+        metrics = [
+            c for c in available
+            if c not in keys and c not in _CELL_COLUMNS
+        ]
+        groups: dict[tuple, list[dict[str, object]]] = {}
+        for row in rows:
+            if row["status"] != "ok":
+                continue
+            groups.setdefault(tuple(row[k] for k in keys), []).append(row)
+        out = []
+        for group_key, members in groups.items():
+            pivot_row: dict[str, object] = dict(zip(keys, group_key))
+            pivot_row["cells"] = len(members)
+            for metric in metrics:
+                values = [
+                    m[metric] for m in members
+                    if isinstance(m[metric], (int, float))
+                    and not isinstance(m[metric], bool)
+                ]
+                if values:
+                    pivot_row[metric] = round(sum(values) / len(values), 4)
+            out.append(pivot_row)
+        # Pad to the union of columns (first-seen order) so the table
+        # renders every group's metrics, not just the first group's.
+        columns: list[str] = []
+        for row in out:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+        return [{c: row.get(c, "") for c in columns} for row in out]
+
+    def to_table(self, group_by=None) -> str:
+        """The flat per-cell table, or the ``group_by`` pivot table."""
+        if group_by is None:
+            return format_table(self.rows())
+        return format_table(self.pivot(group_by))
+
+    def best_cell(self, metric: str, mode: str = "max") -> CellOutcome:
+        """The ok cell whose headline ``metric`` is largest (or smallest)."""
+        if mode not in ("max", "min"):
+            raise SweepError(f"best_cell mode must be max or min, got {mode!r}")
+        scored = [
+            (cell.headline[metric], cell)
+            for cell in self.cells
+            if cell.status == "ok"
+            and isinstance(cell.headline.get(metric), (int, float))
+            and not isinstance(cell.headline.get(metric), bool)
+        ]
+        if not scored:
+            known = sorted({
+                key for cell in self.cells for key in cell.headline
+            })
+            raise SweepError(
+                f"no cell reports numeric headline metric {metric!r};"
+                f"{closest_hint(metric, known)} "
+                f"available metrics: {', '.join(known) or '(none)'}"
+            )
+        chosen = (max if mode == "max" else min)(scored, key=lambda s: s[0])
+        return chosen[1]
+
+    # -- serialization ---------------------------------------------------
+
+    def to_dict(self) -> dict[str, object]:
+        """The versioned, JSON-serializable document."""
+        return {
+            "schema": SWEEP_SCHEMA_ID,
+            "grid": self.grid,
+            "mode": self.mode,
+            "backend": self.backend,
+            "workers": self.workers,
+            "num_cells": self.num_cells,
+            "num_errors": self.num_errors,
+            "cells": [jsonify(cell.to_dict()) for cell in self.cells],
+            "timings": jsonify(self.timings),
+        }
+
+    def to_json(self, path: str | Path | None = None, indent: int = 2) -> str:
+        """Serialize to JSON text, optionally also writing ``path``."""
+        text = json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+        if path is not None:
+            Path(path).write_text(text + "\n")
+        return text
+
+    @classmethod
+    def from_dict(cls, document: dict[str, object]) -> "SweepResult":
+        """Rebuild a sweep result from a decoded document (validates first)."""
+        validate_sweep_dict(document)
+        return cls(
+            grid=document["grid"],
+            mode=document["mode"],
+            backend=document["backend"],
+            workers=document["workers"],
+            cells=[CellOutcome.from_dict(c) for c in document["cells"]],
+            timings=dict(document["timings"]),
+        )
+
+    @classmethod
+    def from_json(cls, text_or_path: str | Path) -> "SweepResult":
+        """Rebuild a sweep result from JSON text or a ``.json`` file path."""
+        return cls.from_dict(json.loads(read_json_text(text_or_path)))
+
+
+def validate_sweep_dict(document: object) -> None:
+    """Raise ``ValueError`` unless ``document`` matches the v1 sweep schema
+    (each ok cell's embedded result is validated against the experiment
+    result schema too)."""
+    if not isinstance(document, dict):
+        raise ValueError(
+            f"sweep document must be an object, got {type(document).__name__}"
+        )
+    if document.get("schema") != SWEEP_SCHEMA_ID:
+        raise ValueError(
+            f"unknown sweep schema {document.get('schema')!r}; "
+            f"expected {SWEEP_SCHEMA_ID!r}"
+        )
+    required = ("grid", "mode", "backend", "workers", "cells", "timings")
+    missing = [key for key in required if key not in document]
+    if missing:
+        raise ValueError(f"sweep document missing keys: {missing}")
+    if not isinstance(document["grid"], str) or not document["grid"]:
+        raise ValueError("'grid' must be a non-empty string")
+    if not isinstance(document["cells"], list) or not document["cells"]:
+        raise ValueError("'cells' must be a non-empty array")
+    if not isinstance(document["timings"], dict):
+        raise ValueError("'timings' must be an object")
+    for cell in document["cells"]:
+        if not isinstance(cell, dict):
+            raise ValueError("every cell must be an object")
+        for key, kinds in (
+            ("index", int), ("experiment", str), ("params", dict),
+            ("status", str), ("wall_s", (int, float)),
+            ("trace", (str, type(None))),
+        ):
+            if key not in cell or not isinstance(cell[key], kinds):
+                raise ValueError(f"cell needs {key!r} of type {kinds}")
+        if cell["status"] == "ok":
+            validate_result_dict(cell.get("result"))
+        elif not isinstance(cell.get("error"), str):
+            raise ValueError("error cells need an 'error' message string")

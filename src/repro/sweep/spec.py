@@ -1,0 +1,318 @@
+"""String-addressable sweep grids.
+
+A *sweep* fans a grid of (experiment × trace × parameter) combinations out
+as independent *cells*, each cell one ``Experiment.run`` on its own
+memoized trace.  The grid is addressable as a short string — semicolon-
+separated *axes*, each a name plus comma-separated values::
+
+    exp=hidden-hhh,detector-accuracy;trace=zipf:duration=30,ddos-burst:duration=30;detector=countmin-hh,spacesaving;phi=0.01,0.001
+
+Two axis names are structural:
+
+- ``exp`` (required) — registered experiment names;
+- ``trace`` (optional) — trace/stream spec strings; omitted, every
+  experiment runs on its own ``default_trace``.  Values are split
+  spec-aware: a comma followed by a bare ``key=value`` pair continues the
+  previous spec (``caida:day=0,duration=30`` is *one* value), while a
+  segment that opens a new ``scenario:`` (or has no ``=`` at all) starts
+  the next one.
+
+Every other axis names an experiment parameter and *applies where
+declared*: a cell for an experiment that does not declare the parameter
+simply drops that axis (duplicate cells are collapsed), so heterogeneous
+grids — a detector axis next to an experiment with no ``detector`` param —
+expand to exactly the meaningful combinations.
+
+Expansion is cartesian by default; a ``zip:`` prefix switches to zipped
+expansion, where every multi-valued axis must have the same length and
+advances in lockstep (single-valued axes broadcast)::
+
+    zip:exp=detector-accuracy;detector=countmin-hh,spacesaving;phi=0.01,0.02
+
+Like :class:`repro.trace.TraceSpec`, ``parse`` and ``format`` round-trip:
+``SweepSpec.parse(s).format() == s`` for canonical strings.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.core.suggest import closest_hint
+
+#: Structural axes every grid may use; all other axes bind experiment params.
+RESERVED_AXES = ("exp", "trace")
+
+_MODES = ("cartesian", "zip")
+
+
+class SweepError(ValueError):
+    """A malformed grid, an unknown axis/name, or an unrunnable sweep."""
+
+
+def _split_trace_values(text: str, axis_text: str) -> list[str]:
+    """Split a ``trace`` axis into spec strings, commas-in-params aware."""
+    values: list[str] = []
+    for segment in text.split(","):
+        segment = segment.strip()
+        if not segment:
+            raise SweepError(f"empty value in sweep axis {axis_text!r}")
+        if values and _continues_previous(segment):
+            values[-1] = f"{values[-1]},{segment}"
+        else:
+            values.append(segment)
+    return values
+
+
+def _continues_previous(segment: str) -> bool:
+    """Whether a comma-separated segment is a ``key=value`` continuation of
+    the previous trace spec rather than the start of a new one."""
+    eq = segment.find("=")
+    if eq < 0:
+        return False  # bare scenario name starts a new spec
+    colon = segment.find(":")
+    return colon < 0 or colon > eq
+
+
+@dataclass(frozen=True)
+class SweepAxis:
+    """One declared axis: a name and the values it sweeps over."""
+
+    name: str
+    values: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SweepError("sweep axis has no name")
+        if not self.values:
+            raise SweepError(f"sweep axis {self.name!r} has no values")
+
+    def format(self) -> str:
+        return f"{self.name}={','.join(self.values)}"
+
+
+def cell_label(
+    experiment: str, trace: str | None, params: dict[str, object]
+) -> str:
+    """Canonical human-readable cell identity (tables, error messages).
+
+    Shared by :class:`SweepCell` and the result layer's ``CellOutcome`` so
+    the two renderings can never drift apart.
+    """
+    parts = [f"exp={experiment}"]
+    if trace is not None:
+        parts.append(f"trace={trace}")
+    parts.extend(f"{k}={v}" for k, v in params.items())
+    return ";".join(parts)
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One independent unit of sweep work: experiment + trace + params.
+
+    ``params`` keeps the raw string values from the grid; binding and type
+    coercion happen inside the experiment exactly as for ``--set`` on
+    ``repro-hhh run``, so a cell reproduces the standalone run byte for
+    byte (timings aside).
+    """
+
+    index: int
+    experiment: str
+    trace: str | None
+    params: dict[str, str] = field(default_factory=dict)
+
+    def label(self) -> str:
+        """Human-readable cell identity for tables and error messages."""
+        return cell_label(self.experiment, self.trace, self.params)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A parsed sweep grid: ordered axes plus the expansion mode."""
+
+    axes: tuple[SweepAxis, ...]
+    mode: str = "cartesian"
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise SweepError(
+                f"unknown sweep mode {self.mode!r}; known: {', '.join(_MODES)}"
+            )
+        seen: set[str] = set()
+        for axis in self.axes:
+            if axis.name in seen:
+                raise SweepError(f"duplicate sweep axis {axis.name!r}")
+            seen.add(axis.name)
+        if "exp" not in seen:
+            raise SweepError(
+                "sweep grid needs an 'exp' axis naming at least one "
+                "registered experiment (e.g. 'exp=hidden-hhh;...')"
+            )
+
+    # -- parsing ---------------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str) -> "SweepSpec":
+        """Parse ``[zip:]axis=v1,v2;axis=...`` into a spec."""
+        text = text.strip()
+        mode = "cartesian"
+        for prefix in _MODES:
+            if text.startswith(prefix + ":"):
+                mode = prefix
+                text = text[len(prefix) + 1:]
+                break
+        if not text:
+            raise SweepError("empty sweep grid")
+        axes: list[SweepAxis] = []
+        for axis_text in text.split(";"):
+            axis_text = axis_text.strip()
+            if not axis_text:
+                raise SweepError(f"empty axis in sweep grid {text!r}")
+            name, eq, values_text = axis_text.partition("=")
+            name = name.strip()
+            if not eq or not name or not values_text.strip():
+                raise SweepError(
+                    f"bad sweep axis {axis_text!r}; expected name=v1,v2,..."
+                )
+            if name == "trace":
+                values = _split_trace_values(values_text, axis_text)
+            else:
+                values = [v.strip() for v in values_text.split(",")]
+                if any(not v for v in values):
+                    raise SweepError(
+                        f"empty value in sweep axis {axis_text!r}"
+                    )
+            axes.append(SweepAxis(name, tuple(values)))
+        return cls(tuple(axes), mode)
+
+    def format(self) -> str:
+        """The canonical string form; ``parse(format()) == self``."""
+        body = ";".join(axis.format() for axis in self.axes)
+        return f"zip:{body}" if self.mode == "zip" else body
+
+    def __str__(self) -> str:
+        return self.format()
+
+    # -- expansion -------------------------------------------------------
+
+    def axis(self, name: str) -> SweepAxis | None:
+        for axis in self.axes:
+            if axis.name == name:
+                return axis
+        return None
+
+    def expand(self) -> list[SweepCell]:
+        """Expand the grid into independent cells, validated against the
+        experiment, detector, and parameter registries.
+
+        Unknown experiment names, unknown ``detector`` axis values, and
+        axes that bind no swept experiment's parameters all raise
+        :class:`SweepError` (or the registry's own error) with a
+        closest-match suggestion — before any cell runs.
+        """
+        from repro.experiments.registry import get_experiment
+
+        exp_axis = self.axis("exp")
+        assert exp_axis is not None  # enforced in __post_init__
+        classes = {}
+        for name in exp_axis.values:
+            if name == "sweep":
+                raise SweepError(
+                    "cannot sweep over the 'sweep' meta-experiment itself"
+                )
+            classes[name] = get_experiment(name)
+
+        param_axes = [a for a in self.axes if a.name not in RESERVED_AXES]
+        self._check_axis_names(param_axes, classes)
+        self._check_detector_values()
+
+        trace_axis = self.axis("trace")
+        traces: tuple[str | None, ...] = (
+            trace_axis.values if trace_axis is not None else (None,)
+        )
+
+        if self.mode == "zip":
+            return self._expand_zip(exp_axis, traces, param_axes, classes)
+        cells: list[SweepCell] = []
+        seen: set[tuple] = set()
+        for exp in exp_axis.values:
+            declared = {p.name for p in classes[exp].PARAMS}
+            applicable = [a for a in param_axes if a.name in declared]
+            for trace in traces:
+                for combo in itertools.product(
+                    *(a.values for a in applicable)
+                ):
+                    params = {
+                        a.name: v for a, v in zip(applicable, combo)
+                    }
+                    _append_unique(cells, seen, exp, trace, params)
+        return cells
+
+    def _expand_zip(
+        self, exp_axis, traces, param_axes, classes
+    ) -> list[SweepCell]:
+        lengths = {
+            a.name: len(a.values) for a in self.axes if len(a.values) > 1
+        }
+        if len(set(lengths.values())) > 1:
+            detail = ", ".join(f"{k}({v})" for k, v in lengths.items())
+            raise SweepError(
+                f"zip sweep needs equal-length multi-value axes; got {detail}"
+            )
+        count = next(iter(set(lengths.values())), 1)
+        cells: list[SweepCell] = []
+        seen: set[tuple] = set()
+        for i in range(count):
+            exp = _pick(exp_axis.values, i)
+            trace = _pick(traces, i)
+            declared = {p.name for p in classes[exp].PARAMS}
+            params = {
+                a.name: _pick(a.values, i)
+                for a in param_axes
+                if a.name in declared
+            }
+            _append_unique(cells, seen, exp, trace, params)
+        return cells
+
+    def _check_axis_names(self, param_axes, classes) -> None:
+        declared_anywhere: set[str] = set()
+        for cls in classes.values():
+            declared_anywhere.update(p.name for p in cls.PARAMS)
+        known = sorted(declared_anywhere | set(RESERVED_AXES))
+        for axis in param_axes:
+            if axis.name not in declared_anywhere:
+                swept = ", ".join(classes)
+                raise SweepError(
+                    f"unknown sweep axis {axis.name!r}: no swept experiment "
+                    f"({swept}) declares that parameter;"
+                    f"{closest_hint(axis.name, known)} "
+                    f"known axes: {', '.join(known)}"
+                )
+
+    def _check_detector_values(self) -> None:
+        detector_axis = self.axis("detector")
+        if detector_axis is None:
+            return
+        from repro.core import detector_names
+
+        known = detector_names()
+        for value in detector_axis.values:
+            if value not in known:
+                raise SweepError(
+                    f"unknown detector {value!r} in sweep axis 'detector';"
+                    f"{closest_hint(value, known)} "
+                    f"known detectors: {', '.join(known)}"
+                )
+
+
+def _pick(values, i: int):
+    """Zip-mode indexing: multi-value axes advance, singles broadcast."""
+    return values[i] if len(values) > 1 else values[0]
+
+
+def _append_unique(cells, seen, exp, trace, params) -> None:
+    key = (exp, trace, tuple(sorted(params.items())))
+    if key in seen:
+        return
+    seen.add(key)
+    cells.append(SweepCell(len(cells), exp, trace, params))

@@ -136,16 +136,19 @@ class Trace:
         i, j = self.index_range(t0, t1)
         return self.bytes_by_key_index(i, j, key)
 
+    def key_column(self, key: str) -> np.ndarray:
+        """The column addressed by a key name (``"src"`` or ``"dst"``)."""
+        if key == "src":
+            return self.src
+        if key == "dst":
+            return self.dst
+        raise ValueError(f"unknown key column {key!r}")
+
     def bytes_by_key_index(
         self, i: int, j: int, key: str = "src"
     ) -> dict[int, int]:
         """Like :meth:`bytes_by_key` but over a packet index range [i, j)."""
-        if key == "src":
-            col = self.src
-        elif key == "dst":
-            col = self.dst
-        else:
-            raise ValueError(f"unknown key column {key!r}")
+        col = self.key_column(key)
         keys, inverse = np.unique(col[i:j], return_inverse=True)
         sums = np.bincount(inverse, weights=self.length[i:j].astype(np.float64))
         return {int(k): int(s) for k, s in zip(keys, sums)}

@@ -23,12 +23,12 @@ one registration instead of a new subcommand.
 
 from __future__ import annotations
 
-import difflib
 import inspect
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, NamedTuple
 
+from repro.core.suggest import closest_hint
 from repro.trace.container import Trace
 
 
@@ -90,10 +90,9 @@ def get_scenario(name: str) -> ScenarioSpec:
         return _SCENARIOS[name]
     except KeyError:
         known = ", ".join(sorted(_SCENARIOS))
-        close = difflib.get_close_matches(name, _SCENARIOS, n=1)
-        hint = f" did you mean {close[0]!r}?" if close else ""
         raise TraceSpecError(
-            f"unknown scenario {name!r};{hint} registered scenarios: {known}"
+            f"unknown scenario {name!r};{closest_hint(name, _SCENARIOS)} "
+            f"registered scenarios: {known}"
         ) from None
 
 

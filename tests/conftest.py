@@ -8,7 +8,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.trace import presets
+from repro.trace import clear_trace_cache, presets
 from repro.trace.config import (
     BurstConfig,
     ChurnConfig,
@@ -17,6 +17,18 @@ from repro.trace.config import (
     SyntheticTraceConfig,
 )
 from repro.trace.generator import generate_trace
+
+
+@pytest.fixture(autouse=True)
+def _fresh_trace_cache():
+    """Cross-test isolation for the TraceSpec build memo.
+
+    A test that builds presets through ``TraceSpec.build()`` must not
+    poison the process-wide LRU (entries, hit/miss counters) for later
+    tests; every test starts and ends with an empty cache."""
+    clear_trace_cache()
+    yield
+    clear_trace_cache()
 
 
 @pytest.fixture(scope="session")

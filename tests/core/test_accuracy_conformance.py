@@ -1,0 +1,112 @@
+"""Registry-wide accuracy conformance.
+
+Every *enumerable* detector is scored against exact ground truth on the
+zipf and ddos-burst presets and must clear the recall/F1 floors its
+registry entry declares (:class:`repro.core.AccuracyFloor`).  The floors —
+and the ground truth the detector answers for (whole-trace totals, decayed
+counts, trailing window) — live next to the registration, not here, so a
+new detector states its own contract and a regression in any update path
+fails this suite loudly without the test knowing detector internals.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.accuracy import accuracy_row, exact_truth
+from repro.core import detector_names, get_spec
+from repro.trace.spec import TraceSpec
+
+#: Conformance presets: a static heavy-tail and an adversarial burst.
+TRACE_SPECS = ("zipf:duration=12", "ddos-burst:duration=12")
+
+#: Thresholds swept per preset (fractions of total truth mass).
+PHIS = (0.01, 0.02)
+
+ENUMERABLE = [
+    name for name in detector_names() if get_spec(name).enumerable
+]
+
+
+@pytest.mark.parametrize("name", ENUMERABLE)
+def test_every_enumerable_detector_declares_floors(name):
+    """Enumerability implies a conformance contract: no silent opt-outs."""
+    assert get_spec(name).accuracy is not None, (
+        f"enumerable detector {name!r} declares no AccuracyFloor; add "
+        "accuracy=AccuracyFloor(...) to its register_detector call"
+    )
+
+
+@pytest.mark.parametrize("trace_spec", TRACE_SPECS)
+@pytest.mark.parametrize("name", ENUMERABLE)
+def test_detector_clears_declared_floors(name, trace_spec):
+    spec = get_spec(name)
+    floor = spec.accuracy
+    if floor is None:
+        pytest.skip("no declared floor (caught by the declaration test)")
+    trace = TraceSpec.parse(trace_spec).build()
+    for phi in PHIS:
+        row = accuracy_row(spec, trace, phi)
+        assert row["recall"] >= floor.recall, (
+            f"{name} on {trace_spec} phi={phi}: recall {row['recall']} "
+            f"below declared floor {floor.recall} (row: {row})"
+        )
+        assert row["f1"] >= floor.f1, (
+            f"{name} on {trace_spec} phi={phi}: f1 {row['f1']} below "
+            f"declared floor {floor.f1} (row: {row})"
+        )
+
+
+class TestExactTruth:
+    """The ground-truth computations the conformance scoring rests on."""
+
+    def test_total_matches_bytes_by_key(self):
+        trace = TraceSpec.parse("zipf:duration=3").build()
+        truth = exact_truth(trace, "total")
+        expected = trace.bytes_by_key(
+            trace.start_time, trace.end_time + 1.0
+        )
+        assert {k: int(v) for k, v in truth.items()} == expected
+
+    def test_decayed_is_bounded_by_total_and_positive(self):
+        trace = TraceSpec.parse("zipf:duration=3").build()
+        total = exact_truth(trace, "total")
+        decayed = exact_truth(trace, "decayed", horizon=5.0)
+        assert set(decayed) == set(total)
+        for key, value in decayed.items():
+            assert 0.0 < value <= total[key] + 1e-9
+
+    def test_window_counts_only_the_tail(self):
+        trace = TraceSpec.parse("zipf:duration=6").build()
+        window = exact_truth(trace, "window", horizon=2.0)
+        tail_bytes = trace.bytes_in_range(
+            trace.end_time - 2.0, trace.end_time + 1.0
+        )
+        assert sum(window.values()) == tail_bytes
+        assert sum(window.values()) < trace.total_bytes
+
+    def test_unknown_mode_rejected(self):
+        trace = TraceSpec.parse("zipf:duration=3").build()
+        with pytest.raises(ValueError, match="unknown truth mode"):
+            exact_truth(trace, "bogus")
+
+    def test_empty_trace(self):
+        from repro.trace.container import Trace
+
+        assert exact_truth(Trace.empty(), "total") == {}
+
+
+class TestAccuracyFloorValidation:
+    def test_rejects_bad_truth_mode(self):
+        from repro.core import AccuracyFloor
+
+        with pytest.raises(ValueError, match="unknown truth mode"):
+            AccuracyFloor(recall=0.5, f1=0.5, truth="bogus")
+
+    def test_rejects_out_of_range_floors(self):
+        from repro.core import AccuracyFloor
+
+        with pytest.raises(ValueError, match="recall"):
+            AccuracyFloor(recall=1.5, f1=0.5)
+        with pytest.raises(ValueError, match="horizon"):
+            AccuracyFloor(recall=0.5, f1=0.5, horizon=0.0)

@@ -1,0 +1,76 @@
+"""Randomized property: splitmix64 partitioning is a stable permutation.
+
+For any batch and shard count, :func:`repro.engine.partition.partition_batch`
+must route every row to exactly one shard sub-batch (the concatenation is a
+permutation of the input — nothing dropped, nothing duplicated), agree with
+the scalar :func:`shard_of_key` routing row by row, and keep each shard's
+rows in original (time) order.  ~200 random seeds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.partition import partition_batch, shard_ids, shard_of_key
+
+pytestmark = pytest.mark.slow
+
+NUM_SEEDS = 200
+
+
+def _random_batch(rng: np.random.Generator):
+    n = int(rng.integers(1, 600))
+    keys = rng.integers(0, 1 << 32, size=n, dtype=np.uint64)
+    # Duplicate some keys so shards see repeated rows (the common case).
+    if n > 8:
+        dup = rng.integers(0, n, size=n // 4)
+        keys[dup] = keys[int(rng.integers(0, n))]
+    weights = rng.integers(1, 1500, size=n).astype(np.int64)
+    ts = np.sort(rng.uniform(0.0, 60.0, size=n))
+    return keys, weights, ts
+
+
+@pytest.mark.parametrize("seed", range(NUM_SEEDS))
+def test_partition_is_a_stable_permutation(seed):
+    rng = np.random.default_rng(seed)
+    keys, _, ts = _random_batch(rng)
+    num_shards = int(rng.integers(1, 10))
+    n = len(keys)
+    # Carry each row's original index through the weight column so identity
+    # survives the partition.
+    identity = np.arange(n, dtype=np.int64)
+    parts = partition_batch(keys, identity, ts, num_shards)
+
+    assert len(parts) == num_shards
+    gathered = np.concatenate([part[1] for part in parts])
+    # Every index lands in exactly one shard sub-batch: a permutation.
+    assert len(gathered) == n
+    assert np.array_equal(np.sort(gathered), identity)
+    for shard, (part_keys, part_idx, part_ts) in enumerate(parts):
+        # Row-by-row agreement with the scalar routing twin.
+        for key in part_keys.tolist():
+            assert shard_of_key(int(key), num_shards) == shard
+        # Stability: original relative order (time order) is preserved.
+        assert np.all(np.diff(part_idx) > 0)
+        assert np.all(np.diff(part_ts) >= 0)
+
+
+@pytest.mark.parametrize("seed", range(NUM_SEEDS))
+def test_shard_ids_matches_scalar_routing(seed):
+    rng = np.random.default_rng(seed ^ 0x517A)
+    keys = rng.integers(0, 1 << 64, size=256, dtype=np.uint64)
+    num_shards = int(rng.integers(1, 12))
+    ids = shard_ids(keys, num_shards)
+    assert ids.min() >= 0 and ids.max() < num_shards
+    expected = [shard_of_key(int(k), num_shards) for k in keys.tolist()]
+    assert ids.tolist() == expected
+
+
+def test_single_shard_passes_columns_through():
+    keys = np.arange(10, dtype=np.uint64)
+    weights = np.ones(10, dtype=np.int64)
+    parts = partition_batch(keys, weights, None, 1)
+    assert len(parts) == 1
+    assert parts[0][0] is keys and parts[0][1] is weights
+    assert parts[0][2] is None

@@ -1,0 +1,97 @@
+"""Randomized property: Trace slicing round-trips.
+
+Adjacent index/time slices must reassemble to the original columns exactly
+(no packet lost, duplicated, or reordered), ``slice_time`` must agree with
+``index_range`` + ``slice_index``, and slicing must compose.  ~200 random
+seeds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.trace.container import Trace
+
+pytestmark = pytest.mark.slow
+
+NUM_SEEDS = 200
+
+_COLUMNS = Trace.__slots__
+
+
+def _random_trace(rng: np.random.Generator) -> Trace:
+    n = int(rng.integers(0, 400))
+    ts = np.sort(rng.uniform(0.0, 30.0, size=n))
+    # Repeated timestamps exercise the searchsorted tie-breaking.
+    if n > 10:
+        ts[n // 2] = ts[n // 2 - 1]
+    return Trace(
+        ts,
+        rng.integers(0, 1 << 32, size=n, dtype=np.uint32),
+        rng.integers(0, 1 << 32, size=n, dtype=np.uint32),
+        rng.integers(40, 1500, size=n).astype(np.int64),
+        rng.integers(0, 1 << 16, size=n, dtype=np.uint16),
+        rng.integers(0, 1 << 16, size=n, dtype=np.uint16),
+        rng.integers(0, 255, size=n, dtype=np.uint8),
+    )
+
+
+@pytest.mark.parametrize("seed", range(NUM_SEEDS))
+def test_index_slices_reassemble_exactly(seed):
+    rng = np.random.default_rng(seed)
+    trace = _random_trace(rng)
+    n = len(trace)
+    cuts = sorted(
+        {0, n, *map(int, rng.integers(0, n + 1, size=3))}
+    )
+    pieces = [
+        trace.slice_index(i, j) for i, j in zip(cuts, cuts[1:])
+    ]
+    for column in _COLUMNS:
+        rebuilt = (
+            np.concatenate([getattr(p, column) for p in pieces])
+            if pieces else np.empty(0)
+        )
+        assert np.array_equal(rebuilt, getattr(trace, column))
+
+
+@pytest.mark.parametrize("seed", range(NUM_SEEDS))
+def test_time_slices_match_index_range(seed):
+    rng = np.random.default_rng(seed ^ 0x7CE)
+    trace = _random_trace(rng)
+    t0, t1 = sorted(rng.uniform(-1.0, 31.0, size=2))
+    by_time = trace.slice_time(t0, t1)
+    i, j = trace.index_range(t0, t1)
+    by_index = trace.slice_index(i, j)
+    for column in _COLUMNS:
+        assert np.array_equal(
+            getattr(by_time, column), getattr(by_index, column)
+        )
+    if len(by_time):
+        assert by_time.start_time >= t0
+        assert by_time.end_time < t1
+
+
+@pytest.mark.parametrize("seed", range(NUM_SEEDS))
+def test_slicing_composes(seed):
+    rng = np.random.default_rng(seed ^ 0xC0B)
+    trace = _random_trace(rng)
+    n = len(trace)
+    i, j = sorted(map(int, rng.integers(0, n + 1, size=2)))
+    outer = trace.slice_index(i, j)
+    m = len(outer)
+    a, b = sorted(map(int, rng.integers(0, m + 1, size=2)))
+    inner = outer.slice_index(a, b)
+    direct = trace.slice_index(i + a, i + b)
+    for column in _COLUMNS:
+        assert np.array_equal(
+            getattr(inner, column), getattr(direct, column)
+        )
+
+
+def test_full_slice_is_the_whole_trace():
+    rng = np.random.default_rng(0)
+    trace = _random_trace(rng)
+    full = trace.slice_time(trace.start_time, trace.end_time + 1.0)
+    assert len(full) == len(trace)

@@ -1,0 +1,186 @@
+"""SweepResult artifact: tables, pivots, best-cell, schema round-trips."""
+
+import json
+
+import pytest
+
+from repro.sweep import (
+    SWEEP_SCHEMA_ID,
+    CellOutcome,
+    SweepError,
+    SweepResult,
+    validate_sweep_dict,
+)
+
+
+def _cell(index, experiment="detector-accuracy", trace="zipf:duration=2",
+          params=None, headline=None, status="ok", error=None):
+    result = None
+    if status == "ok":
+        result = {
+            "schema": "repro-hhh/experiment-result/v1",
+            "experiment": experiment,
+            "params": dict(params or {}),
+            "traces": [{
+                "spec": trace, "label": "t", "num_packets": 10,
+                "duration_s": 2.0, "total_bytes": 1000,
+            }],
+            "rows": [{"detector": "x", "recall": 1.0}],
+            "headline": dict(headline or {}),
+            "timings": {"run_s": 0.01},
+        }
+    return CellOutcome(
+        index=index, experiment=experiment, trace=trace,
+        params=dict(params or {}), status=status, wall_s=0.01,
+        error=error, result=result,
+    )
+
+
+def _result(cells):
+    return SweepResult(
+        grid="exp=detector-accuracy", mode="cartesian", backend="serial",
+        workers=1, cells=cells, timings={"total_s": 0.1, "cells_per_s": 10.0},
+    )
+
+
+class TestRows:
+    def test_columns_are_union_across_cells(self):
+        result = _result([
+            _cell(0, params={"phi": "0.01"}, headline={"recall": 1.0}),
+            _cell(1, experiment="trace-stats", params={},
+                  headline={"num_packets": 10}),
+        ])
+        rows = result.rows()
+        assert set(rows[0]) == set(rows[1])
+        assert rows[0]["phi"] == "0.01"
+        assert rows[1]["phi"] == ""  # padded, not dropped
+        assert rows[1]["num_packets"] == 10
+
+    def test_to_table_renders(self):
+        result = _result([_cell(0, headline={"recall": 1.0})])
+        table = result.to_table()
+        assert "experiment" in table and "recall" in table
+
+
+class TestPivot:
+    def _two_detector_result(self):
+        return _result([
+            _cell(0, params={"detector": "a"}, headline={"f1": 1.0}),
+            _cell(1, params={"detector": "a"}, headline={"f1": 0.5}),
+            _cell(2, params={"detector": "b"}, headline={"f1": 0.8}),
+        ])
+
+    def test_groups_and_averages(self):
+        rows = self._two_detector_result().pivot("detector")
+        by_det = {r["detector"]: r for r in rows}
+        assert by_det["a"]["cells"] == 2
+        assert by_det["a"]["f1"] == 0.75
+        assert by_det["b"]["f1"] == 0.8
+
+    def test_multi_column_group(self):
+        rows = self._two_detector_result().pivot(["experiment", "detector"])
+        assert all("experiment" in r and "detector" in r for r in rows)
+
+    def test_heterogeneous_groups_keep_all_metric_columns(self):
+        # The first group lacks the second group's metrics; the pivot must
+        # pad to the union so no group's metrics vanish from the table.
+        result = _result([
+            _cell(0, experiment="trace-stats", trace="zipf:duration=2",
+                  headline={"num_packets": 10}),
+            _cell(1, experiment="detector-accuracy",
+                  params={"detector": "a"}, headline={"f1": 0.9}),
+        ])
+        rows = result.pivot("experiment")
+        assert all(set(r) == set(rows[0]) for r in rows)
+        by_exp = {r["experiment"]: r for r in rows}
+        assert by_exp["detector-accuracy"]["f1"] == 0.9
+        assert by_exp["trace-stats"]["f1"] == ""
+        assert "f1" in result.to_table("experiment").splitlines()[0]
+
+    def test_unknown_column_suggests(self):
+        with pytest.raises(SweepError, match="did you mean 'detector'"):
+            self._two_detector_result().pivot("detectr")
+
+    def test_error_cells_excluded_from_groups(self):
+        # An error cell has no metrics; counting it would misstate how
+        # many cells back each average.
+        result = _result([
+            _cell(0, params={"detector": "a"}, headline={"f1": 1.0}),
+            _cell(1, params={"detector": "a"}, status="error", error="boom"),
+        ])
+        rows = result.pivot("detector")
+        assert rows == [{"detector": "a", "cells": 1, "f1": 1.0}]
+
+
+class TestBestCell:
+    def test_max_and_min(self):
+        result = _result([
+            _cell(0, params={"detector": "a"}, headline={"f1": 0.2}),
+            _cell(1, params={"detector": "b"}, headline={"f1": 0.9}),
+        ])
+        assert result.best_cell("f1").index == 1
+        assert result.best_cell("f1", mode="min").index == 0
+
+    def test_error_cells_excluded(self):
+        result = _result([
+            _cell(0, headline={"f1": 0.9}),
+            _cell(1, status="error", error="boom"),
+        ])
+        assert result.best_cell("f1").index == 0
+
+    def test_unknown_metric_suggests(self):
+        result = _result([_cell(0, headline={"recall": 1.0})])
+        with pytest.raises(SweepError, match="did you mean 'recall'"):
+            result.best_cell("recal")
+
+
+class TestSchema:
+    def test_to_dict_carries_schema_and_counts(self):
+        result = _result([
+            _cell(0), _cell(1, status="error", error="boom"),
+        ])
+        document = result.to_dict()
+        assert document["schema"] == SWEEP_SCHEMA_ID
+        assert document["num_cells"] == 2
+        assert document["num_errors"] == 1
+        validate_sweep_dict(document)
+
+    def test_json_round_trip_is_byte_identical(self):
+        result = _result([
+            _cell(0, params={"detector": "a", "phi": "0.01"},
+                  headline={"f1": 1.0, "recall": 0.5}),
+            _cell(1, status="error", error="boom"),
+        ])
+        text = result.to_json()
+        assert SweepResult.from_json(text).to_json() == text
+
+    def test_from_json_file_path(self, tmp_path):
+        result = _result([_cell(0)])
+        path = tmp_path / "sweep.json"
+        result.to_json(path)
+        loaded = SweepResult.from_json(path)
+        assert loaded.grid == result.grid
+        assert loaded.cells[0].experiment == "detector-accuracy"
+
+    @pytest.mark.parametrize("mutate", [
+        lambda d: d.update(schema="nope"),
+        lambda d: d.pop("grid"),
+        lambda d: d.update(cells=[]),
+        lambda d: d.update(cells="x"),
+        lambda d: d["cells"][0].pop("status"),
+        lambda d: d["cells"][0].pop("trace"),
+        lambda d: d["cells"][0].update(status="ok", result=None),
+        lambda d: d["cells"][0].update(status="error", error=None),
+    ])
+    def test_validation_rejects_malformed(self, mutate):
+        document = _result([_cell(0)]).to_dict()
+        document = json.loads(json.dumps(document))
+        mutate(document)
+        with pytest.raises(ValueError):
+            validate_sweep_dict(document)
+
+    def test_ok_cell_result_validates_as_experiment_result(self):
+        document = _result([_cell(0)]).to_dict()
+        document["cells"][0]["result"]["schema"] = "bogus"
+        with pytest.raises(ValueError, match="schema"):
+            validate_sweep_dict(document)

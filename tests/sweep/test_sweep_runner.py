@@ -1,0 +1,106 @@
+"""SweepRunner execution: backends, equivalence, and per-cell errors."""
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.sweep import SweepError, SweepRunner, run_sweep
+
+# >= 2 experiments x >= 2 scenarios x >= 2 detectors (the acceptance
+# shape); detector/phi apply to detector-accuracy, hidden-hhh rides the
+# same traces with its own tiny windows.
+GRID = (
+    "exp=detector-accuracy,hidden-hhh;"
+    "trace=zipf:duration=4,ddos-burst:duration=4;"
+    "detector=countmin-hh,spacesaving;phi=0.02,0.01;"
+    "window_sizes=2;thresholds=0.05"
+)
+
+
+@pytest.fixture(scope="module")
+def serial_result():
+    return run_sweep(GRID)
+
+
+class TestSerialBackend:
+    def test_expected_cell_count(self, serial_result):
+        # detector-accuracy: 2 traces x 2 detectors x 2 phis = 8;
+        # hidden-hhh: 2 traces (its axes are window_sizes/thresholds).
+        assert serial_result.num_cells == 10
+        assert serial_result.num_ok == 10
+        assert serial_result.num_errors == 0
+
+    def test_cells_match_individual_runs(self, serial_result):
+        """The acceptance core: every cell's rows byte-match the same
+        configuration run standalone through the spec-to-artifact path."""
+        for cell in serial_result.cells:
+            standalone = run_experiment(
+                cell.experiment,
+                trace_specs=[cell.trace],
+                overrides=dict(cell.params),
+            )
+            assert cell.rows == standalone.to_dict()["rows"], cell.label()
+            assert cell.headline == standalone.to_dict()["headline"]
+
+    def test_cell_provenance_carries_trace_spec(self, serial_result):
+        for cell in serial_result.cells:
+            assert cell.result["traces"][0]["spec"] == cell.trace
+
+    def test_timings_recorded(self, serial_result):
+        assert serial_result.timings["total_s"] > 0
+        assert serial_result.timings["cells_per_s"] > 0
+        assert all(cell.wall_s >= 0 for cell in serial_result.cells)
+
+
+class TestProcessBackend:
+    def test_process_rows_bit_identical_to_serial(self, serial_result):
+        with SweepRunner("process", workers=2) as runner:
+            parallel = runner.run(GRID)
+        assert parallel.backend == "process"
+        assert parallel.num_cells == serial_result.num_cells
+        for serial_cell, process_cell in zip(
+            serial_result.cells, parallel.cells
+        ):
+            assert process_cell.experiment == serial_cell.experiment
+            assert process_cell.trace == serial_cell.trace
+            assert process_cell.params == serial_cell.params
+            assert process_cell.rows == serial_cell.rows
+            assert process_cell.headline == serial_cell.headline
+
+
+class TestErrors:
+    def test_bad_cell_value_is_recorded_not_fatal(self):
+        # phi=2 fails detector-accuracy's check at bind time inside the
+        # cell; the sweep completes and records the error per cell.
+        result = run_sweep(
+            "exp=detector-accuracy;trace=zipf:duration=2;phi=2,0.02"
+        )
+        assert result.num_cells == 2
+        assert result.num_errors == 1
+        bad = [c for c in result.cells if c.status == "error"][0]
+        assert "phi" in bad.error
+        assert bad.result is None
+
+    def test_unknown_experiment_fails_before_running(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            run_sweep("exp=nope-not-real;trace=zipf:duration=2")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            SweepRunner("gpu")
+
+    def test_runner_repr(self):
+        assert "serial" in repr(SweepRunner())
+
+
+class TestMemoization:
+    def test_shared_trace_built_once_across_cells(self):
+        from repro.trace.spec import cache_info
+
+        run_sweep(
+            "exp=detector-accuracy;trace=zipf:duration=2;"
+            "detector=countmin-hh,spacesaving,misragries;phi=0.02"
+        )
+        info = cache_info()
+        # 3 cells, one spec: one miss, the rest hits.
+        assert info.misses == 1
+        assert info.hits >= 2

@@ -1,0 +1,147 @@
+"""SweepSpec grammar, round-tripping, and expansion semantics."""
+
+import pytest
+
+from repro.sweep import SweepAxis, SweepCell, SweepError, SweepSpec
+
+
+class TestParsing:
+    def test_single_axis(self):
+        spec = SweepSpec.parse("exp=hidden-hhh")
+        assert spec.axes == (SweepAxis("exp", ("hidden-hhh",)),)
+        assert spec.mode == "cartesian"
+
+    def test_multi_axis_multi_value(self):
+        spec = SweepSpec.parse("exp=a,b;phi=0.01,0.001")
+        assert spec.axis("exp").values == ("a", "b")
+        assert spec.axis("phi").values == ("0.01", "0.001")
+
+    def test_zip_prefix(self):
+        spec = SweepSpec.parse("zip:exp=a;phi=1,2")
+        assert spec.mode == "zip"
+
+    def test_whitespace_tolerated(self):
+        spec = SweepSpec.parse(" exp = a , b ; phi = 1 ")
+        assert spec.axis("exp").values == ("a", "b")
+
+    def test_trace_axis_keeps_params_with_commas(self):
+        spec = SweepSpec.parse(
+            "exp=a;trace=caida:day=0,duration=30,zipf:duration=30"
+        )
+        assert spec.axis("trace").values == (
+            "caida:day=0,duration=30", "zipf:duration=30",
+        )
+
+    def test_trace_axis_bare_scenarios_split(self):
+        spec = SweepSpec.parse("exp=a;trace=calm,zipf:skew=1.2,drift")
+        assert spec.axis("trace").values == ("calm", "zipf:skew=1.2", "drift")
+
+    def test_trace_axis_stream_specs(self):
+        spec = SweepSpec.parse(
+            "exp=a;trace=calm:duration=20+ddos-burst:duration=20,"
+            "repeat:zipf:duration=5"
+        )
+        assert spec.axis("trace").values == (
+            "calm:duration=20+ddos-burst:duration=20",
+            "repeat:zipf:duration=5",
+        )
+
+    @pytest.mark.parametrize("text", [
+        "", "exp=", "=a", "exp=a;;phi=1", "exp=a;phi", "exp=a;phi=1,,2",
+    ])
+    def test_malformed_rejected(self, text):
+        with pytest.raises(SweepError):
+            SweepSpec.parse(text)
+
+    def test_missing_exp_axis_rejected(self):
+        with pytest.raises(SweepError, match="'exp' axis"):
+            SweepSpec.parse("trace=calm;phi=1")
+
+    def test_duplicate_axis_rejected(self):
+        with pytest.raises(SweepError, match="duplicate sweep axis"):
+            SweepSpec.parse("exp=a;phi=1;phi=2")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("text", [
+        "exp=hidden-hhh",
+        "exp=a,b;trace=zipf:duration=30,ddos-burst:duration=30;phi=0.01,0.001",
+        "zip:exp=a;detector=x,y;phi=1,2",
+        "exp=a;trace=caida:day=0,duration=30",
+    ])
+    def test_parse_format_round_trips(self, text):
+        spec = SweepSpec.parse(text)
+        assert spec.format() == text
+        assert SweepSpec.parse(spec.format()) == spec
+
+    def test_str_is_format(self):
+        assert str(SweepSpec.parse("exp=a;phi=1")) == "exp=a;phi=1"
+
+
+class TestExpansion:
+    def test_cartesian_product_order(self):
+        cells = SweepSpec.parse(
+            "exp=detector-accuracy;trace=zipf:duration=2,calm:duration=2;"
+            "detector=countmin-hh,spacesaving;phi=0.01,0.02"
+        ).expand()
+        assert len(cells) == 8
+        assert [c.index for c in cells] == list(range(8))
+        # trace is the outer loop, then declared param-axis order.
+        assert cells[0].trace == "zipf:duration=2"
+        assert cells[0].params == {"detector": "countmin-hh", "phi": "0.01"}
+        assert cells[1].params == {"detector": "countmin-hh", "phi": "0.02"}
+        assert cells[4].trace == "calm:duration=2"
+
+    def test_param_axes_apply_where_declared(self):
+        # trace-stats declares neither detector nor phi: the axes collapse
+        # and its cells dedupe to one per trace.
+        cells = SweepSpec.parse(
+            "exp=detector-accuracy,trace-stats;trace=zipf:duration=2;"
+            "detector=countmin-hh,spacesaving;phi=0.01"
+        ).expand()
+        kinds = [(c.experiment, tuple(sorted(c.params))) for c in cells]
+        assert kinds.count(("trace-stats", ())) == 1
+        assert len([k for k in kinds if k[0] == "detector-accuracy"]) == 2
+
+    def test_no_trace_axis_uses_default(self):
+        cells = SweepSpec.parse("exp=detector-accuracy;phi=0.01,0.02").expand()
+        assert len(cells) == 2
+        assert all(c.trace is None for c in cells)
+
+    def test_zip_lockstep(self):
+        cells = SweepSpec.parse(
+            "zip:exp=detector-accuracy;detector=countmin-hh,spacesaving;"
+            "phi=0.01,0.02"
+        ).expand()
+        assert len(cells) == 2
+        assert cells[0].params == {"detector": "countmin-hh", "phi": "0.01"}
+        assert cells[1].params == {"detector": "spacesaving", "phi": "0.02"}
+
+    def test_zip_unequal_lengths_rejected(self):
+        with pytest.raises(SweepError, match="equal-length"):
+            SweepSpec.parse(
+                "zip:exp=detector-accuracy;"
+                "detector=countmin-hh,spacesaving,misragries;phi=0.01,0.02"
+            ).expand()
+
+    def test_unknown_experiment_suggests_closest(self):
+        with pytest.raises(ValueError, match="did you mean 'hidden-hhh'"):
+            SweepSpec.parse("exp=hiden-hhh").expand()
+
+    def test_unknown_axis_suggests_closest(self):
+        with pytest.raises(SweepError, match="did you mean 'detector'"):
+            SweepSpec.parse("exp=detector-accuracy;detectr=countmin-hh").expand()
+
+    def test_unknown_detector_suggests_closest(self):
+        with pytest.raises(SweepError, match="did you mean 'countmin-hh'"):
+            SweepSpec.parse(
+                "exp=detector-accuracy;detector=countmin-hhh"
+            ).expand()
+
+    def test_sweep_over_sweep_rejected(self):
+        with pytest.raises(SweepError, match="meta-experiment"):
+            SweepSpec.parse("exp=sweep").expand()
+
+    def test_cell_label(self):
+        cell = SweepCell(0, "a", "zipf:duration=2", {"phi": "0.01"})
+        assert cell.label() == "exp=a;trace=zipf:duration=2;phi=0.01"

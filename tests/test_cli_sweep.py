@@ -1,0 +1,223 @@
+"""CLI sweep subcommand: happy path, failure paths, artifact round-trip."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.sweep import SweepResult, validate_sweep_dict
+
+GRID = (
+    "exp=detector-accuracy,trace-stats;"
+    "trace=zipf:duration=3,calm:duration=3;"
+    "detector=countmin-hh,spacesaving;phi=0.02"
+)
+
+
+class TestSweepCommand:
+    def test_serial_happy_path(self, capsys):
+        assert main(["sweep", "--grid", GRID]) == 0
+        out = capsys.readouterr().out
+        assert "6 cells" in out
+        assert "serial backend" in out
+        assert "countmin-hh" in out and "trace-stats" in out
+        assert "6 ok, 0 failed" in out
+
+    def test_workers_imply_process_backend(self, capsys):
+        assert main([
+            "sweep", "--grid",
+            "exp=detector-accuracy;trace=zipf:duration=3;"
+            "detector=countmin-hh,spacesaving;phi=0.02",
+            "--workers", "2",
+        ]) == 0
+        assert "process backend, 2 workers" in capsys.readouterr().out
+
+    def test_serial_backend_with_workers_rejected(self, capsys):
+        assert main([
+            "sweep", "--grid", "exp=detector-accuracy",
+            "--backend", "serial", "--workers", "4",
+        ]) == 2
+        assert "process backend" in capsys.readouterr().err
+
+    def test_backend_process_without_workers_uses_cpu_count(self, capsys):
+        import os
+
+        assert main([
+            "sweep", "--grid",
+            "exp=detector-accuracy;trace=zipf:duration=2;"
+            "detector=countmin-hh;phi=0.02",
+            "--backend", "process",
+        ]) == 0
+        expected = os.cpu_count() or 1
+        assert f"process backend, {expected} worker" in capsys.readouterr().out
+
+    def test_group_by_pivot(self, capsys):
+        assert main([
+            "sweep", "--grid", GRID, "--group-by", "experiment,detector",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "cells" in out  # the pivot's count column
+
+    def test_best_metric(self, capsys):
+        assert main(["sweep", "--grid", GRID, "--best", "recall"]) == 0
+        assert "best cell by recall" in capsys.readouterr().out
+
+    def test_failed_cells_exit_nonzero(self, capsys):
+        assert main([
+            "sweep", "--grid",
+            "exp=detector-accuracy;trace=zipf:duration=2;phi=2",
+        ]) == 1
+        captured = capsys.readouterr()
+        assert "1 failed" in captured.out
+        assert "failed:" in captured.err
+
+    def test_best_on_all_failed_cells_keeps_diagnostics_and_exit_1(
+        self, capsys
+    ):
+        # --best must not mask runtime cell failures: the table, the
+        # summary, and the per-cell errors still print, and the exit code
+        # stays 1 (cells failed), not 2 (bad names).
+        assert main([
+            "sweep", "--grid",
+            "exp=detector-accuracy;trace=zpif:duration=2",
+            "--best", "f1",
+        ]) == 1
+        captured = capsys.readouterr()
+        assert "1 failed" in captured.out
+        assert "did you mean 'zipf'" in captured.err
+
+    def test_best_unknown_metric_on_ok_sweep_exits_2(self, capsys):
+        assert main([
+            "sweep", "--grid",
+            "exp=detector-accuracy;trace=zipf:duration=2;phi=0.02",
+            "--best", "recal",
+        ]) == 2
+        captured = capsys.readouterr()
+        assert "did you mean 'recall'" in captured.err
+        assert "1 ok" in captured.out  # table + summary still printed
+
+
+class TestSweepFailurePaths:
+    """Unknown names exit 2 with a closest-match suggestion."""
+
+    def test_unknown_experiment_suggests(self, capsys):
+        assert main(["sweep", "--grid", "exp=hiden-hhh"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+        assert "did you mean 'hidden-hhh'" in err
+
+    def test_unknown_axis_suggests(self, capsys):
+        assert main([
+            "sweep", "--grid", "exp=detector-accuracy;detectr=countmin-hh",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "unknown sweep axis" in err
+        assert "did you mean 'detector'" in err
+
+    def test_unknown_detector_suggests(self, capsys):
+        assert main([
+            "sweep", "--grid", "exp=detector-accuracy;detector=countmin-hhh",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "unknown detector" in err
+        assert "did you mean 'countmin-hh'" in err
+
+    def test_malformed_grid_clean_error(self, capsys):
+        assert main(["sweep", "--grid", "exp=a;;b"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_scenario_in_trace_axis(self, capsys):
+        assert main([
+            "sweep", "--grid", "exp=trace-stats;trace=zpif:duration=2",
+        ]) == 1  # recorded per cell, surfaced on stderr
+        assert "did you mean 'zipf'" in capsys.readouterr().err
+
+    def test_unknown_group_by_suggests(self, capsys):
+        assert main([
+            "sweep", "--grid",
+            "exp=detector-accuracy;trace=zipf:duration=2;"
+            "detector=countmin-hh;phi=0.02",
+            "--group-by", "detectr",
+        ]) == 2
+        assert "did you mean 'detector'" in capsys.readouterr().err
+
+    def test_group_by_typo_does_not_discard_the_run(self, tmp_path, capsys):
+        # The sweep completed; a --group-by typo must still print the flat
+        # table and write the artifact (exit 2 flags the typo).
+        out_file = tmp_path / "sweep.json"
+        assert main([
+            "sweep", "--grid",
+            "exp=detector-accuracy;trace=zipf:duration=2;"
+            "detector=countmin-hh;phi=0.02",
+            "--group-by", "detectr", "--json", str(out_file),
+        ]) == 2
+        captured = capsys.readouterr()
+        assert "1 ok" in captured.out  # flat table + summary still shown
+        assert out_file.exists()
+        validate_sweep_dict(json.loads(out_file.read_text()))
+
+    def test_run_unknown_detector_also_suggests(self, capsys):
+        # The suggestion lives in the core registry, so plain `run` paths
+        # (and stream) inherit it too.
+        assert main([
+            "run", "detector-accuracy", "--trace", "zipf:duration=2",
+            "--set", "detector=countmin-hhh",
+        ]) == 2
+        assert "did you mean 'countmin-hh'" in capsys.readouterr().err
+
+
+class TestSweepArtifact:
+    def test_json_round_trips_byte_identically(self, tmp_path, capsys):
+        out_file = tmp_path / "sweep.json"
+        assert main([
+            "sweep", "--grid", GRID, "--json", str(out_file),
+        ]) == 0
+        assert "wrote" in capsys.readouterr().out
+        text = out_file.read_text()
+        document = json.loads(text)
+        validate_sweep_dict(document)
+        assert document["grid"] == GRID
+        # from_json -> to_json reproduces the file byte for byte
+        # (to_json(path) appends one trailing newline).
+        assert SweepResult.from_json(Path(out_file)).to_json() + "\n" == text
+
+    def test_cell_rows_byte_match_standalone_run_json(self, tmp_path):
+        sweep_file = tmp_path / "sweep.json"
+        assert main(["sweep", "--grid", GRID, "--json", str(sweep_file)]) == 0
+        document = json.loads(sweep_file.read_text())
+        for cell in document["cells"]:
+            run_file = tmp_path / f"cell{cell['index']}.json"
+            argv = [
+                "run", cell["experiment"], "--trace", cell["trace"],
+                "--json", str(run_file),
+            ]
+            for key, value in cell["params"].items():
+                argv += ["--set", f"{key}={value}"]
+            assert main(argv) == 0
+            standalone = json.loads(run_file.read_text())
+            assert cell["result"]["rows"] == standalone["rows"]
+            # trace-stats surfaces the process-global cache counters in its
+            # headline; those legitimately depend on what ran before, so
+            # they are excluded from the equality check.
+            drop = ("trace_cache_hits", "trace_cache_misses")
+            assert {
+                k: v for k, v in cell["result"]["headline"].items()
+                if k not in drop
+            } == {
+                k: v for k, v in standalone["headline"].items()
+                if k not in drop
+            }
+            assert cell["result"]["traces"] == standalone["traces"]
+
+    def test_meta_experiment_smoke_emits_valid_result(self, tmp_path):
+        out_file = tmp_path / "meta.json"
+        assert main([
+            "run", "sweep", "--smoke", "--json", str(out_file),
+        ]) == 0
+        from repro.experiments import validate_result_dict
+
+        document = json.loads(out_file.read_text())
+        validate_result_dict(document)
+        assert document["experiment"] == "sweep"
+        assert document["headline"]["num_errors"] == 0

@@ -5,12 +5,8 @@ import pytest
 from repro.trace import TraceSpec, TraceSpecError, clear_trace_cache
 from repro.trace.spec import cache_info, trace_cache_keys
 
-
-@pytest.fixture(autouse=True)
-def fresh_cache():
-    clear_trace_cache()
-    yield
-    clear_trace_cache()
+# Cache isolation comes from the top-level conftest's autouse
+# ``_fresh_trace_cache`` fixture; no ad-hoc clears here.
 
 
 class TestTraceCache:
