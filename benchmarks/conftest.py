@@ -48,3 +48,10 @@ def sec3_trace():
 def throughput_trace():
     """A small trace for update-throughput measurements."""
     return presets.caida_like_day(0, duration=20.0)
+
+
+@pytest.fixture(scope="session")
+def batch_trace():
+    """A larger trace (~114k packets) for the batch-admission gates, big
+    enough that per-chunk constant costs are amortized away."""
+    return presets.caida_like_day(0, duration=120.0)

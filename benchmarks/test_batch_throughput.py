@@ -1,11 +1,17 @@
 """Batch vs scalar update throughput (the ISSUE's acceptance gate).
 
-Streams the same 20k-packet throughput trace through each detector twice —
-once per packet through scalar ``update``, once as one columnar
-``update_batch`` call — and records packets/second for both.  The
-vectorized structures named by the acceptance criteria (Count-Min and the
-on-demand TDBF) must clear a >= 5x speedup; in practice the margin is well
-over an order of magnitude, so the assertion is timing-noise safe.
+Two detector families, two gates:
+
+- array-backed sketches (Count-Min, TDBF, ...) stream the 20k-packet
+  throughput trace and must clear >= 5x batch-over-scalar;
+- the pointer-based family (Space-Saving and friends) streams a ~114k
+  packet trace through the flat-table batch-admission path and must clear
+  >= 10x at production sizing (tables provisioned above the trace's
+  distinct-key count, so admission stays eviction-free).
+
+Each detector is timed twice — once per packet through scalar ``update``,
+once as a single columnar ``update_batch`` call — and both tables land in
+``benchmarks/results/batch_throughput.txt``.
 """
 
 from __future__ import annotations
@@ -15,30 +21,58 @@ from benchmarks.conftest import write_result
 from repro.analysis.render import format_table
 from repro.analysis.throughput import speedup_row, trace_columns
 
-#: (registry name, factory kwargs, required speedup or None).
-CASES = [
+#: (registry name, factory kwargs, required speedup).
+SKETCH_CASES = [
     ("countmin", {}, 5.0),
     ("ondemand-tdbf", {"cells": 4096}, 5.0),
     ("countsketch", {}, 5.0),
     ("counting-bloom", {}, 5.0),
     ("decayed-countmin", {}, 5.0),
-    ("spacesaving", {}, None),  # scalar replay: parity, not speedup
+]
+
+#: Pointer-based detectors at production sizing (>= 10x gate).  The trace
+#: holds ~3.5k distinct keys, so 8k-counter tables keep the batch path on
+#: its vectorized eviction-free fast path — the deployment regime the
+#: amortized admission design targets.
+POINTER_CASES = [
+    ("spacesaving", {"capacity": 8192}, 10.0),
+    ("misragries", {"capacity": 8192}, 10.0),
+    ("hashpipe", {"stage_slots": 65536}, 10.0),
+    ("rhhh", {"counters_per_level": 8192}, 10.0),
+    ("univmon", {"levels": 8, "width": 8192, "rows": 3, "top_k": 8192}, 10.0),
+    ("decayed-spacesaving", {"capacity": 8192}, 10.0),
+    ("sliding-spacesaving",
+     {"window": 60.0, "capacity_per_bucket": 8192}, 10.0),
+    ("td-hhh", {"counters_per_level": 8192}, 10.0),
 ]
 
 
-def test_batch_vs_scalar_throughput(throughput_trace):
-    columns = trace_columns(throughput_trace)
+def _run_cases(cases, columns):
     rows = []
     failures = []
-    for name, kwargs, required in CASES:
+    for name, kwargs, required in cases:
         row = speedup_row(name, columns, **kwargs)
-        row["required"] = required if required is not None else "-"
+        row["required"] = required
         rows.append(row)
-        if required is not None and row["speedup"] < required:
+        if row["speedup"] < required:
             failures.append(f"{name}: {row['speedup']}x < {required}x")
+    return rows, failures
+
+
+def test_batch_vs_scalar_throughput(throughput_trace, batch_trace):
+    sketch_rows, failures = _run_cases(
+        SKETCH_CASES, trace_columns(throughput_trace)
+    )
+    pointer_rows, pointer_failures = _run_cases(
+        POINTER_CASES, trace_columns(batch_trace, limit=200_000)
+    )
+    failures += pointer_failures
     write_result(
         "batch_throughput.txt",
-        "Batch vs scalar update throughput (20k-packet trace)\n"
-        + format_table(rows),
+        "Batch vs scalar update throughput\n\n"
+        "Array-backed sketches (20k-packet trace)\n"
+        + format_table(sketch_rows)
+        + "\n\nPointer-based detectors (114k-packet trace, batch admission)\n"
+        + format_table(pointer_rows),
     )
     assert not failures, "; ".join(failures)

@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Gate CI on the performance trajectory of archived smoke artifacts.
+
+The experiment-smoke job archives one ``BENCH_<experiment>.json`` per
+registered experiment.  This script compares the throughput metrics named
+in ``benchmarks/perf_floors.json`` against their committed floors and
+exits non-zero when any observed value regresses more than the configured
+tolerance below its floor (default: 20%).
+
+Floor entries address a metric either on the artifact's ``headline``
+(dotted path) or on a single ``rows`` entry selected by a key/value match::
+
+    {"artifact": "batch-throughput", "metric": "headline.max_batch_pps",
+     "floor": 3000000}
+    {"artifact": "batch-throughput", "row": {"detector": "countmin"},
+     "metric": "speedup", "floor": 20.0}
+
+A missing artifact, row, or metric is itself a failure — renaming an
+experiment or a metric must be accompanied by a floors update, otherwise
+the trajectory silently loses coverage.
+
+Usage::
+
+    python scripts/check_perf_trajectory.py --artifacts artifacts \
+        --floors benchmarks/perf_floors.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def _resolve(document: dict, entry: dict) -> float:
+    """The observed value a floor entry points at (raises KeyError)."""
+    target: object = document
+    if "row" in entry:
+        ((key, want),) = entry["row"].items()
+        matches = [
+            row for row in document.get("rows", []) if row.get(key) == want
+        ]
+        if not matches:
+            raise KeyError(f"no row with {key}={want!r}")
+        target = matches[0]
+    for part in entry["metric"].split("."):
+        if not isinstance(target, dict) or part not in target:
+            raise KeyError(f"metric {entry['metric']!r} not found")
+        target = target[part]
+    if not isinstance(target, (int, float)) or isinstance(target, bool):
+        raise KeyError(f"metric {entry['metric']!r} is not numeric")
+    return float(target)
+
+
+def _describe(entry: dict) -> str:
+    where = entry["artifact"]
+    if "row" in entry:
+        ((key, want),) = entry["row"].items()
+        where += f"[{key}={want}]"
+    return f"{where}.{entry['metric']}"
+
+
+def check(artifacts_dir: pathlib.Path, floors_path: pathlib.Path) -> int:
+    config = json.loads(floors_path.read_text())
+    tolerance = float(config.get("tolerance", 0.2))
+    failures = []
+    for entry in config["floors"]:
+        name = _describe(entry)
+        floor = float(entry["floor"])
+        cutoff = floor * (1.0 - tolerance)
+        path = artifacts_dir / f"BENCH_{entry['artifact']}.json"
+        try:
+            document = json.loads(path.read_text())
+            value = _resolve(document, entry)
+        except FileNotFoundError:
+            failures.append(f"{name}: artifact {path.name} missing")
+            print(f"FAIL {name}: artifact {path.name} missing")
+            continue
+        except KeyError as exc:
+            failures.append(f"{name}: {exc.args[0]}")
+            print(f"FAIL {name}: {exc.args[0]}")
+            continue
+        if value < cutoff:
+            failures.append(
+                f"{name}: {value:g} < {cutoff:g} "
+                f"(floor {floor:g} - {tolerance:.0%})"
+            )
+            status = "FAIL"
+        else:
+            status = "ok"
+        print(
+            f"{status:4s} {name}: observed {value:g}, "
+            f"floor {floor:g}, cutoff {cutoff:g}"
+        )
+    if failures:
+        print(f"\n{len(failures)} perf-trajectory regression(s):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nperf trajectory ok")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--artifacts", type=pathlib.Path, default=pathlib.Path("artifacts"),
+        help="directory holding BENCH_<experiment>.json files",
+    )
+    parser.add_argument(
+        "--floors", type=pathlib.Path,
+        default=pathlib.Path("benchmarks/perf_floors.json"),
+        help="committed floors file",
+    )
+    args = parser.parse_args(argv)
+    return check(args.artifacts, args.floors)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

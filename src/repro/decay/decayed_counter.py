@@ -8,6 +8,8 @@ tested and benchmarked against.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.detector import Detector
 from repro.core.registry import AccuracyFloor, register_detector
 from repro.decay.laws import DecayLaw, ExponentialDecay, same_law
@@ -34,6 +36,42 @@ class DecayedCounter:
         else:
             # Late (reordered) observation: decay the contribution instead.
             self.value += self.law.decay(weight, self.stamp - ts)
+
+    def add_batch(self, weights: np.ndarray, ts: np.ndarray) -> None:
+        """Vectorized :meth:`add` over aligned weight/timestamp columns.
+
+        For value-linear laws (the ``decay_factor`` hook) and time-sorted
+        chunks, every contribution decays by its own factor into the
+        chunk-final frame and one sum applies the lot; late packets (before
+        the current stamp — a sorted prefix) decay into the standing frame
+        like the scalar late-packet branch.  Other laws or reordered
+        chunks replay scalar adds.
+        """
+        weights = np.asarray(weights, dtype=np.float64)
+        ts = np.asarray(ts, dtype=np.float64)
+        n = weights.shape[0]
+        if n == 0:
+            return
+        if np.any(weights < 0):
+            raise ValueError("negative weight in batch")
+        factor = getattr(self.law, "decay_factor", None)
+        if factor is None or n < 8 or np.any(np.diff(ts) < 0):
+            for weight, t in zip(weights.tolist(), ts.tolist()):
+                self.add(weight, t)
+            return
+        late = ts < self.stamp
+        if late.any():
+            self.value += float(
+                np.sum(weights[late] * factor(self.stamp - ts[late]))
+            )
+        fresh = ~late
+        if fresh.any():
+            frame = float(ts[-1])
+            self.value = float(
+                self.value * factor(frame - self.stamp)
+                + np.sum(weights[fresh] * factor(frame - ts[fresh]))
+            )
+            self.stamp = frame
 
     def read(self, now: float) -> float:
         """Decayed value at time ``now`` (does not rewrite state)."""

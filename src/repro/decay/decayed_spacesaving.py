@@ -8,34 +8,48 @@ value and the newcomer inherits that value as its (decayed) error, exactly
 mirroring classic Space-Saving's overestimate semantics but in continuous
 time.
 
-Because values only shrink between touches, the eviction scan decays every
-candidate to the common ``ts`` before comparing; with the default capacities
-used in the experiments (hundreds) the linear scan is not the bottleneck.
+Counters live in a :class:`repro.core.flat_table.FlatTable` with float64
+``values``/``stamps``/``errors`` columns, so the eviction scan and the
+enumeration path are vectorized.  For value-linear laws (exponential — the
+``decay_factor`` hook) the batch path is vectorized too: each chunk is
+grouped per key, every contribution decays by its own factor into the
+key's last-touch frame, and one scatter-add lands the whole group.
+Non-linear laws (linear's zero floor, sliding expiry's step), unsorted
+timestamps, and chunks older than the table's newest stamp replay the
+exact scalar path instead.
 """
 
 from __future__ import annotations
 
-from repro.core.detector import Detector
+import numpy as np
+
+from repro.core.detector import (
+    Detector,
+    as_batch,
+    as_uint64_keys,
+    ensure_nonnegative_weights,
+)
+from repro.core.flat_table import FlatTable, plan_batch
 from repro.core.registry import AccuracyFloor, register_detector
-from repro.decay.decayed_counter import DecayedCounter
 from repro.decay.laws import DecayLaw, ExponentialDecay
 
 
-class DecayedSpaceSaving(Detector):
-    """Fixed-capacity enumerable summary of decayed byte volumes.
+_MASK64 = (1 << 64) - 1
+_SCALAR_CUTOFF = 16
 
-    Pointer-based (dict of decayed counters with eviction), so the batch
-    path is the exact scalar replay inherited from
-    :class:`repro.core.Detector`.
-    """
+
+class DecayedSpaceSaving(Detector):
+    """Fixed-capacity enumerable summary of decayed byte volumes."""
 
     def __init__(self, capacity: int, law: DecayLaw) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self.law = law
-        self._counters: dict[int, DecayedCounter] = {}
-        self._errors: dict[int, float] = {}
+        self._table = FlatTable(
+            capacity,
+            {"values": np.float64, "stamps": np.float64, "errors": np.float64},
+        )
 
     def update(self, key: int, weight: float = 1,
                ts: float | None = None) -> None:
@@ -43,51 +57,182 @@ class DecayedSpaceSaving(Detector):
         if ts is None:
             raise TypeError("DecayedSpaceSaving.update() requires the packet "
                             "timestamp 'ts'")
-        counter = self._counters.get(key)
-        if counter is not None:
-            counter.add(weight, ts)
+        if weight < 0:
+            raise ValueError(f"negative weight {weight}")
+        key = int(key) & _MASK64
+        table = self._table
+        values = table.cols["values"]
+        stamps = table.cols["stamps"]
+        slot = table.slot_of.get(key, -1)
+        if slot >= 0:
+            stamp = stamps[slot]
+            if ts >= stamp:
+                values[slot] = self.law.decay(values[slot], ts - stamp) + weight
+                stamps[slot] = ts
+            else:
+                # Late (reordered) observation: decay the contribution.
+                values[slot] += self.law.decay(weight, stamp - ts)
             return
-        if len(self._counters) < self.capacity:
-            fresh = DecayedCounter(self.law, stamp=ts)
-            fresh.add(weight, ts)
-            self._counters[key] = fresh
-            self._errors[key] = 0.0
+        if len(table) < self.capacity:
+            slot = table.insert(key)
+            values[slot] = weight
+            stamps[slot] = ts
             return
-        victim, victim_value = self._min_key(ts)
-        del self._counters[victim]
-        del self._errors[victim]
-        fresh = DecayedCounter(self.law, value=victim_value, stamp=ts)
-        fresh.add(weight, ts)
-        self._counters[key] = fresh
-        self._errors[key] = victim_value
+        victim_slot, victim_value = self._min_slot(ts)
+        table.remove(int(table.key_col[victim_slot]))
+        slot = table.insert(key)
+        values[slot] = victim_value + weight
+        stamps[slot] = ts
+        table.cols["errors"][slot] = victim_value
 
-    def _min_key(self, now: float) -> tuple[int, float]:
-        """The key with the smallest decayed value at ``now``."""
-        best_key, best_value = -1, float("inf")
-        for key, counter in self._counters.items():
-            value = counter.read(now)
-            if value < best_value:
-                best_key, best_value = key, value
-        return best_key, best_value
+    def update_batch(self, keys, weights=None, ts=None) -> None:
+        """Vectorized chunk update for value-linear laws.
+
+        Hits and fresh inserts in the admission-free prefix are grouped per
+        key: each contribution decays by its own factor into the key's
+        last-touch frame within the chunk, then one scatter-add applies the
+        group.  The eviction tail (and every non-linear-law or reordered
+        chunk) replays the exact scalar path.
+        """
+        keys, weights, ts = as_batch(keys, weights, ts)
+        if ts is None:
+            raise TypeError("DecayedSpaceSaving.update_batch() requires the "
+                            "packet timestamp column 'ts'")
+        n = keys.shape[0]
+        if n == 0:
+            return
+        factor = getattr(self.law, "decay_factor", None)
+        if factor is None or n < _SCALAR_CUTOFF or np.any(np.diff(ts) < 0):
+            super().update_batch(keys, weights, ts)
+            return
+        ku = as_uint64_keys(keys)
+        w = ensure_nonnegative_weights(weights).astype(np.float64)
+        table = self._table
+        values = table.cols["values"]
+        stamps = table.cols["stamps"]
+        if len(table) and ts[0] < stamps[table.live_mask].max():
+            # Chunk starts behind a live counter: late-packet semantics are
+            # per-counter; keep the exact scalar path.
+            super().update_batch(ku, w, ts)
+            return
+        # Eviction-free fast path: every key resolves to a slot (new keys
+        # claim free ones), then one slot-grouped decay-and-add pass lands
+        # the whole chunk.  Each slot's frame is its last packet's ts
+        # (sorted ts: the trailing fancy-assignment write is the newest).
+        resolved = table.upsert_batch(ku, self.capacity - len(table))
+        if resolved is not None:
+            slots, _ = resolved
+            last_ts = np.zeros(table.size, dtype=np.float64)
+            last_ts[slots] = ts
+            contrib = np.bincount(
+                slots, weights=w * factor(last_ts[slots] - ts),
+                minlength=table.size,
+            )
+            touched = np.zeros(table.size, dtype=bool)
+            touched[slots] = True
+            us = np.flatnonzero(touched)
+            values[us] = (
+                values[us] * factor(last_ts[us] - stamps[us]) + contrib[us]
+            )
+            stamps[us] = last_ts[us]
+            return
+        slots, split = plan_batch(table, ku)
+        if split:
+            prefix_slots = slots[:split]
+            prefix_w = w[:split]
+            prefix_ts = ts[:split]
+            hits = prefix_slots >= 0
+            if hits.any():
+                order = np.argsort(prefix_slots[hits], kind="stable")
+                gslot = prefix_slots[hits][order]
+                gw = prefix_w[hits][order]
+                gt = prefix_ts[hits][order]
+                starts = np.r_[True, gslot[1:] != gslot[:-1]]
+                gid = np.cumsum(starts) - 1
+                ends = np.r_[starts[1:], True]
+                uslots = gslot[ends]
+                frame = gt[ends]  # per-key last-touch ts within the chunk
+                contrib = np.bincount(gid, weights=gw * factor(frame[gid] - gt))
+                values[uslots] = (
+                    values[uslots] * factor(frame - stamps[uslots]) + contrib
+                )
+                stamps[uslots] = frame
+            if not hits.all():
+                miss = ~hits
+                order = np.argsort(ku[:split][miss], kind="stable")
+                gkey = ku[:split][miss][order]
+                gw = prefix_w[miss][order]
+                gt = prefix_ts[miss][order]
+                starts = np.r_[True, gkey[1:] != gkey[:-1]]
+                gid = np.cumsum(starts) - 1
+                ends = np.r_[starts[1:], True]
+                fresh_values = np.bincount(
+                    gid, weights=gw * factor(gt[ends][gid] - gt)
+                )
+                for key, value, stamp in zip(
+                    gkey[ends].tolist(), fresh_values.tolist(), gt[ends].tolist()
+                ):
+                    slot = table.insert(key)
+                    values[slot] = value
+                    stamps[slot] = stamp
+        if split < n:
+            update = self.update
+            for key, weight, t in zip(
+                ku[split:].tolist(), w[split:].tolist(), ts[split:].tolist()
+            ):
+                update(key, weight, t)
+
+    def _decayed_values(self, now: float) -> np.ndarray:
+        """Every slot's decayed value at ``now`` (garbage in dead slots)."""
+        table = self._table
+        values = table.cols["values"]
+        ages = now - table.cols["stamps"]
+        return np.where(
+            ages <= 0, values, self.law.decay_array(values, np.maximum(ages, 0.0))
+        )
+
+    def _min_slot(self, now: float) -> tuple[int, float]:
+        """Slot holding the smallest decayed value at ``now`` (ties by key)."""
+        table = self._table
+        decayed = np.where(table.live_mask, self._decayed_values(now), np.inf)
+        best = decayed.min()
+        tied = np.flatnonzero(decayed == best)
+        if tied.size == 1:
+            return int(tied[0]), float(best)
+        return int(tied[np.argmin(table.key_col[tied])]), float(best)
+
+    def _read(self, slot: int, now: float) -> float:
+        """One counter's decayed value at ``now``."""
+        table = self._table
+        stamp = table.cols["stamps"][slot]
+        value = table.cols["values"][slot]
+        if now <= stamp:
+            return float(value)
+        return float(self.law.decay(value, now - stamp))
 
     def estimate(self, key: int, now: float) -> float:
         """Decayed overestimate of ``key``'s volume at ``now``."""
-        counter = self._counters.get(key)
-        if counter is not None:
-            return counter.read(now)
-        if len(self._counters) >= self.capacity:
-            return self._min_key(now)[1]
+        key = int(key) & _MASK64
+        table = self._table
+        slot = table.slot_of.get(key, -1)
+        if slot >= 0:
+            return self._read(slot, now)
+        if len(table) >= self.capacity:
+            return self._min_slot(now)[1]
         return 0.0
 
     def guaranteed(self, key: int, now: float) -> float:
         """Lower bound: estimate minus inherited (decayed) error."""
-        counter = self._counters.get(key)
-        if counter is None:
+        key = int(key) & _MASK64
+        table = self._table
+        slot = table.slot_of.get(key, -1)
+        if slot < 0:
             return 0.0
         error = self.law.decay(
-            self._errors[key], max(0.0, now - counter.stamp)
+            float(table.cols["errors"][slot]),
+            max(0.0, now - float(table.cols["stamps"][slot])),
         )
-        return counter.read(now) - error
+        return self._read(slot, now) - error
 
     def query(self, threshold: float,
               now: float | None = None) -> dict[int, float]:
@@ -96,24 +241,27 @@ class DecayedSpaceSaving(Detector):
         if now is None:
             raise TypeError("DecayedSpaceSaving.query() requires the query "
                             "time 'now'")
-        out: dict[int, float] = {}
-        for key, counter in self._counters.items():
-            value = counter.read(now)
-            if value >= threshold:
-                out[key] = value
-        return out
+        report = self.items(now)
+        return {key: value for key, value in report.items()
+                if value >= threshold}
 
     def items(self, now: float) -> dict[int, float]:
         """All tracked keys with their decayed values at ``now``."""
-        return {k: c.read(now) for k, c in self._counters.items()}
+        table = self._table
+        if not len(table):
+            return {}
+        slots = np.fromiter(
+            table.slot_of.values(), dtype=np.int64, count=len(table)
+        )
+        decayed = self._decayed_values(now)[slots]
+        return dict(zip(table.slot_of.keys(), decayed.tolist()))
 
     def reset(self) -> None:
         """Drop all counters."""
-        self._counters.clear()
-        self._errors.clear()
+        self._table.clear()
 
     def __len__(self) -> int:
-        return len(self._counters)
+        return len(self._table)
 
     @property
     def num_counters(self) -> int:
@@ -130,6 +278,6 @@ def _decayed_ss_factory(
 
 register_detector(
     "decayed-spacesaving", _decayed_ss_factory, timestamped=True,
-    description="Space-Saving over decayed counts (scalar-replay batch)",
+    description="Space-Saving over decayed counts (vectorized batch admission)",
     accuracy=AccuracyFloor(recall=0.95, f1=0.95, truth="decayed", horizon=10.0),
 )

@@ -23,10 +23,16 @@ RHHH trick carried over to continuous time).
 
 from __future__ import annotations
 
-import random
+import numpy as np
 
-from repro.core.detector import Detector
+from repro.core.detector import (
+    Detector,
+    as_batch,
+    as_uint64_keys,
+    ensure_nonnegative_weights,
+)
 from repro.core.registry import register_detector
+from repro.hashing.mixers import splitmix64, splitmix64_array
 from repro.decay.decayed_counter import DecayedCounter
 from repro.decay.decayed_spacesaving import DecayedSpaceSaving
 from repro.decay.laws import DecayLaw, ExponentialDecay
@@ -37,9 +43,10 @@ from repro.hierarchy.domain import SourceHierarchy
 class TimeDecayingHHH(Detector):
     """Continuous-time hierarchical heavy-hitter detector.
 
-    Per-level pointer-based summaries (plus a per-packet RNG draw when
-    level sampling is on), so the batch path is the exact scalar replay
-    inherited from :class:`repro.core.Detector`.  Note :meth:`query` keeps
+    The batch path draws the whole level-sampling column at once (a
+    counter-indexed splitmix64 stream, identical to the scalar draw
+    sequence) and fans each level's packets into that level's vectorized
+    :class:`DecayedSpaceSaving` batch update.  Note :meth:`query` keeps
     the hierarchical contract — ``(phi, now) -> HHHResult`` — rather than
     the flat ``{key: estimate}`` protocol.
     """
@@ -66,8 +73,15 @@ class TimeDecayingHHH(Detector):
         ]
         self._total = DecayedCounter(self.law)
         self.sample_levels = sample_levels
-        self._rng = random.Random(seed)
+        self._sbase = splitmix64(seed ^ 0x9E3779B97F4A7C15)
+        self._draws = 0
         self.packets = 0
+
+    def _draw_level(self) -> int:
+        """Next level in the deterministic sampling stream."""
+        level = splitmix64(self._sbase + self._draws) % self.hierarchy.num_levels
+        self._draws += 1
+        return level
 
     def update(self, key: int, weight: float = 1,
                ts: float | None = None) -> None:
@@ -78,13 +92,50 @@ class TimeDecayingHHH(Detector):
         self.packets += 1
         self._total.add(weight, ts)
         if self.sample_levels:
-            level = self._rng.randrange(self.hierarchy.num_levels)
+            level = self._draw_level()
             value = self.hierarchy.generalize(key, level)
             self._levels[level].update(key=value, weight=weight, ts=ts)
         else:
             for level in range(self.hierarchy.num_levels):
                 value = self.hierarchy.generalize(key, level)
                 self._levels[level].update(key=value, weight=weight, ts=ts)
+
+    def update_batch(self, keys, weights=None, ts=None) -> None:
+        """Vectorized chunk update: one total-counter batch add plus a
+        per-level fan-out into the decayed summaries' batch paths."""
+        keys, weights, ts = as_batch(keys, weights, ts)
+        if ts is None:
+            raise TypeError("TimeDecayingHHH.update_batch() requires the "
+                            "packet timestamp column 'ts'")
+        n = keys.shape[0]
+        if n == 0:
+            return
+        if n < 16:
+            super().update_batch(keys, weights, ts)
+            return
+        ku = as_uint64_keys(keys)
+        w = ensure_nonnegative_weights(weights)
+        num_levels = self.hierarchy.num_levels
+        self.packets += n
+        self._total.add_batch(w, ts)
+        if self.sample_levels:
+            draws = np.arange(
+                self._draws, self._draws + n, dtype=np.uint64
+            ) + np.uint64(self._sbase)
+            levels = splitmix64_array(draws) % np.uint64(num_levels)
+            self._draws += n
+            for level in range(num_levels):
+                chosen = levels == level
+                if chosen.any():
+                    self._levels[level].update_batch(
+                        self.hierarchy.generalize_array(ku[chosen], level),
+                        w[chosen], ts[chosen],
+                    )
+        else:
+            for level in range(num_levels):
+                self._levels[level].update_batch(
+                    self.hierarchy.generalize_array(ku, level), w, ts
+                )
 
     def _scale(self) -> float:
         return float(self.hierarchy.num_levels) if self.sample_levels else 1.0
@@ -141,11 +192,11 @@ class TimeDecayingHHH(Detector):
         return HHHResult(tuple(items), threshold, int(total_bytes), phi)
 
     def reset(self) -> None:
-        """Reset every level, the total, and re-seed the sampling RNG."""
+        """Reset every level, the total, and rewind the sampling stream."""
         for level in self._levels:
             level.reset()
         self._total = DecayedCounter(self.law)
-        self._rng = random.Random(self.seed)
+        self._draws = 0
         self.packets = 0
 
     @property
@@ -157,6 +208,6 @@ class TimeDecayingHHH(Detector):
 register_detector(
     "td-hhh", TimeDecayingHHH, timestamped=True, enumerable=False,
     description="Windowless time-decaying HHH detector "
-                "(hierarchical query; scalar-replay batch)",
+                "(hierarchical query; vectorized batch)",
     probe=lambda det, key, now: det.estimate(key, 0, now),
 )

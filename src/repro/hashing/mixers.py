@@ -32,12 +32,29 @@ def splitmix64(value: int) -> int:
     return (z ^ (z >> 31)) & _MASK64
 
 
-def splitmix64_array(values: np.ndarray) -> np.ndarray:
-    """Vectorized :func:`splitmix64` over a uint64 array (bit-exact)."""
-    z = np.asarray(values, dtype=np.uint64) + np.uint64(_FIB_MULT)
+# Large chunks are mixed in blocks of this many elements so every
+# temporary stays small enough for the allocator to reuse hot heap memory
+# (whole-array temporaries go through mmap and fault in cold pages).
+_BLOCK = 16384
+
+
+def _splitmix64_block(values: np.ndarray) -> np.ndarray:
+    z = values + np.uint64(_FIB_MULT)
     z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
     z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
     return z ^ (z >> np.uint64(31))
+
+
+def splitmix64_array(values: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`splitmix64` over a uint64 array (bit-exact)."""
+    values = np.asarray(values, dtype=np.uint64)
+    n = values.shape[0]
+    if n <= _BLOCK:
+        return _splitmix64_block(values)
+    out = np.empty(n, dtype=np.uint64)
+    for i in range(0, n, _BLOCK):
+        out[i:i + _BLOCK] = _splitmix64_block(values[i:i + _BLOCK])
+    return out
 
 
 def xorshift64star(value: int) -> int:

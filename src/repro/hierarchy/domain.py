@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Iterator, Sequence
 
+import numpy as np
+
 from repro.net.ipv4 import IPV4_BITS
 from repro.net.prefix import Prefix, mask_for_length
 
@@ -73,6 +75,10 @@ class SourceHierarchy:
     def generalize(self, key: int, level: int) -> int:
         """Mask ``key`` to the prefix value at ``level``."""
         return key & self._masks[level]
+
+    def generalize_array(self, keys: np.ndarray, level: int) -> np.ndarray:
+        """Vectorized :meth:`generalize` over a uint64 key column."""
+        return keys & np.uint64(self._masks[level])
 
     def ancestors(self, key: int) -> Iterator[tuple[int, int]]:
         """Yield ``(level, generalized_value)`` from leaf to root."""

@@ -27,8 +27,11 @@ from repro.core.detector import (
     as_uint64_keys,
     ensure_nonnegative_weights,
 )
+from repro.core.flat_table import grouped_cumsum
 from repro.core.registry import AccuracyFloor, register_detector
 from repro.hashing.families import HashFamily, pairwise_indep_family
+
+_SCALAR_CUTOFF = 16
 
 
 class CountMinSketch(Detector):
@@ -118,8 +121,12 @@ class CountMinHeavyHitters(Detector):
     fraction of the stream's running total; anything that could reach a
     final report threshold above that fraction is guaranteed to be tracked.
 
-    Candidate admission depends on the running total at each packet, so the
-    batch path is the exact scalar replay from the base class.
+    The batch path simulates per-packet post-update estimates for a whole
+    chunk at once (initial cell values plus within-cell running sums), so
+    candidate admission is vectorized.  The lazy candidate prune fires only
+    when a *new* key is admitted while the map is over its bound; if a
+    chunk triggers a prune, the sketch state is advanced to that packet and
+    the remainder of the chunk replays scalar.
     """
 
     def __init__(
@@ -141,18 +148,91 @@ class CountMinHeavyHitters(Detector):
         self.sketch.update(key, weight)
         estimate = self.sketch.estimate(key)
         if estimate >= self.track_phi * self.sketch.total:
+            admitted = key not in self._candidates
             self._candidates[key] = estimate
-        # Lazily prune candidates that can no longer qualify, bounding the
-        # candidate map at ~1/track_phi live entries plus stragglers.
-        if len(self._candidates) > 4 / self.track_phi:
-            floor = self.track_phi * self.sketch.total
-            estimate_fn = self.sketch.estimate
-            pruned: dict[int, int] = {}
-            for k in self._candidates:
-                e = estimate_fn(k)
-                if e >= floor:
-                    pruned[k] = e
-            self._candidates = pruned
+            # Lazily prune candidates that can no longer qualify, bounding
+            # the candidate map at ~1/track_phi live entries plus
+            # stragglers.  Only a new admission can grow the map, so only
+            # admissions need to check the bound.
+            if admitted and len(self._candidates) > 4 / self.track_phi:
+                self._prune()
+
+    def _prune(self) -> None:
+        """Drop candidates whose estimate fell below the tracking floor."""
+        floor = self.track_phi * self.sketch.total
+        estimate_fn = self.sketch.estimate
+        pruned: dict[int, int] = {}
+        for k in self._candidates:
+            e = estimate_fn(k)
+            if e >= floor:
+                pruned[k] = e
+        self._candidates = pruned
+
+    def update_batch(self, keys, weights=None, ts=None) -> None:
+        """Vectorized chunk update via simulated per-packet estimates."""
+        if self.sketch.conservative:
+            super().update_batch(keys, weights, ts)
+            return
+        keys, weights, _ = as_batch(keys, weights, ts)
+        n = keys.shape[0]
+        if n == 0:
+            return
+        if n < _SCALAR_CUTOFF:
+            super().update_batch(keys, weights)
+            return
+        sketch = self.sketch
+        ku = as_uint64_keys(keys)
+        w = ensure_nonnegative_weights(weights)
+        iw = w.astype(np.int64)
+        # Post-update estimate of packet i's key at packet i: the row
+        # minimum of (initial cell value + running weight scattered into
+        # that cell so far), exactly as the scalar path would read it.
+        cells_rows = []
+        est = None
+        for row, vh in zip(sketch._table, sketch._vhashes):
+            cells = vh(ku)
+            cells_rows.append(cells)
+            vals = row[cells] + grouped_cumsum(cells, iw)
+            est = vals if est is None else np.minimum(est, vals)
+        totals = sketch.total + np.cumsum(w)
+        crossing = est >= self.track_phi * totals
+        cpos = np.flatnonzero(crossing)
+        ck = ku[cpos]
+        # Simulate admissions in chunk order to find the first prune, if
+        # any: the map only grows on new-key admissions, so the chunk can
+        # be applied wholesale up to (and including) that packet.
+        prune_at = -1
+        if cpos.size:
+            uk, first = np.unique(ck, return_index=True)
+            bound = 4 / self.track_phi
+            count = len(self._candidates)
+            for idx in np.argsort(first).tolist():
+                k = int(uk[idx])
+                if k in self._candidates:
+                    continue
+                count += 1
+                if count > bound:
+                    prune_at = int(cpos[first[idx]])
+                    break
+        stop = n if prune_at < 0 else prune_at + 1
+        for row, cells in zip(sketch._table, cells_rows):
+            np.add.at(row, cells[:stop], iw[:stop])
+        sketch.total += w[:stop].sum().item()
+        # Each crossing key's candidate value is its estimate at its last
+        # crossing within the applied span.
+        applied = cpos[cpos < stop]
+        if applied.size:
+            ak = ku[applied]
+            ruk, ridx = np.unique(ak[::-1], return_index=True)
+            last = applied[ak.shape[0] - 1 - ridx]
+            for k, v in zip(ruk.tolist(), est[last].tolist()):
+                self._candidates[int(k)] = int(v)
+        if prune_at >= 0:
+            self._prune()
+            tail_keys = keys[stop:].tolist()
+            tail_weights = w[stop:].tolist()
+            for k, wt in zip(tail_keys, tail_weights):
+                self.update(k, wt)
 
     def query(
         self, threshold: float, now: float | None = None

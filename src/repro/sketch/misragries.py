@@ -4,75 +4,146 @@ The decrement-based ancestor of Space-Saving: with ``capacity`` counters the
 estimate *underestimates* by at most N/(capacity+1).  Weighted updates
 decrement all counters by the smallest amount that frees a slot, which keeps
 the classic guarantee for byte-weighted streams.
+
+Counters live in a :class:`repro.core.flat_table.FlatTable` (float64
+``counts`` column).  The batch path applies the admission-free prefix of
+each chunk — tracked-key hits and inserts into guaranteed-free slots —
+fully vectorized, and replays the remainder through scalar ``update`` so
+decrement cascades run in exact packet order.
 """
 
 from __future__ import annotations
 
-from repro.core.detector import Detector
+import numpy as np
+
+from repro.core.detector import (
+    Detector,
+    as_batch,
+    as_uint64_keys,
+    ensure_nonnegative_weights,
+)
+from repro.core.flat_table import FlatTable, group_sums, plan_batch
 from repro.core.registry import AccuracyFloor, register_detector
 
 
-class MisraGries(Detector):
-    """Fixed-capacity frequent-items summary with one-sided underestimates.
+_MASK64 = (1 << 64) - 1
+_SCALAR_CUTOFF = 16
 
-    Decrement cascades make updates order-dependent, so the batch path is
-    the exact scalar replay inherited from :class:`repro.core.Detector`.
-    """
+
+class MisraGries(Detector):
+    """Fixed-capacity frequent-items summary with one-sided underestimates."""
 
     def __init__(self, capacity: int = 256) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
-        self._counts: dict[int, int] = {}
+        self._table = FlatTable(capacity, {"counts": np.float64})
         self.total = 0
         self.decremented = 0
 
-    def update(self, key: int, weight: int = 1, ts: float = 0.0) -> None:
+    def update(self, key: int, weight: float = 1, ts: float = 0.0) -> None:
         """Account ``weight`` for ``key``."""
         if weight < 0:
             raise ValueError(f"negative weight {weight}")
         self.total += weight
-        counts = self._counts
-        if key in counts:
-            counts[key] += weight
+        key = int(key) & _MASK64
+        table = self._table
+        counts = table.cols["counts"]
+        slot = table.slot_of.get(key, -1)
+        if slot >= 0:
+            counts[slot] += weight
             return
-        if len(counts) < self.capacity:
-            counts[key] = weight
+        if len(table) < self.capacity:
+            slot = table.insert(key)
+            counts[slot] = weight
             return
         # Table full: decrement everyone by the amount that exhausts either
         # the new key's weight or the smallest existing counter.
-        min_count = min(counts.values())
+        live = table.live_mask
+        min_count = float(counts[live].min())
         dec = min(weight, min_count)
         self.decremented += dec
-        for k in list(counts):
-            counts[k] -= dec
-            if counts[k] == 0:
-                del counts[k]
+        counts[live] -= dec
+        zeroed = live & (counts == 0)
+        for victim in table.key_col[zeroed].tolist():
+            table.remove(victim)
         remaining = weight - dec
-        if remaining > 0 and len(counts) < self.capacity:
-            counts[key] = remaining
+        if remaining > 0 and len(table) < self.capacity:
+            slot = table.insert(key)
+            counts[slot] = remaining
 
-    def estimate(self, key: int) -> int:
+    def update_batch(self, keys, weights=None, ts=None) -> None:
+        """Vectorized chunk update: scatter the cascade-free prefix, replay
+        the tail through scalar ``update``."""
+        keys, weights, _ = as_batch(keys, weights, ts)
+        n = keys.shape[0]
+        if n == 0:
+            return
+        if n < _SCALAR_CUTOFF:
+            super().update_batch(keys, weights)
+            return
+        ku = as_uint64_keys(keys)
+        w = ensure_nonnegative_weights(weights).astype(np.float64)
+        table = self._table
+        # Cascade-free fast path: every key resolves to a slot (new keys
+        # claim free ones), then one scatter-add lands the whole chunk.
+        resolved = table.upsert_batch(ku, self.capacity - len(table))
+        if resolved is not None:
+            slots, _ = resolved
+            table.cols["counts"] += np.bincount(
+                slots, weights=w, minlength=table.size
+            )
+            self.total += w.sum().item()
+            return
+        slots, split = plan_batch(table, ku)
+        if split:
+            prefix_slots = slots[:split]
+            prefix_w = w[:split]
+            hits = prefix_slots >= 0
+            if hits.any():
+                table.cols["counts"] += np.bincount(
+                    prefix_slots[hits], weights=prefix_w[hits], minlength=table.size
+                )
+            if not hits.all():
+                miss = ~hits
+                new_keys, sums = group_sums(ku[:split][miss], prefix_w[miss])
+                counts = table.cols["counts"]
+                for key, count in zip(new_keys.tolist(), sums.tolist()):
+                    slot = table.insert(key)
+                    counts[slot] = count
+            self.total += prefix_w.sum().item()
+        if split < n:
+            update = self.update
+            for key, weight in zip(ku[split:].tolist(), w[split:].tolist()):
+                update(key, weight)
+
+    def estimate(self, key: int) -> float:
         """Underestimate of ``key``'s count (0 when untracked)."""
-        return self._counts.get(key, 0)
+        key = int(key) & _MASK64
+        slot = self._table.slot_of.get(key, -1)
+        return float(self._table.cols["counts"][slot]) if slot >= 0 else 0
 
     def query(
         self, threshold: float, now: float | None = None
     ) -> dict[int, float]:
         """Tracked keys whose (under)estimate reaches ``threshold``."""
+        counts = self._table.cols["counts"]
         return {
-            key: float(count)
-            for key, count in self._counts.items()
-            if count >= threshold
+            key: float(counts[slot])
+            for key, slot in self._table.slot_of.items()
+            if counts[slot] >= threshold
         }
 
-    def items(self) -> dict[int, int]:
+    def items(self) -> dict[int, float]:
         """A copy of the live counter table."""
-        return dict(self._counts)
+        counts = self._table.cols["counts"]
+        return {
+            key: float(counts[slot]) for key, slot in self._table.slot_of.items()
+        }
 
     def reset(self) -> None:
         """Drop all counters."""
-        self._counts.clear()
+        self._table.clear()
         self.total = 0
         self.decremented = 0
 
@@ -82,8 +153,8 @@ class MisraGries(Detector):
         keeps the N/(capacity+1) underestimate guarantee."""
         if not isinstance(other, MisraGries):
             raise ValueError("can only merge MisraGries")
-        combined: dict[int, int] = dict(self._counts)
-        for key, count in other._counts.items():
+        combined: dict[int, float] = self.items()
+        for key, count in other.items().items():
             combined[key] = combined.get(key, 0) + count
         if len(combined) > self.capacity:
             cut = sorted(combined.values(), reverse=True)[self.capacity]
@@ -91,12 +162,17 @@ class MisraGries(Detector):
                 k: c - cut for k, c in combined.items() if c - cut > 0
             }
             self.decremented += cut
-        self._counts = combined
+        table = self._table
+        table.clear()
+        counts = table.cols["counts"]
+        for key, count in combined.items():
+            slot = table.insert(key)
+            counts[slot] = count
         self.total += other.total
         self.decremented += other.decremented
 
     def __len__(self) -> int:
-        return len(self._counts)
+        return len(self._table)
 
     @property
     def num_counters(self) -> int:
@@ -106,6 +182,6 @@ class MisraGries(Detector):
 
 register_detector(
     "misragries", MisraGries,
-    description="Misra-Gries frequent items (scalar-replay batch)",
+    description="Misra-Gries frequent items (vectorized batch admission)",
     accuracy=AccuracyFloor(recall=0.80, f1=0.85),
 )

@@ -6,6 +6,13 @@ that level's summary with the packet's generalized key — a constant-time
 update, which is what made HHH feasible at line rate and in data planes.
 Estimates are scaled back up by the number of levels.
 
+Level draws come from a counter-indexed splitmix64 stream: draw ``i`` is
+``splitmix64(base + i) mod num_levels``.  The stream is deterministic
+under the seed, identical whether packets arrive one at a time or as a
+columnar batch, and vectorizes — the batch path materialises the level
+column for the whole chunk and fans each level's packets into that level's
+Space-Saving batch update.
+
 At query time, HHHs are extracted bottom-up with conditioned counts: a
 prefix's estimate is discounted by the scaled estimates of the HHHs already
 declared below it, mirroring the exact semantics of
@@ -16,23 +23,31 @@ is the behaviourally relevant part).
 
 from __future__ import annotations
 
-import random
+import numpy as np
 
-from repro.core.detector import Detector
+from repro.core.detector import (
+    Detector,
+    as_batch,
+    as_uint64_keys,
+    ensure_nonnegative_weights,
+)
 from repro.core.registry import AccuracyFloor, register_detector
+from repro.hashing.mixers import splitmix64, splitmix64_array
 from repro.hhh.exact_hhh import HHHItem, HHHResult
 from repro.hierarchy.domain import SourceHierarchy
-from repro.net.prefix import Prefix
 from repro.sketch.spacesaving import SpaceSaving
 
 
-class RHHH(Detector):
-    """Per-level Space-Saving with randomised level updates.
+_SCALAR_CUTOFF = 16
 
-    Level sampling consumes one RNG draw per packet, so the batch path is
-    the exact scalar replay inherited from :class:`repro.core.Detector`
-    (identical RNG sequence, identical results).
-    """
+
+def _sampler_base(seed: int) -> int:
+    """Stream base for the counter-indexed level sampler."""
+    return splitmix64(seed ^ 0x9E3779B97F4A7C15)
+
+
+class RHHH(Detector):
+    """Per-level Space-Saving with randomised level updates."""
 
     def __init__(
         self,
@@ -52,17 +67,24 @@ class RHHH(Detector):
             SpaceSaving(counters_per_level)
             for _ in range(self.hierarchy.num_levels)
         ]
-        self._rng = random.Random(seed)
+        self._sbase = _sampler_base(seed)
+        self._draws = 0
         self.sample_levels = sample_levels
         self.total = 0
         self.updates = 0
 
-    def update(self, key: int, weight: int = 1, ts: float = 0.0) -> None:
-        """Account one packet (updates one random level, or all levels when
+    def _draw_level(self) -> int:
+        """Next level in the deterministic sampling stream."""
+        level = splitmix64(self._sbase + self._draws) % self.hierarchy.num_levels
+        self._draws += 1
+        return level
+
+    def update(self, key: int, weight: float = 1, ts: float = 0.0) -> None:
+        """Account one packet (updates one sampled level, or all levels when
         ``sample_levels`` is off)."""
         self.total += weight
         if self.sample_levels:
-            level = self._rng.randrange(self.hierarchy.num_levels)
+            level = self._draw_level()
             self._levels[level].update(
                 self.hierarchy.generalize(key, level), weight
             )
@@ -73,6 +95,41 @@ class RHHH(Detector):
                     self.hierarchy.generalize(key, level), weight
                 )
                 self.updates += 1
+
+    def update_batch(self, keys, weights=None, ts=None) -> None:
+        """Vectorized chunk update: draw the whole level column at once and
+        fan each level's packets into that level's batch update."""
+        keys, weights, _ = as_batch(keys, weights, ts)
+        n = keys.shape[0]
+        if n == 0:
+            return
+        if n < _SCALAR_CUTOFF:
+            super().update_batch(keys, weights)
+            return
+        ku = as_uint64_keys(keys)
+        w = ensure_nonnegative_weights(weights)
+        num_levels = self.hierarchy.num_levels
+        if self.sample_levels:
+            draws = np.arange(
+                self._draws, self._draws + n, dtype=np.uint64
+            ) + np.uint64(self._sbase)
+            levels = splitmix64_array(draws) % np.uint64(num_levels)
+            self._draws += n
+            for level in range(num_levels):
+                chosen = levels == level
+                if chosen.any():
+                    self._levels[level].update_batch(
+                        self.hierarchy.generalize_array(ku[chosen], level),
+                        w[chosen],
+                    )
+            self.updates += n
+        else:
+            for level in range(num_levels):
+                self._levels[level].update_batch(
+                    self.hierarchy.generalize_array(ku, level), w
+                )
+            self.updates += n * num_levels
+        self.total += w.sum().item()
 
     def _scale(self) -> float:
         """Estimate scale-up factor under level sampling."""
@@ -123,10 +180,10 @@ class RHHH(Detector):
         }
 
     def reset(self) -> None:
-        """Reset every level and re-seed the level-sampling RNG."""
+        """Reset every level and rewind the level-sampling stream."""
         for level in self._levels:
             level.reset()
-        self._rng = random.Random(self.seed)
+        self._draws = 0
         self.total = 0
         self.updates = 0
 
@@ -138,7 +195,7 @@ class RHHH(Detector):
 
 register_detector(
     "rhhh", RHHH,
-    description="Randomized HHH (per-level Space-Saving; scalar-replay batch)",
+    description="Randomized HHH (per-level Space-Saving; vectorized batch)",
     probe=lambda det, key, now: det.estimate(key, 0),
     accuracy=AccuracyFloor(recall=0.70, f1=0.70),
 )

@@ -7,106 +7,173 @@ minimum counter and inherits its count as error.  Guarantees:
 - each tracked estimate overestimates by at most the inherited error,
   itself bounded by N/capacity.
 
-Eviction uses a lazy min-heap: stale heap entries (whose recorded count no
-longer matches the live counter) are popped and dropped, keeping updates
-amortised O(log capacity) without a linear min scan.
+Counters live in a :class:`repro.core.flat_table.FlatTable`: float64
+``counts``/``errors`` columns over an open-addressing slot array.  The
+batch path pre-aggregates each chunk by key and applies the admission-free
+prefix (tracked-key hits as one scatter-add, new keys bulk-inserted into
+guaranteed-free slots) fully vectorized; only the eviction tail — packets
+from the first possible eviction onward — replays through scalar
+``update``, so eviction order is exactly the scalar algorithm's.
+Evictions pick the minimum ``(count, key)`` pair, which both paths compute
+identically regardless of slot layout.
 """
 
 from __future__ import annotations
 
-import heapq
+import numpy as np
 
-from repro.core.detector import Detector
+from repro.core.detector import (
+    Detector,
+    as_batch,
+    as_uint64_keys,
+    ensure_nonnegative_weights,
+)
+from repro.core.flat_table import FlatTable, group_sums, plan_batch
 from repro.core.registry import AccuracyFloor, register_detector
 
 
-class SpaceSaving(Detector):
-    """Fixed-capacity heavy-hitter counter table.
+_MASK64 = (1 << 64) - 1
+_SCALAR_CUTOFF = 16
 
-    Pointer-based (dict + lazy heap), so the batch path is the exact scalar
-    replay inherited from :class:`repro.core.Detector` — eviction order is
-    part of the algorithm and cannot be reordered by a scatter update.
-    """
+
+class SpaceSaving(Detector):
+    """Fixed-capacity heavy-hitter counter table with batch admission."""
 
     def __init__(self, capacity: int = 256) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
-        self._counts: dict[int, int] = {}
-        self._errors: dict[int, int] = {}
-        self._heap: list[tuple[int, int]] = []  # (count_at_push, key)
+        self._table = FlatTable(capacity, {"counts": np.float64, "errors": np.float64})
         self.total = 0
 
-    def update(self, key: int, weight: int = 1, ts: float = 0.0) -> None:
+    def update(self, key: int, weight: float = 1, ts: float = 0.0) -> None:
         """Account ``weight`` for ``key``."""
         if weight < 0:
             raise ValueError(f"negative weight {weight}")
         self.total += weight
-        counts = self._counts
-        if key in counts:
-            counts[key] += weight
-            heapq.heappush(self._heap, (counts[key], key))
+        key = int(key) & _MASK64
+        table = self._table
+        counts = table.cols["counts"]
+        slot = table.slot_of.get(key, -1)
+        if slot >= 0:
+            counts[slot] += weight
             return
-        if len(counts) < self.capacity:
-            counts[key] = weight
-            self._errors[key] = 0
-            heapq.heappush(self._heap, (weight, key))
+        if len(table) < self.capacity:
+            slot = table.insert(key)
+            counts[slot] = weight
             return
-        victim, victim_count = self._pop_min()
-        del counts[victim]
-        del self._errors[victim]
-        counts[key] = victim_count + weight
-        self._errors[key] = victim_count
-        heapq.heappush(self._heap, (counts[key], key))
+        victim_slot = self._min_slot()
+        victim_count = float(counts[victim_slot])
+        table.remove(int(table.key_col[victim_slot]))
+        slot = table.insert(key)
+        counts[slot] = victim_count + weight
+        table.cols["errors"][slot] = victim_count
 
-    def _pop_min(self) -> tuple[int, int]:
-        """Pop the true minimum (skipping stale heap entries)."""
-        heap, counts = self._heap, self._counts
-        while heap:
-            count, key = heapq.heappop(heap)
-            if counts.get(key) == count:
-                return key, count
-        # The heap only runs dry if counts is empty, which cannot happen
-        # when called with a full table; guard anyway.
-        raise RuntimeError("Space-Saving heap out of sync with counters")
+    def update_batch(self, keys, weights=None, ts=None) -> None:
+        """Vectorized chunk update: scatter the admission-free prefix,
+        replay the eviction tail."""
+        keys, weights, _ = as_batch(keys, weights, ts)
+        n = keys.shape[0]
+        if n == 0:
+            return
+        if n < _SCALAR_CUTOFF:
+            super().update_batch(keys, weights)
+            return
+        ku = as_uint64_keys(keys)
+        w = ensure_nonnegative_weights(weights).astype(np.float64)
+        table = self._table
+        # Eviction-free fast path: every key resolves to a slot (new keys
+        # claim free ones), then one scatter-add lands the whole chunk.
+        resolved = table.upsert_batch(ku, self.capacity - len(table))
+        if resolved is not None:
+            slots, _ = resolved
+            table.cols["counts"] += np.bincount(
+                slots, weights=w, minlength=table.size
+            )
+            self.total += w.sum().item()
+            return
+        slots, split = plan_batch(table, ku)
+        if split:
+            prefix_slots = slots[:split]
+            prefix_w = w[:split]
+            hits = prefix_slots >= 0
+            if hits.any():
+                table.cols["counts"] += np.bincount(
+                    prefix_slots[hits], weights=prefix_w[hits], minlength=table.size
+                )
+            if not hits.all():
+                miss = ~hits
+                new_keys, sums = group_sums(ku[:split][miss], prefix_w[miss])
+                counts = table.cols["counts"]
+                for key, count in zip(new_keys.tolist(), sums.tolist()):
+                    slot = table.insert(key)
+                    counts[slot] = count
+            self.total += prefix_w.sum().item()
+        if split < n:
+            update = self.update
+            for key, weight in zip(ku[split:].tolist(), w[split:].tolist()):
+                update(key, weight)
 
-    def estimate(self, key: int) -> int:
+    def _min_slot(self) -> int:
+        """Slot of the minimum live counter; ties broken by smallest key."""
+        table = self._table
+        counts = np.where(table.live_mask, table.cols["counts"], np.inf)
+        tied = np.flatnonzero(counts == counts.min())
+        if tied.size == 1:
+            return int(tied[0])
+        return int(tied[np.argmin(table.key_col[tied])])
+
+    def estimate(self, key: int) -> float:
         """Overestimate of ``key``'s count (min possible count if untracked)."""
-        if key in self._counts:
-            return self._counts[key]
-        return self._min_count() if len(self._counts) >= self.capacity else 0
+        key = int(key) & _MASK64
+        table = self._table
+        slot = table.slot_of.get(key, -1)
+        if slot >= 0:
+            return float(table.cols["counts"][slot])
+        return self._min_count() if len(table) >= self.capacity else 0
 
-    def guaranteed(self, key: int) -> int:
+    def guaranteed(self, key: int) -> float:
         """Lower bound on ``key``'s true count (estimate minus error)."""
-        if key in self._counts:
-            return self._counts[key] - self._errors[key]
+        key = int(key) & _MASK64
+        table = self._table
+        slot = table.slot_of.get(key, -1)
+        if slot >= 0:
+            return float(table.cols["counts"][slot] - table.cols["errors"][slot])
         return 0
 
-    def _min_count(self) -> int:
-        heap, counts = self._heap, self._counts
-        while heap and counts.get(heap[0][1]) != heap[0][0]:
-            heapq.heappop(heap)
-        return heap[0][0] if heap else 0
+    def _min_count(self) -> float:
+        table = self._table
+        if not len(table):
+            return 0
+        return float(table.cols["counts"][table.live_mask].min())
 
     def query(
         self, threshold: float, now: float | None = None
     ) -> dict[int, float]:
         """Tracked keys whose estimate reaches ``threshold``."""
+        counts = self._table.cols["counts"]
         return {
-            key: float(count)
-            for key, count in self._counts.items()
-            if count >= threshold
+            key: float(counts[slot])
+            for key, slot in self._table.slot_of.items()
+            if counts[slot] >= threshold
         }
 
-    def items(self) -> dict[int, int]:
+    def items(self) -> dict[int, float]:
         """A copy of the live counter table."""
-        return dict(self._counts)
+        counts = self._table.cols["counts"]
+        return {
+            key: float(counts[slot]) for key, slot in self._table.slot_of.items()
+        }
+
+    def _errors_map(self) -> dict[int, float]:
+        errors = self._table.cols["errors"]
+        return {
+            key: float(errors[slot]) for key, slot in self._table.slot_of.items()
+        }
 
     def reset(self) -> None:
         """Drop all counters."""
-        self._counts.clear()
-        self._errors.clear()
-        self._heap.clear()
+        self._table.clear()
         self.total = 0
 
     def merge(self, other: "Detector") -> None:
@@ -114,34 +181,42 @@ class SpaceSaving(Detector):
         key union, keep the ``capacity`` largest (overestimates preserved)."""
         if not isinstance(other, SpaceSaving):
             raise ValueError("can only merge SpaceSaving")
-        merged: dict[int, tuple[int, int]] = {}
-        self_min = self._min_count() if len(self._counts) >= self.capacity else 0
+        self_counts = self.items()
+        other_counts = other.items()
+        self_errors = self._errors_map()
+        other_errors = other._errors_map()
+        self_min = self._min_count() if len(self_counts) >= self.capacity else 0
         other_min = (
-            other._min_count() if len(other._counts) >= other.capacity else 0
+            other._min_count() if len(other_counts) >= other.capacity else 0
         )
-        for key in self._counts.keys() | other._counts.keys():
+        merged: dict[int, tuple[float, float]] = {}
+        for key in self_counts.keys() | other_counts.keys():
             # A key untracked on one side may still have up to that side's
             # minimum count there; fold it into the inherited error.
-            c1 = self._counts.get(key)
-            c2 = other._counts.get(key)
+            c1 = self_counts.get(key)
+            c2 = other_counts.get(key)
             count = (c1 if c1 is not None else self_min) + (
                 c2 if c2 is not None else other_min
             )
             error = (
-                self._errors.get(key, self_min if c1 is None else 0)
-                + other._errors.get(key, other_min if c2 is None else 0)
+                self_errors.get(key, self_min if c1 is None else 0)
+                + other_errors.get(key, other_min if c2 is None else 0)
             )
             merged[key] = (count, error)
         top = sorted(merged.items(), key=lambda kv: kv[1][0], reverse=True)
         top = top[: self.capacity]
-        self._counts = {k: c for k, (c, _) in top}
-        self._errors = {k: e for k, (_, e) in top}
-        self._heap = [(c, k) for k, (c, _) in top]
-        heapq.heapify(self._heap)
+        table = self._table
+        table.clear()
+        counts = table.cols["counts"]
+        errors = table.cols["errors"]
+        for key, (count, error) in top:
+            slot = table.insert(key)
+            counts[slot] = count
+            errors[slot] = error
         self.total += other.total
 
     def __len__(self) -> int:
-        return len(self._counts)
+        return len(self._table)
 
     @property
     def num_counters(self) -> int:
@@ -151,6 +226,6 @@ class SpaceSaving(Detector):
 
 register_detector(
     "spacesaving", SpaceSaving,
-    description="Space-Saving top-k counter table (scalar-replay batch)",
+    description="Space-Saving top-k counter table (vectorized batch admission)",
     accuracy=AccuracyFloor(recall=0.95, f1=0.90),
 )

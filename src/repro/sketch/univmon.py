@@ -8,47 +8,42 @@ recursive universal-sketching combination; for this library the relevant
 outputs are heavy hitters (the per-window detector role UnivMon plays in
 the paper's framing) and entropy (the canonical "one sketch, many tasks"
 demonstration).
+
+Per-level candidate keys are tracked by small Space-Saving summaries fed
+the raw packet stream; estimates are always read back from the
+Count-Sketches at query time.  Both the per-level sketches and the
+candidate trackers consume the identical (key, weight) subsequence
+whether packets arrive one at a time or as a columnar batch, so the batch
+path is observationally equivalent to the scalar one.
 """
 
 from __future__ import annotations
 
 import math
 
-from repro.core.detector import Detector
+import numpy as np
+
+from repro.core.detector import (
+    Detector,
+    as_batch,
+    as_uint64_keys,
+    ensure_nonnegative_weights,
+)
 from repro.core.registry import AccuracyFloor, register_detector
 from repro.hashing.families import HashFamily, pairwise_indep_family
 from repro.sketch.countsketch import CountSketch
+from repro.sketch.spacesaving import SpaceSaving
 
-
-class _TopK:
-    """A small exact top-k tracker refreshed from sketch estimates."""
-
-    def __init__(self, k: int) -> None:
-        self.k = k
-        self.estimates: dict[int, float] = {}
-
-    def offer(self, key: int, estimate: float) -> None:
-        self.estimates[key] = estimate
-        if len(self.estimates) > 4 * self.k:
-            self._shrink()
-
-    def _shrink(self) -> None:
-        keep = sorted(
-            self.estimates.items(), key=lambda kv: kv[1], reverse=True
-        )[: self.k]
-        self.estimates = dict(keep)
-
-    def top(self) -> dict[int, float]:
-        self._shrink()
-        return dict(self.estimates)
+_SCALAR_CUTOFF = 16
 
 
 class UnivMon(Detector):
-    """Universal sketch: layered, subsampled Count-Sketches + top-k.
+    """Universal sketch: layered, subsampled Count-Sketches + candidates.
 
-    Each update refreshes top-k trackers with post-update estimates, a
-    sequential dependency; the batch path is the exact scalar replay
-    inherited from :class:`repro.core.Detector`.
+    The batch path assigns every packet its deepest sampled level with the
+    vectorized sample-bit hashes, then fans the ``depth >= level`` subset
+    of the chunk into each level's Count-Sketch and Space-Saving batch
+    updates.
     """
 
     def __init__(
@@ -67,11 +62,14 @@ class UnivMon(Detector):
         self._sample_bits = [
             family.function(1000 + i, 2) for i in range(levels - 1)
         ]
+        self._vsample_bits = [
+            family.function_array(1000 + i, 2) for i in range(levels - 1)
+        ]
         self._sketches = [
             CountSketch(width=width, rows=rows, family=family)
             for _ in range(levels)
         ]
-        self._tops = [_TopK(top_k) for _ in range(levels)]
+        self._trackers = [SpaceSaving(top_k) for _ in range(levels)]
         self.total = 0
 
     def _level_of(self, key: int) -> int:
@@ -88,9 +86,35 @@ class UnivMon(Detector):
         self.total += weight
         deepest = self._level_of(key)
         for level in range(deepest + 1):
-            sketch = self._sketches[level]
-            sketch.update(key, weight)
-            self._tops[level].offer(key, sketch.estimate(key))
+            self._sketches[level].update(key, weight)
+            self._trackers[level].update(key, weight)
+
+    def update_batch(self, keys, weights=None, ts=None) -> None:
+        """Vectorized chunk update: per-packet sampling depth, then a
+        per-level fan-out into sketch and tracker batch updates."""
+        keys, weights, _ = as_batch(keys, weights, ts)
+        n = keys.shape[0]
+        if n == 0:
+            return
+        if n < _SCALAR_CUTOFF:
+            super().update_batch(keys, weights)
+            return
+        ku = as_uint64_keys(keys)
+        w = ensure_nonnegative_weights(weights)
+        depth = np.zeros(n, dtype=np.int64)
+        alive = np.ones(n, dtype=bool)
+        for vbit in self._vsample_bits:
+            alive = alive & (vbit(ku) == 1)
+            if not alive.any():
+                break
+            depth += alive
+        for level in range(self.levels):
+            mask = depth >= level
+            if not mask.any():
+                break
+            self._sketches[level].update_batch(ku[mask], w[mask])
+            self._trackers[level].update_batch(ku[mask], w[mask])
+        self.total += w.sum().item()
 
     def estimate(self, key: int) -> float:
         """Point estimate from the level-0 Count-Sketch."""
@@ -99,9 +123,9 @@ class UnivMon(Detector):
     def query(
         self, threshold: float, now: float | None = None
     ) -> dict[int, float]:
-        """Heavy keys (StreamingDetector protocol): level-0 top-k filter."""
+        """Heavy keys (StreamingDetector protocol): level-0 candidates."""
         out: dict[int, float] = {}
-        for key in self._tops[0].top():
+        for key in self._trackers[0].items():
             estimate = self._sketches[0].estimate(key)
             if estimate >= threshold:
                 out[key] = estimate
@@ -118,7 +142,7 @@ class UnivMon(Detector):
         y = 0.0
         for level in range(deepest, -1, -1):
             contribution = 0.0
-            for key, _ in self._tops[level].top().items():
+            for key in self._trackers[level].items():
                 w = self._sketches[level].estimate(key)
                 if w <= 0:
                     continue
@@ -143,10 +167,11 @@ class UnivMon(Detector):
         return self.g_sum(lambda w: 1.0)
 
     def reset(self) -> None:
-        """Reset every level sketch and top-k tracker."""
+        """Reset every level sketch and candidate tracker."""
         for sketch in self._sketches:
             sketch.reset()
-        self._tops = [_TopK(self.top_k) for _ in range(self.levels)]
+        for tracker in self._trackers:
+            tracker.reset()
         self.total = 0
 
     @property
@@ -157,6 +182,6 @@ class UnivMon(Detector):
 
 register_detector(
     "univmon", UnivMon,
-    description="UnivMon universal sketch (scalar-replay batch)",
+    description="UnivMon universal sketch (vectorized level fan-out batch)",
     accuracy=AccuracyFloor(recall=0.85, f1=0.90),
 )

@@ -75,7 +75,10 @@ def test_batch_equals_scalar(name, stream):
 
 @pytest.mark.parametrize(
     "name", ["countmin", "countsketch", "bloom", "counting-bloom",
-             "tdbf", "ondemand-tdbf", "decayed-countmin"]
+             "tdbf", "ondemand-tdbf", "decayed-countmin",
+             "spacesaving", "misragries", "hashpipe", "rhhh", "univmon",
+             "countmin-hh", "decayed-spacesaving", "sliding-spacesaving",
+             "td-hhh"]
 )
 def test_array_backed_detectors_override_batch(name):
     """The structures the ISSUE names as vectorized must not fall back to

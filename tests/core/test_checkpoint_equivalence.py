@@ -154,10 +154,13 @@ def test_file_round_trip(tmp_path, stream):
     _assert_same_outputs(spec, detector, restored, keys, ts, "file")
 
 
-def test_sharded_detector_round_trip(stream):
+@pytest.mark.parametrize(
+    "name", ["countmin", "spacesaving", "misragries", "hashpipe", "univmon"]
+)
+def test_sharded_detector_round_trip(name, stream):
     """The sharded engine checkpoints shard-wise (runner excluded)."""
     keys, weights, ts = stream
-    factory = get_spec("countmin").factory
+    factory = get_spec(name).factory
     sharded = ShardedDetector(factory, 3)
     sharded.update_batch(keys, weights)
 
@@ -169,3 +172,24 @@ def test_sharded_detector_round_trip(stream):
     mismatched = ShardedDetector(factory, 4)
     with pytest.raises(CheckpointError, match="shards"):
         mismatched.load_state(sharded.save_state())
+
+
+def test_flat_table_state_round_trips_bit_identically(stream):
+    """Flat-table columns (keys, counts, occupancy) survive a checkpoint
+    byte-for-byte, tombstones and all."""
+    keys, weights, ts = stream
+    spec = get_spec("spacesaving")
+    original = spec.factory()
+    _feed(original, spec, keys, weights, ts)
+
+    restored = spec.factory()
+    restored.load_state(original.save_state())
+    a, b = original._table, restored._table
+    assert a.capacity == b.capacity and a.size == b.size
+    assert a._tombstones == b._tombstones
+    assert a.slot_of == b.slot_of
+    np.testing.assert_array_equal(a.key_col, b.key_col)
+    np.testing.assert_array_equal(a.state, b.state)
+    for column in a.cols:
+        assert a.cols[column].dtype == b.cols[column].dtype
+        np.testing.assert_array_equal(a.cols[column], b.cols[column])

@@ -1,0 +1,108 @@
+"""Randomized property: batch admission is the scalar stream, replayed.
+
+The pointer-based detector family (flat-table Space-Saving and friends,
+the HashPipe run-length path, the level-sampling HHH structures, UnivMon's
+level fan-out, and Count-Min heavy-hitter candidate simulation) vectorizes
+chunk prefixes and replays only eviction/admission tails.  This suite pits
+that machinery against the per-packet scalar path under adversarial
+conditions: tiny capacities (every chunk is an eviction storm),
+duplicate-heavy key distributions, and random chunk boundaries including
+sub-cutoff slivers.  ~200 randomized cases across the family; exact
+equality where the scalar path is deterministic over integer weights,
+1e-9 relative tolerance for the decayed structures (``np.exp`` vs
+``math.exp`` rounding).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import get_spec
+
+pytestmark = pytest.mark.slow
+
+SEEDS_PER_DETECTOR = 25
+KEY_DOMAIN = 24
+
+# (factory kwargs, exact) — capacities sit below the key domain so chunks
+# constantly evict, and geometries stay small so collisions are common.
+CASES = {
+    "spacesaving": ({"capacity": 16}, True),
+    "misragries": ({"capacity": 16}, True),
+    "hashpipe": ({"stage_slots": 16, "stages": 3}, True),
+    "rhhh": ({"counters_per_level": 16}, True),
+    "univmon": ({"levels": 4, "width": 64, "rows": 3, "top_k": 8}, True),
+    "countmin-hh": ({"width": 64, "rows": 3, "track_phi": 0.05}, True),
+    "decayed-spacesaving": ({"capacity": 16}, False),
+    "sliding-spacesaving": (
+        {"window": 5.0, "num_buckets": 4, "capacity_per_bucket": 16}, False
+    ),
+    "td-hhh": ({"counters_per_level": 16}, False),
+}
+
+
+def _random_stream(rng: np.random.Generator):
+    """Duplicate-heavy (keys, weights, ts) with skewed key popularity."""
+    n = int(rng.integers(80, 400))
+    ranks = np.arange(1, KEY_DOMAIN + 1, dtype=np.float64)
+    popularity = (1.0 / ranks) / (1.0 / ranks).sum()
+    keys = rng.choice(KEY_DOMAIN, size=n, p=popularity).astype(np.int64)
+    weights = rng.integers(1, 64, size=n, dtype=np.int64)
+    ts = np.sort(rng.uniform(0.0, 30.0, size=n))
+    return keys, weights, ts
+
+
+def _random_chunks(rng: np.random.Generator, n: int):
+    """Random chunk boundaries, sliver chunks (below the scalar cutoff)
+    included."""
+    num_cuts = int(rng.integers(1, 8))
+    cuts = np.unique(rng.integers(1, n, size=num_cuts))
+    bounds = np.r_[0, cuts, n]
+    return list(zip(bounds[:-1].tolist(), bounds[1:].tolist()))
+
+
+@pytest.mark.parametrize("seed", range(SEEDS_PER_DETECTOR))
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_batch_admission_matches_scalar(name, seed):
+    kwargs, exact = CASES[name]
+    spec = get_spec(name)
+    rng = np.random.default_rng(sum(map(ord, name)) * 1000 + seed)
+    keys, weights, ts = _random_stream(rng)
+    n = keys.shape[0]
+
+    scalar_det = spec.factory(**kwargs)
+    batch_det = spec.factory(**kwargs)
+    for key, weight, t in zip(keys.tolist(), weights.tolist(), ts.tolist()):
+        if spec.timestamped:
+            scalar_det.update(key, weight, t)
+        else:
+            scalar_det.update(key, weight)
+    for i, j in _random_chunks(rng, n):
+        batch_det.update_batch(
+            keys[i:j], weights[i:j], ts[i:j] if spec.timestamped else None
+        )
+
+    now = float(ts[-1]) + 0.1
+    for key in range(KEY_DOMAIN):
+        expected = spec.estimate(scalar_det, key, now)
+        got = spec.estimate(batch_det, key, now)
+        if exact:
+            assert got == expected, (name, seed, key)
+        else:
+            assert got == pytest.approx(expected, rel=1e-9, abs=1e-12), (
+                name, seed, key,
+            )
+
+    if spec.enumerable:
+        if spec.timestamped:
+            scalar_report = scalar_det.query(1.0, now)
+            batch_report = batch_det.query(1.0, now)
+        else:
+            scalar_report = scalar_det.query(1.0)
+            batch_report = batch_det.query(1.0)
+        assert set(scalar_report) == set(batch_report), (name, seed)
+        for key, value in scalar_report.items():
+            assert batch_report[key] == pytest.approx(value, rel=1e-9), (
+                name, seed, key,
+            )

@@ -101,3 +101,24 @@ class TestCountMinHeavyHitters:
         for _ in range(20000):
             det.update(rng.randrange(5000), 1)
         assert len(det._candidates) <= 4 / 0.01 + 1
+
+    def test_batch_matches_scalar_through_prunes(self):
+        # Geometrically growing weights admit every key as it appears, so
+        # admissions quickly exceed the 4 / track_phi bound and the batch
+        # path must take its mid-chunk prune-and-replay fallback.
+        stream = []
+        total = 10
+        for key in range(120):
+            w = int(0.3 * total) + 1
+            stream.append((key, w))
+            total += w
+        scalar = CountMinHeavyHitters(width=256, rows=4, track_phi=0.2)
+        batch = CountMinHeavyHitters(width=256, rows=4, track_phi=0.2)
+        for key, w in stream:
+            scalar.update(key, w)
+        for start in range(0, len(stream), 30):
+            chunk = stream[start:start + 30]
+            batch.update_batch([k for k, _ in chunk], [w for _, w in chunk])
+        assert batch.sketch.total == scalar.sketch.total
+        assert batch._candidates == scalar._candidates
+        assert batch.query(0.0) == scalar.query(0.0)
