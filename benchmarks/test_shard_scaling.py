@@ -29,10 +29,11 @@ from benchmarks.conftest import write_result
 from repro.analysis.render import format_table
 from repro.analysis.throughput import trace_columns
 from repro.core import make_detector
-from repro.engine import ParallelRunner, ShardedDetector
+from repro.engine import ParallelRunner, ShardedDetector, partition_batch
 from repro.trace import presets
 
 REQUIRED_SPEEDUP = 1.8
+MAX_SINGLE_SHARD_OVERHEAD = 0.05
 NUM_SHARDS = 4
 WORKERS = 4
 REPEATS = 3
@@ -72,6 +73,26 @@ def _warm(runner: ParallelRunner, columns) -> None:
     detector.update_batch(keys[:1000], weights[:1000])
 
 
+def _stage_times(columns, num_shards: int) -> tuple[float, float]:
+    """One instrumented pass: (partition seconds, per-shard update seconds).
+
+    Separate from :func:`_measure` so the best-of-N totals stay clean;
+    this is the split that shows whether shard count taxes the routing
+    stage or the detector work."""
+    keys, weights = columns
+    t0 = time.perf_counter()
+    parts = partition_batch(keys, weights, None, num_shards)
+    partition_s = time.perf_counter() - t0
+    detector = ShardedDetector(lambda: make_detector("countmin"), num_shards)
+    t0 = time.perf_counter()
+    for shard, (part_keys, part_weights, part_ts) in zip(
+        detector.shards, parts
+    ):
+        if len(part_keys):
+            shard.update_batch(part_keys, part_weights, part_ts)
+    return partition_s, time.perf_counter() - t0
+
+
 def test_serial_shard_sweep(big_columns):
     """Reference table: serial-backend throughput is flat in shard count
     (partitioning costs little; parallelism is what the pool adds)."""
@@ -80,6 +101,7 @@ def test_serial_shard_sweep(big_columns):
     base = None
     for num_shards in (1, 2, 4):
         seconds = _measure(big_columns, num_shards, runner=None)
+        partition_s, update_s = _stage_times(big_columns, num_shards)
         base = base or seconds
         rows.append({
             "shards": num_shards,
@@ -87,6 +109,8 @@ def test_serial_shard_sweep(big_columns):
             "packets": n,
             "pps": int(n / seconds),
             "vs_1_shard": round(base / seconds, 2),
+            "partition_ms": round(partition_s * 1000, 2),
+            "update_ms": round(update_s * 1000, 2),
         })
     write_result(
         "shard_scaling_serial.txt",
@@ -95,6 +119,39 @@ def test_serial_shard_sweep(big_columns):
     )
     # Partitioning overhead must not halve throughput at 4 shards.
     assert rows[-1]["vs_1_shard"] > 0.5
+
+
+def test_single_shard_overhead(big_columns):
+    """The degenerate ``shards=1`` wrapper must cost <= 5% vs the bare
+    detector — it bypasses routing entirely, so the only residue is one
+    attribute hop per batch."""
+    keys, weights = big_columns
+    n = len(keys)
+
+    def bare_seconds() -> float:
+        detector = make_detector("countmin")
+        t0 = time.perf_counter()
+        detector.update_batch(keys, weights)
+        return time.perf_counter() - t0
+
+    bare = min(bare_seconds() for _ in range(REPEATS + 2))
+    sharded = _measure(big_columns, 1, runner=None, repeats=REPEATS + 2)
+    overhead = sharded / bare - 1.0
+    write_result(
+        "shard_single_overhead.txt",
+        "Single-shard wrapper overhead vs bare detector (countmin)\n"
+        + format_table([{
+            "packets": n,
+            "pps_bare": int(n / bare),
+            "pps_1_shard": int(n / sharded),
+            "overhead_percent": round(overhead * 100, 2),
+            "max_percent": MAX_SINGLE_SHARD_OVERHEAD * 100,
+        }]),
+    )
+    assert overhead <= MAX_SINGLE_SHARD_OVERHEAD, (
+        f"shards=1 overhead {overhead:.1%} > "
+        f"{MAX_SINGLE_SHARD_OVERHEAD:.0%} vs the bare detector"
+    )
 
 
 @pytest.mark.skipif(

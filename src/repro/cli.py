@@ -23,6 +23,14 @@ happen, and the pipeline can checkpoint at end of run and resume later::
               [--emit-every Np|Ts|window:T] [--max-packets N]
               [--checkpoint FILE] [--resume FILE --fast-forward]
 
+The serve runtime multiplexes many tenant streams over one pool of
+persistent shard-worker processes (zero-copy shared-memory chunk
+handoff, per-tenant checkpoints as the migration unit)::
+
+    repro-hhh serve --tenant a=SPEC --tenant b=SPEC [--workers N]
+              [--shards S] [--checkpoint-dir DIR]
+              [--resume-dir DIR --fast-forward]
+
 The paper's artefacts remain available as thin aliases over the same path
 (identical tables, same deterministic seeded presets)::
 
@@ -395,6 +403,144 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- the serve runtime (multi-tenant persistent shard workers) ----------------
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import pickle
+    from pathlib import Path
+
+    from repro.engine.serve import ServeError
+    from repro.stream import ServeRuntime
+
+    tenants: list[tuple[str, str]] = []
+    for pair in args.tenant:
+        name, eq, spec = pair.partition("=")
+        if not eq or not name or not spec:
+            return _fail(f"bad --tenant {pair!r}; expected NAME=STREAM_SPEC")
+        if any(existing == name for existing, _ in tenants):
+            return _fail(f"duplicate tenant name {name!r}")
+        tenants.append((name, spec))
+
+    resumes: dict[str, dict] = {}
+    if args.resume_dir:
+        for name, _ in tenants:
+            path = Path(args.resume_dir) / f"{name}.ckpt"
+            if path.exists():
+                try:
+                    resumes[name] = pickle.loads(path.read_bytes())
+                except (OSError, pickle.PickleError, ValueError) as exc:
+                    return _fail(f"cannot resume {name!r} from {path}: {exc}")
+
+    rows: list[dict[str, object]] = []
+    try:
+        with ServeRuntime(
+            workers=args.workers,
+            shards=args.shards,
+            chunk_size=args.chunk,
+        ) as runtime:
+            for name, spec in tenants:
+                runtime.add_tenant(
+                    name,
+                    args.detector,
+                    spec,
+                    emit=args.emit_every,
+                    phi=args.phi,
+                    key=args.key,
+                    reset_on_emit=not args.no_reset,
+                    # Checkpointed runs keep the open interval intact so a
+                    # resumed run continues bit-identically (same contract
+                    # as `repro-hhh stream --checkpoint`).
+                    emit_partial=not args.checkpoint_dir,
+                    max_packets=args.max_packets,
+                    resume=resumes.get(name),
+                    fast_forward=args.fast_forward,
+                )
+                if name in resumes:
+                    pipeline = runtime.pipeline(name)
+                    print(f"{name}: resumed at packet {pipeline.packets} "
+                          f"(emission {pipeline.emissions})")
+            for name, emission in runtime.run():
+                flag = " partial" if emission.partial else ""
+                print(
+                    f"{name:<10} emit {emission.index:>4}  "
+                    f"[{emission.window.t0:10.3f}, "
+                    f"{emission.window.t1:10.3f})  "
+                    f"pkts {emission.packets:>8}  "
+                    f"report {len(emission.report):>4}{flag}"
+                )
+                rows.append({
+                    "tenant": name,
+                    "emission": emission.index,
+                    "t0": round(emission.window.t0, 3),
+                    "t1": round(emission.window.t1, 3),
+                    "packets": emission.packets,
+                    "bytes": emission.bytes,
+                    "report_size": len(emission.report),
+                    "partial": emission.partial,
+                })
+            print()
+            total_packets = 0
+            total_bytes = 0
+            total_emissions = 0
+            for name, _ in tenants:
+                if name in runtime.failed:
+                    continue
+                pipeline = runtime.pipeline(name)
+                total_packets += pipeline.packets
+                total_bytes += pipeline.bytes
+                total_emissions += pipeline.emissions
+                print(f"{name}: {pipeline.packets} packets, "
+                      f"{pipeline.bytes} bytes, "
+                      f"{pipeline.emissions} emissions")
+                if args.checkpoint_dir:
+                    directory = Path(args.checkpoint_dir)
+                    directory.mkdir(parents=True, exist_ok=True)
+                    path = directory / f"{name}.ckpt"
+                    path.write_bytes(pickle.dumps(
+                        runtime.checkpoint_tenant(name),
+                        protocol=pickle.HIGHEST_PROTOCOL,
+                    ))
+                    print(f"{name}: checkpoint -> {path}")
+            failed = dict(runtime.failed)
+    except (ValueError, ServeError) as exc:
+        # TraceSpecError, bad emission policies, and ServeError (a
+        # RuntimeError: bad pool shape, unknown/non-enumerable detectors)
+        # — the registration-time failures before any tenant streams.
+        return _fail(str(exc))
+
+    for name, message in failed.items():
+        print(f"{name}: FAILED — {message}", file=sys.stderr)
+    if args.json_out:
+        result = ExperimentResult(
+            experiment="serve",
+            params={
+                "detector": args.detector,
+                "tenants": [f"{n}={s}" for n, s in tenants],
+                "workers": args.workers, "shards": args.shards,
+                "chunk": args.chunk, "emit": args.emit_every,
+                "phi": args.phi, "key": args.key,
+                "max_packets": args.max_packets,
+            },
+            rows=rows,
+            traces=[
+                TraceProvenance(
+                    label=name, num_packets=0, duration_s=0.0,
+                    total_bytes=0, spec=spec,
+                )
+                for name, spec in tenants
+            ],
+            headline={
+                "tenants": len(tenants),
+                "failed": len(failed),
+                "num_emissions": total_emissions,
+                "stream_packets": total_packets,
+                "stream_bytes": total_bytes,
+            },
+        )
+        _emit_json(result, args.json_out)
+    return 1 if failed else 0
+
+
 # -- paper-artefact aliases (thin wrappers over the registry path) -----------
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -607,6 +753,51 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", dest="json_out", metavar="FILE",
                    help="also write the emission table as a JSON artifact")
     p.set_defaults(func=_cmd_stream)
+
+    p = sub.add_parser(
+        "serve",
+        help="multiplex tenant streams over persistent shard workers",
+    )
+    p.add_argument("--tenant", action="append", required=True,
+                   metavar="NAME=SPEC",
+                   help="a tenant stream as NAME=STREAM_SPEC (repeatable); "
+                        "same spec grammar as 'stream --source'")
+    p.add_argument("--detector", default="countmin-hh",
+                   help="registry name of an enumerable detector "
+                        "(default countmin-hh)")
+    p.add_argument("--workers", type=_min1_int, default=1,
+                   help="persistent shard-worker processes (default 1)")
+    p.add_argument("--shards", type=_min1_int, default=None,
+                   help="logical key-partitioned shards "
+                        "(default: one per worker)")
+    p.add_argument("--chunk", type=_min1_int, default=8192, metavar="N",
+                   help="packets per chunk and shared-memory slot "
+                        "(default 8192)")
+    p.add_argument("--emit-every", default="2s", metavar="POLICY",
+                   help="'Np' packets, 'Ts' trace seconds, or 'window:T' "
+                        "driver-aligned (default 2s)")
+    p.add_argument("--phi", type=_phi_float, default=0.02,
+                   help="report threshold as a fraction of interval bytes")
+    p.add_argument("--key", choices=("src", "dst"), default="src",
+                   help="trace column keying the detector")
+    p.add_argument("--max-packets", type=_min1_int, default=1_000_000,
+                   metavar="N",
+                   help="hard per-tenant packet cap (default 1000000)")
+    p.add_argument("--no-reset", action="store_true",
+                   help="keep detector state across emissions "
+                        "(continuous-time detectors)")
+    p.add_argument("--checkpoint-dir", metavar="DIR",
+                   help="write DIR/NAME.ckpt per tenant at end of run "
+                        "(suppresses trailing partial reports for "
+                        "bit-identical resume)")
+    p.add_argument("--resume-dir", metavar="DIR",
+                   help="restore DIR/NAME.ckpt for each tenant that has one")
+    p.add_argument("--fast-forward", action="store_true",
+                   help="with --resume-dir: skip the packets each "
+                        "checkpoint already consumed")
+    p.add_argument("--json", dest="json_out", metavar="FILE",
+                   help="also write the emission table as a JSON artifact")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("experiments", help="list the experiment registry")
     p.add_argument("--names", action="store_true",

@@ -21,12 +21,19 @@ from repro.engine.partition import (
     shard_of_key,
 )
 from repro.engine.runner import ParallelRunner
+from repro.engine.serve import ServeDetector, ServeError, ServePool, TenantError
 from repro.engine.sharded import ShardedDetector, sharded_factory
+from repro.engine.shm import ChunkRing
 
 __all__ = [
+    "ChunkRing",
     "ParallelRunner",
     "SHARD_SALT",
+    "ServeDetector",
+    "ServeError",
+    "ServePool",
     "ShardedDetector",
+    "TenantError",
     "partition_batch",
     "shard_ids",
     "shard_of_key",

@@ -59,6 +59,16 @@ def partition_batch(
     if num_shards == 1:
         return [(keys, weights, ts)]
     ids = shard_ids(keys, num_shards)
+    if len(ids) and bool((ids == ids[0]).all()):
+        # Every key routes to one shard: skip the argsort gather and hand
+        # that shard the original columns (empty slices elsewhere).
+        target = int(ids[0])
+        empty_ts = None if ts is None else ts[:0]
+        return [
+            (keys, weights, ts) if s == target
+            else (keys[:0], weights[:0], empty_ts)
+            for s in range(num_shards)
+        ]
     order = np.argsort(ids, kind="stable")
     keys_sorted = np.take(keys, order)
     weights_sorted = np.take(weights, order)

@@ -21,7 +21,9 @@ already made for vectorization.
 
 from __future__ import annotations
 
+import atexit
 import os
+import weakref
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Sequence
 
@@ -33,6 +35,20 @@ from repro.core.detector import Detector
 ShardPart = tuple[np.ndarray, np.ndarray, "np.ndarray | None"]
 
 _BACKENDS = ("serial", "process")
+
+
+_LIVE_RUNNERS: "weakref.WeakSet[ParallelRunner]" = weakref.WeakSet()
+
+
+def _close_live_runners() -> None:  # pragma: no cover - interpreter exit path
+    for runner in list(_LIVE_RUNNERS):
+        try:
+            runner.close()
+        except Exception:
+            pass
+
+
+atexit.register(_close_live_runners)
 
 
 def _update_shard(payload: tuple[Detector, ShardPart]) -> Detector:
@@ -113,19 +129,29 @@ class ParallelRunner:
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            _LIVE_RUNNERS.add(self)
         return self._pool
 
     def close(self) -> None:
-        """Shut the worker pool down (no-op for the serial backend)."""
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
+        """Shut the worker pool down.  Idempotent; a no-op for the serial
+        backend.  Abandoned runners are also swept by ``__del__`` and an
+        atexit hook, so a leaked pool cannot hang interpreter exit."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown()
+        _LIVE_RUNNERS.discard(self)
 
     def __enter__(self) -> "ParallelRunner":
         return self
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC ordering dependent
+        try:
+            self.close()
+        except Exception:
+            pass
 
     def __repr__(self) -> str:
         return f"ParallelRunner(backend={self.backend!r}, workers={self.workers})"

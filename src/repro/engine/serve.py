@@ -1,0 +1,619 @@
+"""Persistent shard-worker pool with zero-copy shared-memory handoff.
+
+The process backend of :class:`repro.engine.ParallelRunner` pickles every
+shard detector out *and back* on every batch — fine for whole-window
+fan-out, ruinous for streaming.  :class:`ServePool` inverts the
+ownership: ``W`` long-lived worker processes each *own* a fixed subset of
+the ``S`` logical shards (shard ``s`` lives on worker ``s % W``) for the
+life of the pool, so detector state never crosses a process boundary
+during ingest.  Per chunk, the main process routes keys once (the same
+``splitmix64`` partition the sharded engine uses), writes the partitioned
+columns into a :class:`repro.engine.shm.ChunkRing` slot, and ships only
+``(slot, shard bounds)`` over each worker's pipe; workers slice their
+shard ranges out of the shared pages with zero copies and fold them into
+their pinned detectors.
+
+Updates are *asynchronous*: the pool returns as soon as the slot is
+written, so the main process partitions chunk ``k+1`` (and pulls it from
+the source) while workers are still updating chunk ``k`` — the
+ingest→partition→update pipeline overlap that makes shard count a
+throughput knob.  Queries, resets, checkpoints, and tenant lifecycle are
+synchronous barriers, which is exactly where the streaming pipeline needs
+them (emission boundaries).
+
+Many tenants multiplex over one pool: each worker keeps an independent
+detector per (tenant, owned shard), commands are tenant-scoped, and a
+tenant's failure is reported as :class:`TenantError` without touching
+sibling tenants or killing workers.
+
+Checkpoints interchange with the serial engine: ``save_tenant`` emits the
+same ``repro-hhh/detector-state/v1`` envelope a
+:class:`repro.engine.ShardedDetector` of equal shard count writes, and
+``load_tenant`` accepts one — a tenant frozen under serve resumes under
+the serial pipeline (or on a pool with a *different worker count*)
+bit-identically, because the logical shard partition, not the worker
+layout, is what the artifact captures.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing as mp
+import pickle
+import weakref
+from collections import deque
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.checkpoint import STATE_SCHEMA, CheckpointError
+from repro.core.detector import Detector, as_batch
+from repro.engine.partition import shard_ids
+from repro.engine.shm import ChunkRing
+
+#: ``detector`` tag written into serve checkpoints — deliberately the
+#: serial engine's class name, because the artifact captures the logical
+#: key-partitioned shard set, not the runtime that held it.
+_SHARDED_STATE_TAG = "ShardedDetector"
+
+
+class ServeError(RuntimeError):
+    """A pool-fatal serve failure (dead worker, closed pool, bad wiring)."""
+
+
+class TenantError(ServeError):
+    """One tenant's command failed; the pool and sibling tenants live on."""
+
+    def __init__(self, tenant: object, message: str) -> None:
+        self.tenant = tenant
+        super().__init__(f"tenant {tenant!r}: {message}")
+
+
+# -- the worker process -------------------------------------------------------
+
+def _tenant_shards(tenants: dict, tenant: object) -> dict[int, Detector]:
+    try:
+        return tenants[tenant]
+    except KeyError:
+        raise ValueError(f"tenant {tenant!r} is not open on this worker")
+
+
+def _serve_dispatch(
+    tenants: dict, ring: ChunkRing, owned: tuple[int, ...], msg: tuple
+) -> object:
+    """Execute one command against this worker's pinned detectors."""
+    op = msg[0]
+    if op == "update":
+        _, tenant, slot, bounds, n, has_ts = msg
+        shards = _tenant_shards(tenants, tenant)
+        keys, weights, ts = ring.views(slot, n)
+        for s in owned:
+            i, j = bounds[s], bounds[s + 1]
+            if j > i:
+                shards[s].update_batch(
+                    keys[i:j], weights[i:j], ts[i:j] if has_ts else None
+                )
+        return slot
+    if op == "query":
+        _, tenant, threshold, now = msg
+        shards = _tenant_shards(tenants, tenant)
+        if now is None:
+            return {s: det.query(threshold) for s, det in shards.items()}
+        return {s: det.query(threshold, now) for s, det in shards.items()}
+    if op == "open":
+        _, tenant, factory = msg
+        if tenant in tenants:
+            raise ValueError(f"tenant {tenant!r} already open")
+        tenants[tenant] = {s: factory() for s in owned}
+        return None
+    if op == "reset":
+        for det in _tenant_shards(tenants, msg[1]).values():
+            det.reset()
+        return None
+    if op == "save":
+        return {
+            s: det.save_state()
+            for s, det in _tenant_shards(tenants, msg[1]).items()
+        }
+    if op == "load":
+        _, tenant, states = msg
+        for s, det in _tenant_shards(tenants, tenant).items():
+            det.load_state(states[s])
+        return None
+    if op == "counters":
+        return sum(
+            det.num_counters
+            for det in _tenant_shards(tenants, msg[1]).values()
+        )
+    if op == "close_tenant":
+        tenants.pop(msg[1], None)
+        return None
+    raise ValueError(f"unknown serve command {op!r}")
+
+
+def _serve_worker(
+    conn, ring_name: str, capacity: int, num_slots: int,
+    owned: tuple[int, ...],
+) -> None:
+    """Worker main loop: attach to the ring once, then serve commands.
+
+    Every received command produces exactly one reply — ``("ok", payload)``
+    or ``("error", text)`` — in arrival order, which is what lets the main
+    process leave update acks unread (the pipelining) and still match
+    replies to commands FIFO.  Command failures are tenant-scoped: the
+    worker replies with the error and keeps serving.
+    """
+    ring = ChunkRing(capacity, num_slots, name=ring_name)
+    tenants: dict[object, dict[int, Detector]] = {}
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except EOFError:
+                break
+            if msg[0] == "shutdown":
+                conn.send(("ok", None))
+                break
+            try:
+                reply = ("ok", _serve_dispatch(tenants, ring, owned, msg))
+            except Exception as exc:
+                reply = ("error", f"{type(exc).__name__}: {exc}")
+            conn.send(reply)
+    finally:
+        tenants.clear()  # drop detector slice refs before detaching the ring
+        ring.close()
+        conn.close()
+
+
+# -- pool shutdown safety net -------------------------------------------------
+
+_LIVE_POOLS: "weakref.WeakSet[ServePool]" = weakref.WeakSet()
+
+
+def _close_live_pools() -> None:  # pragma: no cover - interpreter exit path
+    for pool in list(_LIVE_POOLS):
+        try:
+            pool.close()
+        except Exception:
+            pass
+
+
+atexit.register(_close_live_pools)
+
+
+# -- the main-process pool ----------------------------------------------------
+
+class ServePool:
+    """``W`` persistent shard workers serving ``S`` logical shards.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count.  Workers are spawned eagerly and live until
+        :meth:`close`.
+    shards:
+        Logical shard count (default: ``workers``).  This — not the worker
+        count — is the unit of key partitioning and of checkpoint
+        compatibility; shard ``s`` is pinned to worker ``s % workers``.
+    chunk_capacity:
+        Largest chunk (packets) a single slot write accepts; longer
+        batches are shipped in capacity-sized pieces.
+    slots:
+        Ring slots (>= 2).  Two give classic double-buffering; a couple
+        more absorb scheduling jitter without blocking the partitioner.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        shards: int | None = None,
+        *,
+        chunk_capacity: int = 65536,
+        slots: int = 4,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        shards = workers if shards is None else shards
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if shards < workers:
+            raise ValueError(
+                f"{workers} workers need >= {workers} shards; got {shards} "
+                "(idle workers would own no keys)"
+            )
+        self.num_workers = workers
+        self.num_shards = shards
+        self.chunk_capacity = chunk_capacity
+        self.ring = ChunkRing(chunk_capacity, slots)
+        self.owned: tuple[tuple[int, ...], ...] = tuple(
+            tuple(range(w, shards, workers)) for w in range(workers)
+        )
+        ctx = mp.get_context()
+        self._conns = []
+        self._procs = []
+        #: Per-worker FIFO of in-flight async updates: (slot, tenant).
+        self._pending: list[deque] = [deque() for _ in range(workers)]
+        #: Per-slot count of workers still to ack the last write.
+        self._slot_users = [0] * slots
+        self._slot_cursor = 0
+        #: Async update failures, attributed per tenant and surfaced at
+        #: the next sync point for that tenant or via take_tenant_errors.
+        self._tenant_errors: list[tuple[object, str]] = []
+        self._tenants: set = set()
+        self._closed = False
+        try:
+            for w in range(workers):
+                parent, child = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_serve_worker,
+                    args=(child, self.ring.name, chunk_capacity, slots,
+                          self.owned[w]),
+                    daemon=True,
+                    name=f"repro-serve-{w}",
+                )
+                proc.start()
+                child.close()
+                self._conns.append(parent)
+                self._procs.append(proc)
+        except Exception:
+            self.close()
+            raise
+        _LIVE_POOLS.add(self)
+
+    # -- reply plumbing ---------------------------------------------------
+
+    def _recv(self, w: int) -> tuple:
+        try:
+            return self._conns[w].recv()
+        except (EOFError, OSError) as exc:
+            raise ServeError(f"serve worker {w} died: {exc}") from None
+
+    def _consume_async(self, w: int) -> None:
+        """Consume one in-flight update ack from worker ``w`` (blocking)."""
+        slot, tenant = self._pending[w].popleft()
+        status, payload = self._recv(w)
+        self._slot_users[slot] -= 1
+        if status == "error":
+            self._tenant_errors.append((tenant, payload))
+
+    def _drain(self, w: int) -> None:
+        while self._pending[w]:
+            self._consume_async(w)
+
+    def _broadcast(self, tenant: object, msg: tuple) -> list:
+        """Synchronous fan-out: drain each worker's update acks, send, and
+        gather one reply per worker (workers compute concurrently)."""
+        self._check_open()
+        for w in range(self.num_workers):
+            self._drain(w)
+            self._conns[w].send(msg)
+        payloads = []
+        errors = []
+        for w in range(self.num_workers):
+            status, payload = self._recv(w)
+            if status == "error":
+                errors.append(payload)
+            else:
+                payloads.append(payload)
+        if errors:
+            raise TenantError(tenant, "; ".join(sorted(set(errors))))
+        return payloads
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServeError("serve pool is closed")
+
+    # -- tenant lifecycle --------------------------------------------------
+
+    def open_tenant(
+        self, tenant: object, factory: Callable[[], Detector]
+    ) -> "ServeDetector":
+        """Build the tenant's shard detectors on their owning workers.
+
+        ``factory`` must be picklable and deterministic (seeded hash
+        families), so every worker's replicas match the shards a serial
+        :class:`~repro.engine.sharded.ShardedDetector` of the same count
+        would build.  Returns the tenant's :class:`ServeDetector` handle.
+        """
+        self._check_open()
+        if tenant in self._tenants:
+            raise ServeError(f"tenant {tenant!r} already open")
+        self._broadcast(tenant, ("open", tenant, factory))
+        self._tenants.add(tenant)
+        return ServeDetector(self, tenant)
+
+    def close_tenant(self, tenant: object) -> None:
+        """Drop one tenant's detectors everywhere; siblings are untouched."""
+        if self._closed:
+            return
+        self._broadcast(tenant, ("close_tenant", tenant))
+        self._tenants.discard(tenant)
+
+    @property
+    def tenants(self) -> tuple:
+        """The currently open tenant ids (registration order not kept)."""
+        return tuple(self._tenants)
+
+    # -- the data path -----------------------------------------------------
+
+    def update(self, tenant, keys, weights=None, ts=None) -> None:
+        """Route one columnar batch to the tenant's shard workers.
+
+        Asynchronous: returns once the slot is written and the bounds are
+        shipped, so the caller overlaps the next chunk's partitioning with
+        this chunk's detector updates.  Failures surface as
+        :class:`TenantError` at the tenant's next synchronous command (or
+        via :meth:`take_tenant_errors`).
+        """
+        self._check_open()
+        keys, weights, ts = as_batch(keys, weights, ts)
+        if keys.dtype.kind not in "iu":
+            raise ServeError(
+                "serve requires integer key columns for shared-memory "
+                f"transport; got dtype {keys.dtype}"
+            )
+        n = len(keys)
+        for start in range(0, n, self.chunk_capacity):
+            end = min(n, start + self.chunk_capacity)
+            self._ship(
+                tenant, keys[start:end], weights[start:end],
+                None if ts is None else ts[start:end],
+            )
+
+    def _ship(self, tenant, keys, weights, ts) -> None:
+        n = len(keys)
+        if n == 0:
+            return
+        num_shards = self.num_shards
+        slot = self._acquire_slot()
+        kview, wview, tview = self.ring.views(slot, n)
+        if num_shards == 1:
+            bounds = [0, n]
+            kview[:] = keys
+            wview[:] = weights
+            if ts is not None:
+                tview[:] = ts
+        else:
+            ids = shard_ids(keys, num_shards)
+            first = int(ids[0])
+            if bool((ids == first).all()):
+                # Single-destination chunk: skip the argsort gather.
+                bounds = [0] * (first + 1) + [n] * (num_shards - first)
+                kview[:] = keys
+                wview[:] = weights
+                if ts is not None:
+                    tview[:] = ts
+            else:
+                order = np.argsort(ids, kind="stable")
+                kview[:] = keys[order]
+                wview[:] = weights[order]
+                if ts is not None:
+                    tview[:] = ts[order]
+                bounds = np.searchsorted(
+                    ids[order], np.arange(num_shards + 1)
+                ).tolist()
+        msg = ("update", tenant, slot, bounds, n, ts is not None)
+        for w in range(self.num_workers):
+            conn = self._conns[w]
+            conn.send(msg)
+            self._pending[w].append((slot, tenant))
+            self._slot_users[slot] += 1
+            # Opportunistic non-blocking drain keeps ack queues shallow.
+            while self._pending[w] and conn.poll(0):
+                self._consume_async(w)
+
+    def _acquire_slot(self) -> int:
+        """A slot with no in-flight readers, blocking only when every slot
+        is still being consumed (the workers are ``slots`` chunks behind)."""
+        slots = self.ring.num_slots
+        for probe in range(slots):
+            s = (self._slot_cursor + probe) % slots
+            if self._slot_users[s] == 0:
+                self._slot_cursor = (s + 1) % slots
+                return s
+        s = self._slot_cursor  # oldest write; its acks arrive first
+        while self._slot_users[s]:
+            for w in range(self.num_workers):
+                if any(slot == s for slot, _ in self._pending[w]):
+                    self._consume_async(w)
+                    break
+            else:  # pragma: no cover - accounting invariant
+                raise ServeError("slot accounting desync")
+        self._slot_cursor = (s + 1) % slots
+        return s
+
+    def barrier(self) -> None:
+        """Block until every shipped chunk is folded in (all acks drained)."""
+        self._check_open()
+        for w in range(self.num_workers):
+            self._drain(w)
+
+    def take_tenant_errors(self) -> list[tuple[object, str]]:
+        """Deferred async update failures collected since the last call."""
+        errors, self._tenant_errors = self._tenant_errors, []
+        return errors
+
+    def _raise_deferred(self, tenant: object) -> None:
+        """Raise the oldest deferred error for ``tenant``, keeping others."""
+        keep = []
+        mine = None
+        for item in self._tenant_errors:
+            if mine is None and item[0] == tenant:
+                mine = item
+            else:
+                keep.append(item)
+        self._tenant_errors = keep
+        if mine is not None:
+            raise TenantError(mine[0], mine[1])
+
+    # -- the query/state path ----------------------------------------------
+
+    def query(self, tenant, threshold: float, now: float | None = None
+              ) -> dict[int, float]:
+        """Union of per-shard reports, assembled in shard order (exactly
+        the serial ``ShardedDetector.query`` iteration order)."""
+        shard_reports: dict[int, dict[int, float]] = {}
+        for payload in self._broadcast(
+            tenant, ("query", tenant, threshold, now)
+        ):
+            shard_reports.update(payload)
+        self._raise_deferred(tenant)
+        out: dict[int, float] = {}
+        for s in range(self.num_shards):
+            out.update(shard_reports.get(s, {}))
+        return out
+
+    def reset(self, tenant) -> None:
+        self._broadcast(tenant, ("reset", tenant))
+        self._raise_deferred(tenant)
+
+    def num_counters(self, tenant) -> int:
+        return sum(self._broadcast(tenant, ("counters", tenant)))
+
+    def save_tenant(self, tenant) -> dict[str, object]:
+        """Freeze one tenant into the serial engine's checkpoint envelope.
+
+        The artifact is byte-compatible with
+        ``ShardedDetector(factory, shards).save_state()``: restoring it
+        there — or on a pool with any worker count and the same shard
+        count — continues bit-identically.
+        """
+        shard_states: dict[int, dict[str, object]] = {}
+        for payload in self._broadcast(tenant, ("save", tenant)):
+            shard_states.update(payload)
+        self._raise_deferred(tenant)
+        payload = {
+            "num_shards": self.num_shards,
+            "shards": [shard_states[s] for s in range(self.num_shards)],
+        }
+        return {
+            "schema": STATE_SCHEMA,
+            "detector": _SHARDED_STATE_TAG,
+            "payload": pickle.dumps(
+                payload, protocol=pickle.HIGHEST_PROTOCOL
+            ),
+        }
+
+    def load_tenant(self, tenant, state: dict[str, object]) -> None:
+        """Restore a :meth:`save_tenant` / ``ShardedDetector`` artifact."""
+        if not isinstance(state, dict) or state.get("schema") != STATE_SCHEMA:
+            raise CheckpointError(
+                f"expected a {STATE_SCHEMA!r} artifact"
+            )
+        if state.get("detector") != _SHARDED_STATE_TAG:
+            raise CheckpointError(
+                f"checkpoint holds {state.get('detector')!r} state; the "
+                f"serve pool loads {_SHARDED_STATE_TAG!r} artifacts"
+            )
+        payload = pickle.loads(state["payload"])  # type: ignore[arg-type]
+        if payload["num_shards"] != self.num_shards:
+            raise CheckpointError(
+                f"checkpoint has {payload['num_shards']} shards; this pool "
+                f"serves {self.num_shards}"
+            )
+        shards = payload["shards"]
+        self._check_open()
+        for w in range(self.num_workers):
+            self._drain(w)
+            self._conns[w].send((
+                "load", tenant, {s: shards[s] for s in self.owned[w]}
+            ))
+        errors = []
+        for w in range(self.num_workers):
+            status, reply = self._recv(w)
+            if status == "error":
+                errors.append(reply)
+        if errors:
+            raise TenantError(tenant, "; ".join(sorted(set(errors))))
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut workers down and release the shared ring.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for w, conn in enumerate(self._conns):
+            try:
+                self._drain(w)
+                conn.send(("shutdown",))
+                conn.recv()  # the shutdown ack
+            except (ServeError, OSError, EOFError, BrokenPipeError):
+                pass
+            finally:
+                conn.close()
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - hung worker backstop
+                proc.terminate()
+                proc.join(timeout=1)
+        self.ring.close()
+        _LIVE_POOLS.discard(self)
+
+    def __enter__(self) -> "ServePool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC ordering dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        return (
+            f"ServePool(workers={self.num_workers}, "
+            f"shards={self.num_shards}, "
+            f"chunk_capacity={self.chunk_capacity}, "
+            f"slots={self.ring.num_slots}, "
+            f"tenants={len(self._tenants)})"
+        )
+
+
+class ServeDetector(Detector):
+    """One tenant's handle on a :class:`ServePool`, as a `Detector`.
+
+    Implements the full contract, so a plain :class:`repro.stream.
+    StreamPipeline` drives it unchanged — updates stream to the pinned
+    workers asynchronously, while queries, resets, and checkpoints are the
+    natural barriers.  Obtained from :meth:`ServePool.open_tenant`.
+    """
+
+    def __init__(self, pool: ServePool, tenant: object) -> None:
+        self.pool = pool
+        self.tenant = tenant
+
+    def update(self, key: int, weight: float = 1,
+               ts: float | None = None) -> None:
+        """One packet as a 1-row batch (serve is a batch transport)."""
+        self.pool.update(
+            self.tenant,
+            np.asarray([int(key)], dtype=np.uint64),
+            np.asarray([weight]),
+            None if ts is None else np.asarray([ts], dtype=np.float64),
+        )
+
+    def update_batch(self, keys, weights=None, ts=None) -> None:
+        self.pool.update(self.tenant, keys, weights, ts)
+
+    def query(self, threshold: float, now: float | None = None
+              ) -> dict[int, float]:
+        return self.pool.query(self.tenant, threshold, now)
+
+    def reset(self) -> None:
+        self.pool.reset(self.tenant)
+
+    def save_state(self) -> dict[str, object]:
+        return self.pool.save_tenant(self.tenant)
+
+    def load_state(self, state: dict[str, object]) -> None:
+        self.pool.load_tenant(self.tenant, state)
+
+    @property
+    def num_counters(self) -> int:
+        return self.pool.num_counters(self.tenant)
+
+    def __repr__(self) -> str:
+        return f"ServeDetector(tenant={self.tenant!r}, pool={self.pool!r})"

@@ -81,6 +81,11 @@ class ShardedDetector(Detector):
 
     def update_batch(self, keys, weights=None, ts=None) -> None:
         """Partition the columns once, then batch-update every shard."""
+        if self.num_shards == 1 and self.runner is None:
+            # Degenerate sharding: hand the batch straight to the one
+            # replica — no routing hash, no as_batch round trip.
+            self.shards[0].update_batch(keys, weights, ts)
+            return
         keys, weights, ts = as_batch(keys, weights, ts)
         if len(keys) == 0:
             return

@@ -45,6 +45,7 @@ def _ensure_populated() -> None:
         shard_scaling,
         stats,
         stream_replay,
+        stream_serve,
         sweep,
         throughput,
     )

@@ -23,7 +23,8 @@ import time
 
 from repro.analysis.throughput import trace_columns
 from repro.core import get_enumerable_spec
-from repro.engine import ParallelRunner, ShardedDetector
+from repro.core.detector import as_batch
+from repro.engine import ParallelRunner, ShardedDetector, partition_batch
 from repro.experiments.base import (
     Experiment,
     ExperimentError,
@@ -113,7 +114,12 @@ class ShardScaling(Experiment):
                     t0 = time.perf_counter()
                     sharded.update_batch(keys, weights, ts)
                     best = min(best, time.perf_counter() - t0)
+                t0 = time.perf_counter()
                 report = self._query(sharded, spec, threshold, now)
+                emit_s = time.perf_counter() - t0
+                partition_s, update_s = self._stage_breakdown(
+                    spec, num_shards, runner, keys, weights, ts
+                )
                 # Clamp degenerate timings (coarse clocks on tiny batches)
                 # so pps stays finite for int rendering and JSON.
                 pps = len(keys) / max(best, 1e-9)
@@ -126,6 +132,9 @@ class ShardScaling(Experiment):
                     "packets": len(keys),
                     "pps": int(pps),
                     "speedup": 0.0,  # filled once the sweep's base is known
+                    "partition_ms": round(partition_s * 1000, 3),
+                    "update_ms": round(update_s * 1000, 3),
+                    "emit_ms": round(emit_s * 1000, 3),
                     "report_size": len(report),
                     "jaccard_vs_single": round(
                         jaccard(set(reference_report), set(report)), 4
@@ -149,6 +158,32 @@ class ShardScaling(Experiment):
                 "reference_report_size": len(reference_report),
             },
         )
+
+    @staticmethod
+    def _stage_breakdown(
+        spec, num_shards: int, runner, keys, weights, ts
+    ) -> tuple[float, float]:
+        """(partition seconds, update seconds) for one instrumented pass.
+
+        Measured on a fresh instance so the best-of-N total timing above
+        is never perturbed; this is the split that shows where a sharded
+        configuration's time actually goes (the routing tax vs the
+        detector work the shards parallelize).
+        """
+        stage = ShardedDetector(spec.factory, num_shards, runner)
+        kb, wb, tb = as_batch(keys, weights, ts)
+        t0 = time.perf_counter()
+        parts = partition_batch(kb, wb, tb, num_shards)
+        partition_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        if runner is None:
+            for shard, (pk, pw, pt) in zip(stage.shards, parts):
+                if len(pk):
+                    shard.update_batch(pk, pw, pt)
+        else:
+            stage.shards = runner.update_shards(stage.shards, parts)
+        update_s = time.perf_counter() - t0
+        return partition_s, update_s
 
     @staticmethod
     def _query(detector, spec, threshold: float, now: float):

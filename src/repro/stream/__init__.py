@@ -36,6 +36,7 @@ from repro.stream.pipeline import (
     StreamPipeline,
     build_stream_detector,
 )
+from repro.stream.serve import ServeRuntime
 from repro.stream.source import (
     InterleaveSource,
     RateRewriteSource,
@@ -61,6 +62,7 @@ __all__ = [
     "RateRewriteSource",
     "STREAM_CHECKPOINT_SCHEMA",
     "ScenarioSource",
+    "ServeRuntime",
     "SkipSource",
     "SpliceSource",
     "StreamPipeline",

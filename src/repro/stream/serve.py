@@ -1,0 +1,298 @@
+"""Multi-tenant streaming serve runtime over one persistent shard pool.
+
+:class:`ServeRuntime` is the deployment shape of ROADMAP's "millions of
+users" item: one :class:`repro.engine.ServePool` (N persistent worker
+processes, each owning its logical shards for the life of the run) serves
+*many* concurrent tenant streams.  Each tenant is an ordinary
+:class:`repro.stream.StreamPipeline` whose detector happens to be a
+:class:`repro.engine.ServeDetector` handle — the pipeline code is
+untouched, which is what keeps serve emissions observationally equivalent
+to the serial path (bit-identical, enforced by
+``tests/stream/test_serve.py``).
+
+Equivalence hinges on one transport invariant the runtime maintains: the
+pool's slot capacity equals the tenant chunk size, so every pipeline
+sub-slice ships as exactly *one* shared-memory slot write and therefore
+reaches each shard detector as exactly one ``update_batch`` call — the
+same batch boundaries the serial sharded engine produces.  (Vectorized
+detectors aggregate per batch, so different boundaries would reorder
+candidate admission even when final counts agree.)
+
+Tenants advance round-robin, one chunk per turn, so a hot tenant cannot
+starve the others, and the pool pipelines throughout: while workers fold
+tenant A's chunk, the main process is already partitioning tenant B's.
+A tenant failure (:class:`repro.engine.TenantError`) retires that tenant
+— recorded in :attr:`ServeRuntime.failed`, its shard detectors dropped —
+without killing workers or sibling tenants.
+
+Checkpoints are the migration unit: :meth:`ServeRuntime.checkpoint_tenant`
+emits the standard ``repro-hhh/stream-checkpoint/v1`` artifact, so a
+tenant frozen here resumes bit-identically on another pool (any worker
+count, same shard count), under the serial pipeline, or back here via
+``add_tenant(..., resume=ckpt, fast_forward=True)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.core.detector import Detector
+from repro.core.registry import get_enumerable_spec
+from repro.engine.serve import ServeError, ServePool, TenantError
+from repro.stream.emission import Emission, parse_emission_policy
+from repro.stream.pipeline import StreamPipeline
+from repro.stream.source import StreamSource, parse_stream_spec, skip_packets
+
+
+class _TenantRun:
+    """One tenant's live streaming state inside the runtime."""
+
+    __slots__ = ("name", "pipeline", "chunks", "remaining", "done")
+
+    def __init__(
+        self,
+        name: str,
+        pipeline: StreamPipeline,
+        chunks: Iterator,
+        remaining: int | None,
+    ) -> None:
+        self.name = name
+        self.pipeline = pipeline
+        self.chunks = chunks
+        self.remaining = remaining
+        self.done = False
+
+
+class ServeRuntime:
+    """Drive many tenant streams over one persistent shard-worker pool.
+
+    Parameters
+    ----------
+    workers, shards, slots:
+        Pool shape (see :class:`repro.engine.ServePool`); ``shards``
+        defaults to ``workers``.  Ignored when ``pool`` is injected.
+    chunk_size:
+        Packets per stream chunk, and the pool's slot capacity — the two
+        are deliberately one knob (see the module docstring).
+    pool:
+        An existing pool to multiplex onto instead of owning one; the
+        caller keeps responsibility for closing it.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = 1,
+        shards: int | None = None,
+        chunk_size: int = 8192,
+        slots: int = 4,
+        pool: ServePool | None = None,
+    ) -> None:
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        if pool is not None and pool.chunk_capacity < chunk_size:
+            raise ServeError(
+                f"injected pool slots hold {pool.chunk_capacity} packets; "
+                f"chunk_size {chunk_size} would split chunks and change "
+                "batch boundaries vs the serial pipeline"
+            )
+        self.chunk_size = chunk_size
+        self._owns_pool = pool is None
+        self.pool = pool if pool is not None else ServePool(
+            workers, shards, chunk_capacity=chunk_size, slots=slots
+        )
+        self._tenants: dict[str, _TenantRun] = {}
+        #: Tenant failures observed so far: name -> error message.
+        self.failed: dict[str, str] = {}
+        self._closed = False
+
+    # -- tenant lifecycle --------------------------------------------------
+
+    def add_tenant(
+        self,
+        name: str,
+        detector: str | Callable[[], Detector],
+        source: str | StreamSource,
+        *,
+        emit: str = "2s",
+        phi: float = 0.02,
+        key: str = "src",
+        timestamped: bool | None = None,
+        reset_on_emit: bool = True,
+        emit_partial: bool = True,
+        max_packets: int | None = None,
+        resume: dict[str, object] | None = None,
+        fast_forward: bool = False,
+    ) -> StreamPipeline:
+        """Register one tenant stream; returns its pipeline.
+
+        ``detector`` is a registry name (must be enumerable) or a picklable
+        detector factory; ``source`` is a stream spec string or a
+        :class:`StreamSource`.  ``resume`` restores a prior
+        ``repro-hhh/stream-checkpoint/v1`` artifact before any packet
+        flows, and ``fast_forward`` additionally skips the packets that
+        artifact already consumed (for deterministic sources replayed from
+        the start).  ``max_packets`` bounds this tenant; with ``resume`` it
+        counts the checkpointed packets as already consumed.
+        """
+        self._check_open()
+        if name in self._tenants:
+            raise ServeError(f"tenant {name!r} already registered")
+        if isinstance(detector, str):
+            spec = get_enumerable_spec(detector, ServeError)
+            factory: Callable[[], Detector] = spec.factory
+            if timestamped is None:
+                timestamped = spec.timestamped
+        else:
+            factory = detector
+            if timestamped is None:
+                timestamped = False
+        if isinstance(source, str):
+            source = parse_stream_spec(source)
+        handle = self.pool.open_tenant(name, factory)
+        try:
+            pipeline = StreamPipeline(
+                handle,
+                parse_emission_policy(emit),
+                phi=phi,
+                key=key,
+                timestamped=timestamped,
+                reset_on_emit=reset_on_emit,
+                emit_partial=emit_partial,
+            )
+            if resume is not None:
+                pipeline.restore(resume)
+                if fast_forward:
+                    source = skip_packets(source, pipeline.packets)
+            remaining = None
+            if max_packets is not None:
+                if max_packets < 1:
+                    raise ValueError(
+                        f"max_packets must be >= 1, got {max_packets}"
+                    )
+                remaining = max_packets - pipeline.packets
+                if remaining <= 0:
+                    raise ValueError(
+                        f"tenant {name!r} resumes at packet "
+                        f"{pipeline.packets}, at or past max_packets "
+                        f"{max_packets}"
+                    )
+        except BaseException:
+            self.pool.close_tenant(name)
+            raise
+        run = _TenantRun(name, pipeline, source.chunks(self.chunk_size),
+                         remaining)
+        self._tenants[name] = run
+        return pipeline
+
+    def pipeline(self, name: str) -> StreamPipeline:
+        """The named tenant's pipeline (live or finished, not failed)."""
+        return self._tenants[name].pipeline
+
+    @property
+    def tenants(self) -> tuple[str, ...]:
+        """Registered tenant names in registration order."""
+        return tuple(self._tenants)
+
+    def checkpoint_tenant(self, name: str) -> dict[str, object]:
+        """Freeze one tenant into a stream-checkpoint migration artifact."""
+        return self._tenants[name].pipeline.checkpoint()
+
+    # -- the run loop ------------------------------------------------------
+
+    def run(self) -> Iterator[tuple[str, Emission]]:
+        """Advance all tenants round-robin, yielding emissions online.
+
+        Each turn feeds one chunk to one tenant, so concurrent streams
+        interleave fairly while the pool overlaps their partition and
+        update stages.  Yields ``(tenant_name, emission)`` as boundaries
+        fall; returns when every tenant is finished or failed.
+        """
+        self._check_open()
+        while True:
+            live = [
+                run for run in self._tenants.values() if not run.done
+            ]
+            if not live:
+                break
+            for run in live:
+                yield from self._step(run)
+                self._sweep_deferred()
+        self.pool.barrier()
+        self._sweep_deferred()
+
+    def _step(self, run: _TenantRun) -> Iterator[tuple[str, Emission]]:
+        """Feed one chunk to one tenant, retiring it on error or EOS."""
+        try:
+            chunk = next(run.chunks, None)
+            if chunk is not None and run.remaining is not None:
+                if len(chunk) > run.remaining:
+                    chunk = chunk.slice_index(0, run.remaining)
+                run.remaining -= len(chunk)
+            if chunk is None or not len(chunk):
+                for emission in run.pipeline.finish():
+                    yield run.name, emission
+                run.done = True
+                return
+            for emission in run.pipeline.push(chunk):
+                yield run.name, emission
+            if run.remaining is not None and run.remaining <= 0:
+                for emission in run.pipeline.finish():
+                    yield run.name, emission
+                run.done = True
+        except TenantError as exc:
+            self._fail(run.name, str(exc))
+
+    def _sweep_deferred(self) -> None:
+        """Retire tenants whose *asynchronous* updates failed.
+
+        Async failures surface out of band (the pool defers them to the
+        next sync point); sweeping after every step pins each one to its
+        tenant before another tenant's turn can observe it.
+        """
+        for tenant, message in self.pool.take_tenant_errors():
+            self._fail(str(tenant), message)
+
+    def _fail(self, name: str, message: str) -> None:
+        self.failed.setdefault(name, message)
+        run = self._tenants.get(name)
+        if run is not None:
+            run.done = True
+        try:
+            self.pool.close_tenant(name)
+        except (ServeError, TenantError):  # pragma: no cover - double fault
+            pass
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServeError("serve runtime is closed")
+
+    def close(self) -> None:
+        """Release the pool (if owned) or just this runtime's tenants."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._owns_pool:
+            self.pool.close()
+        else:
+            for name in list(self._tenants):
+                if name not in self.failed:
+                    try:
+                        self.pool.close_tenant(name)
+                    except (ServeError, TenantError):  # pragma: no cover
+                        pass
+
+    def __enter__(self) -> "ServeRuntime":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ServeRuntime(pool={self.pool!r}, "
+            f"chunk_size={self.chunk_size}, "
+            f"tenants={list(self._tenants)}, failed={list(self.failed)})"
+        )

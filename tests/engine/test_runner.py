@@ -85,3 +85,28 @@ def test_close_is_idempotent():
     runner = ParallelRunner("serial")
     runner.close()
     runner.close()
+
+
+def test_abandoned_process_pool_is_swept():
+    """An abandoned runner's executor is shut down by the GC/atexit
+    guard, so a leaked pool cannot hang interpreter exit."""
+    from repro.engine.runner import _LIVE_RUNNERS
+
+    runner = ParallelRunner("process", workers=1)
+    runner.map_tasks(len, [[1, 2], [3]])  # spin the pool up
+    assert runner in _LIVE_RUNNERS
+    pool = runner._pool
+    runner.__del__()
+    assert runner._pool is None
+    assert runner not in _LIVE_RUNNERS
+    # The executor itself was shut down, not just dropped.
+    with pytest.raises(RuntimeError):
+        pool.submit(len, [1])
+
+
+def test_close_after_close_with_live_pool():
+    runner = ParallelRunner("process", workers=1)
+    runner.map_tasks(len, [[1]])
+    runner.close()
+    runner.close()
+    assert runner._pool is None

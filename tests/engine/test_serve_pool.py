@@ -1,0 +1,285 @@
+"""The persistent shard-worker pool: shared-memory transport, serial
+equivalence, checkpoint interop, and tenant-scoped failure isolation."""
+
+import pickle
+from functools import partial
+
+import numpy as np
+import pytest
+
+from repro.core import make_detector
+from repro.core.checkpoint import STATE_SCHEMA, CheckpointError
+from repro.core.detector import Detector
+from repro.engine import (
+    ChunkRing,
+    ServeError,
+    ServePool,
+    ShardedDetector,
+    TenantError,
+)
+
+FACTORY = partial(make_detector, "countmin-hh")
+
+
+@pytest.fixture(scope="module")
+def columns():
+    rng = np.random.default_rng(11)
+    n = 6000
+    return (
+        rng.integers(0, 400, size=n).astype(np.uint32),
+        rng.integers(40, 1500, size=n).astype(np.int64),
+        np.cumsum(rng.random(n) * 1e-3),
+    )
+
+
+class ExplodingDetector(Detector):
+    """Fails every update past ``limit`` packets (picklable, for tenant
+    failure-isolation tests)."""
+
+    def __init__(self, limit: int = 1000) -> None:
+        self.inner = make_detector("countmin-hh")
+        self.limit = limit
+        self.seen = 0
+
+    def update(self, key, weight=1, ts=None):
+        self.update_batch([key], [weight], None if ts is None else [ts])
+
+    def update_batch(self, keys, weights=None, ts=None):
+        self.seen += len(keys)
+        if self.seen > self.limit:
+            raise RuntimeError("detector exploded")
+        self.inner.update_batch(keys, weights, ts)
+
+    def query(self, threshold, now=None):
+        return self.inner.query(threshold)
+
+    def reset(self):
+        self.inner.reset()
+        self.seen = 0
+
+    def save_state(self):
+        return self.inner.save_state()
+
+    def load_state(self, state):
+        self.inner.load_state(state)
+
+    @property
+    def num_counters(self):
+        return self.inner.num_counters
+
+
+class TestChunkRing:
+    def test_rejects_degenerate_shapes(self):
+        with pytest.raises(ValueError, match="capacity"):
+            ChunkRing(0)
+        with pytest.raises(ValueError, match="slots"):
+            ChunkRing(16, 1)
+
+    def test_views_are_bounded(self):
+        ring = ChunkRing(16, 2)
+        try:
+            with pytest.raises(ValueError, match="slot"):
+                ring.views(2, 4)
+            with pytest.raises(ValueError, match="n must"):
+                ring.views(0, 17)
+        finally:
+            ring.close()
+
+    def test_attached_ring_shares_pages(self):
+        owner = ChunkRing(8, 2)
+        reader = ChunkRing(8, 2, name=owner.name)
+        try:
+            keys, weights, ts = owner.views(1, 3)
+            keys[:] = [7, 8, 9]
+            weights[:] = [1, 2, 3]
+            ts[:] = [0.5, 0.6, 0.7]
+            rk, rw, rt = reader.views(1, 3)
+            assert rk.tolist() == [7, 8, 9]
+            assert rw.tolist() == [1, 2, 3]
+            assert rt.tolist() == [0.5, 0.6, 0.7]
+        finally:
+            reader.close()
+            owner.close()
+
+    def test_close_is_idempotent(self):
+        ring = ChunkRing(8, 2)
+        ring.close()
+        ring.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            ring.views(0, 1)
+
+
+class TestPoolShape:
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ValueError, match="workers"):
+            ServePool(0)
+        with pytest.raises(ValueError, match="shards"):
+            ServePool(1, 0)
+        with pytest.raises(ValueError, match="idle workers"):
+            ServePool(4, 2)
+
+    def test_shards_default_to_workers_and_round_robin(self):
+        with ServePool(2, 5, chunk_capacity=64) as pool:
+            assert pool.owned == ((0, 2, 4), (1, 3))
+        with ServePool(2, chunk_capacity=64) as pool:
+            assert pool.num_shards == 2
+
+    def test_close_is_idempotent_and_fences_commands(self):
+        pool = ServePool(1, chunk_capacity=64)
+        pool.close()
+        pool.close()
+        with pytest.raises(ServeError, match="closed"):
+            pool.open_tenant("t", FACTORY)
+
+
+class TestSerialEquivalence:
+    @pytest.mark.parametrize("workers,shards", [(1, 1), (1, 3), (2, 3)])
+    def test_reports_match_sharded_detector(self, columns, workers, shards):
+        """Same chunks, same shard layout: the serve report equals the
+        serial sharded report including dict insertion order."""
+        keys, weights, ts = columns
+        reference = ShardedDetector(FACTORY, shards)
+        with ServePool(workers, shards, chunk_capacity=2000) as pool:
+            detector = pool.open_tenant("t", FACTORY)
+            for start in range(0, len(keys), 2000):
+                sl = slice(start, start + 2000)
+                reference.update_batch(keys[sl], weights[sl], ts[sl])
+                detector.update_batch(keys[sl], weights[sl], ts[sl])
+            expected = reference.query(5000.0)
+            assert list(detector.query(5000.0).items()) == list(
+                expected.items()
+            )
+            assert detector.num_counters == reference.num_counters
+
+    def test_single_destination_chunk_skips_nothing(self, columns):
+        """A chunk whose keys all route to one shard still lands whole."""
+        _, weights, ts = columns
+        keys = np.full(500, 77, dtype=np.uint64)
+        reference = ShardedDetector(FACTORY, 4)
+        reference.update_batch(keys, weights[:500], ts[:500])
+        with ServePool(2, 4, chunk_capacity=2000) as pool:
+            detector = pool.open_tenant("t", FACTORY)
+            detector.update_batch(keys, weights[:500], ts[:500])
+            assert detector.query(100.0) == reference.query(100.0)
+
+    def test_oversized_batches_split_by_capacity(self, columns):
+        keys, weights, ts = columns
+        with ServePool(2, 2, chunk_capacity=512) as pool:
+            detector = pool.open_tenant("t", FACTORY)
+            detector.update_batch(keys, weights, ts)  # 6000 > 512
+            reference = ShardedDetector(FACTORY, 2)
+            for start in range(0, len(keys), 512):
+                sl = slice(start, start + 512)
+                reference.update_batch(keys[sl], weights[sl], ts[sl])
+            assert detector.query(5000.0) == reference.query(5000.0)
+
+    def test_scalar_update_and_reset(self, columns):
+        with ServePool(1, 2, chunk_capacity=64) as pool:
+            detector = pool.open_tenant("t", FACTORY)
+            detector.update(42, 100.0)
+            assert detector.query(1.0) == {42: 100.0}
+            detector.reset()
+            assert detector.query(0.0) == {}
+
+    def test_non_integer_keys_rejected(self):
+        with ServePool(1, chunk_capacity=64) as pool:
+            detector = pool.open_tenant("t", FACTORY)
+            with pytest.raises(ServeError, match="integer key"):
+                detector.update_batch(np.array([1.5, 2.5]))
+
+
+class TestCheckpointInterop:
+    def test_envelope_round_trips_with_sharded_detector(self, columns):
+        """serve -> serial and serial -> serve restores are bit-identical
+        (the pool emits the ShardedDetector envelope)."""
+        keys, weights, ts = columns
+        reference = ShardedDetector(FACTORY, 3)
+        reference.update_batch(keys, weights, ts)
+        with ServePool(2, 3, chunk_capacity=len(keys)) as pool:
+            detector = pool.open_tenant("t", FACTORY)
+            detector.update_batch(keys, weights, ts)
+            state = detector.save_state()
+            assert state["schema"] == STATE_SCHEMA
+            assert state["detector"] == "ShardedDetector"
+            restored = ShardedDetector(FACTORY, 3)
+            restored.load_state(state)
+            assert restored.query(5000.0) == reference.query(5000.0)
+
+            detector.reset()
+            detector.load_state(reference.save_state())
+            assert detector.query(5000.0) == reference.query(5000.0)
+
+    def test_restores_across_worker_counts(self, columns):
+        """The artifact captures logical shards, not worker layout: a
+        2-worker pool's state restores onto a 1-worker pool verbatim."""
+        keys, weights, ts = columns
+        with ServePool(2, 4, chunk_capacity=len(keys)) as pool:
+            detector = pool.open_tenant("t", FACTORY)
+            detector.update_batch(keys, weights, ts)
+            state = detector.save_state()
+            expected = list(detector.query(5000.0).items())
+        state = pickle.loads(pickle.dumps(state))
+        with ServePool(1, 4, chunk_capacity=len(keys)) as pool:
+            detector = pool.open_tenant("t", FACTORY)
+            detector.load_state(state)
+            assert list(detector.query(5000.0).items()) == expected
+
+    def test_rejects_mismatched_artifacts(self, columns):
+        with ServePool(1, 2, chunk_capacity=64) as pool:
+            detector = pool.open_tenant("t", FACTORY)
+            with pytest.raises(CheckpointError, match="artifact"):
+                detector.load_state({"schema": "bogus"})
+            with pytest.raises(CheckpointError, match="ShardedDetector"):
+                detector.load_state(make_detector("countmin-hh").save_state())
+            wrong = ShardedDetector(FACTORY, 3).save_state()
+            with pytest.raises(CheckpointError, match="3 shards"):
+                detector.load_state(wrong)
+
+
+class TestTenantIsolation:
+    def test_unknown_tenant_fails_without_killing_the_pool(self, columns):
+        keys, weights, ts = columns
+        with ServePool(2, 2, chunk_capacity=len(keys)) as pool:
+            detector = pool.open_tenant("t", FACTORY)
+            detector.update_batch(keys, weights, ts)
+            with pytest.raises(TenantError, match="ghost"):
+                pool.query("ghost", 1.0)
+            # The pool and the healthy tenant are untouched.
+            assert len(detector.query(5000.0)) > 0
+
+    def test_duplicate_open_rejected(self):
+        with ServePool(1, chunk_capacity=64) as pool:
+            pool.open_tenant("t", FACTORY)
+            with pytest.raises(ServeError, match="already open"):
+                pool.open_tenant("t", FACTORY)
+
+    def test_async_update_failure_is_deferred_to_the_tenant(self, columns):
+        """A worker-side update explosion surfaces as a TenantError on the
+        *failing* tenant's next sync op; the sibling keeps serving."""
+        keys, weights, ts = columns
+        with ServePool(2, 2, chunk_capacity=1000) as pool:
+            bad = pool.open_tenant("bad", partial(ExplodingDetector, 500))
+            good = pool.open_tenant("good", FACTORY)
+            for start in range(0, 4000, 1000):
+                sl = slice(start, start + 1000)
+                bad.update_batch(keys[sl], weights[sl], ts[sl])
+                good.update_batch(keys[sl], weights[sl], ts[sl])
+            with pytest.raises(TenantError, match="exploded"):
+                bad.query(1.0)
+            pool.close_tenant("bad")
+            reference = ShardedDetector(FACTORY, 2)
+            for start in range(0, 4000, 1000):
+                sl = slice(start, start + 1000)
+                reference.update_batch(keys[sl], weights[sl], ts[sl])
+            assert good.query(5000.0) == reference.query(5000.0)
+
+    def test_take_tenant_errors_drains_the_backlog(self, columns):
+        keys, weights, ts = columns
+        with ServePool(1, 2, chunk_capacity=1000) as pool:
+            bad = pool.open_tenant("bad", partial(ExplodingDetector, 100))
+            bad.update_batch(keys[:1000], weights[:1000], ts[:1000])
+            pool.barrier()
+            errors = pool.take_tenant_errors()
+            assert errors and errors[0][0] == "bad"
+            assert "exploded" in errors[0][1]
+            assert pool.take_tenant_errors() == []

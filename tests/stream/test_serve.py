@@ -1,0 +1,220 @@
+"""The multi-tenant serve runtime: bit-identical emissions vs the serial
+pipeline, checkpoint migration across pools, and tenant failure isolation."""
+
+import dataclasses
+from functools import partial
+
+import pytest
+
+from repro.core import get_spec, make_detector
+from repro.engine import ServeError, ServePool, ShardedDetector
+from repro.stream import (
+    ServeRuntime,
+    StreamPipeline,
+    parse_emission_policy,
+    parse_stream_spec,
+)
+
+CHUNK = 1024
+EMIT = "2s"
+PHI = 0.02
+SPECS = {
+    "alpha": "drift:duration=12,seed=3",
+    "beta": "zipf:duration=12,seed=9",
+}
+
+
+def _strip(emission):
+    """Emissions minus the wall clock (the only nondeterministic field)."""
+    return dataclasses.replace(emission, wall_s=0.0)
+
+
+def _serial_emissions(source_spec, detector="countmin-hh", shards=3,
+                      max_packets=9000, **kwargs):
+    spec = get_spec(detector)
+    det = (
+        ShardedDetector(spec.factory, shards) if shards > 1
+        else spec.factory()
+    )
+    pipeline = StreamPipeline(
+        det, parse_emission_policy(EMIT), phi=PHI,
+        timestamped=spec.timestamped, **kwargs,
+    )
+    return [
+        _strip(e) for e in pipeline.process(
+            parse_stream_spec(source_spec), CHUNK, max_packets
+        )
+    ]
+
+
+class ExplodingMidstream:
+    """Picklable factory: a countmin-hh that dies after ``limit`` packets."""
+
+    def __init__(self, limit):
+        self.limit = limit
+
+    def __call__(self):
+        from tests.engine.test_serve_pool import ExplodingDetector
+
+        return ExplodingDetector(self.limit)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("detector", ["countmin-hh", "spacesaving"])
+    def test_tenant_emissions_match_serial_pipeline(self, detector):
+        """Every tenant's emission sequence is bit-identical (reports
+        including dict order; wall_s excluded) to a serial per-tenant
+        StreamPipeline over the same stream spec."""
+        reference = {
+            name: _serial_emissions(spec, detector=detector)
+            for name, spec in SPECS.items()
+        }
+        with ServeRuntime(workers=2, shards=3, chunk_size=CHUNK) as runtime:
+            for name, spec in SPECS.items():
+                runtime.add_tenant(name, detector, spec, emit=EMIT,
+                                   phi=PHI, max_packets=9000)
+            observed = {name: [] for name in SPECS}
+            for name, emission in runtime.run():
+                observed[name].append(_strip(emission))
+            assert not runtime.failed
+        for name in SPECS:
+            assert observed[name] == reference[name]
+            for mine, theirs in zip(observed[name], reference[name]):
+                assert list(mine.report.items()) == list(
+                    theirs.report.items()
+                )
+
+    def test_single_worker_single_shard_matches_bare_pipeline(self):
+        reference = _serial_emissions(SPECS["alpha"], shards=1)
+        with ServeRuntime(workers=1, chunk_size=CHUNK) as runtime:
+            runtime.add_tenant("t", "countmin-hh", SPECS["alpha"],
+                               emit=EMIT, phi=PHI, max_packets=9000)
+            observed = [_strip(e) for _, e in runtime.run()]
+        assert observed == reference
+
+
+class TestMigration:
+    def test_checkpoint_rebalance_resume_is_uninterrupted(self):
+        """Freeze a tenant on a 2-worker pool, resume on a 1-worker pool:
+        the stitched emission sequence equals one uninterrupted serial
+        run (the checkpoint is the migration unit)."""
+        uninterrupted = _serial_emissions(SPECS["alpha"], shards=4)
+        with ServeRuntime(workers=2, shards=4, chunk_size=CHUNK) as runtime:
+            runtime.add_tenant("m", "countmin-hh", SPECS["alpha"],
+                               emit=EMIT, phi=PHI, max_packets=4000,
+                               emit_partial=False)
+            first = [_strip(e) for _, e in runtime.run()]
+            frozen = runtime.checkpoint_tenant("m")
+        with ServeRuntime(workers=1, shards=4, chunk_size=CHUNK) as runtime:
+            runtime.add_tenant("m", "countmin-hh", SPECS["alpha"],
+                               emit=EMIT, phi=PHI, max_packets=9000,
+                               resume=frozen, fast_forward=True)
+            second = [_strip(e) for _, e in runtime.run()]
+        merged = first + second
+        assert merged == uninterrupted
+        for mine, theirs in zip(merged, uninterrupted):
+            assert list(mine.report.items()) == list(theirs.report.items())
+
+    def test_serve_checkpoint_resumes_under_serial_pipeline(self):
+        """A serve tenant's checkpoint restores into a plain serial
+        sharded pipeline and continues bit-identically."""
+        uninterrupted = _serial_emissions(SPECS["alpha"], shards=2)
+        with ServeRuntime(workers=2, shards=2, chunk_size=CHUNK) as runtime:
+            runtime.add_tenant("m", "countmin-hh", SPECS["alpha"],
+                               emit=EMIT, phi=PHI, max_packets=4000,
+                               emit_partial=False)
+            first = [_strip(e) for _, e in runtime.run()]
+            frozen = runtime.checkpoint_tenant("m")
+        spec = get_spec("countmin-hh")
+        pipeline = StreamPipeline(
+            ShardedDetector(spec.factory, 2),
+            parse_emission_policy(EMIT), phi=PHI,
+            timestamped=spec.timestamped,
+        )
+        pipeline.restore(frozen)
+        source = parse_stream_spec(SPECS["alpha"])
+        from repro.stream import skip_packets
+
+        source = skip_packets(source, pipeline.packets)
+        remaining = 9000 - pipeline.packets
+        second = [
+            _strip(e) for e in pipeline.process(source, CHUNK, remaining)
+        ]
+        assert first + second == uninterrupted
+
+    def test_resume_rejects_exhausted_max_packets(self):
+        with ServeRuntime(workers=1, shards=2, chunk_size=CHUNK) as runtime:
+            runtime.add_tenant("m", "countmin-hh", SPECS["alpha"],
+                               emit=EMIT, phi=PHI, max_packets=3000,
+                               emit_partial=False)
+            list(runtime.run())
+            frozen = runtime.checkpoint_tenant("m")
+        with ServeRuntime(workers=1, shards=2, chunk_size=CHUNK) as runtime:
+            with pytest.raises(ValueError, match="max_packets"):
+                runtime.add_tenant("m", "countmin-hh", SPECS["alpha"],
+                                   max_packets=3000, resume=frozen)
+
+
+class TestFailureIsolation:
+    def test_failing_tenant_retires_without_killing_siblings(self):
+        """One tenant's detector explodes midstream: that tenant lands in
+        ``failed``, the workers survive, and the sibling tenant's full
+        emission sequence still matches the serial reference."""
+        reference = _serial_emissions(SPECS["beta"], shards=2)
+        with ServeRuntime(workers=2, shards=2, chunk_size=CHUNK) as runtime:
+            # The limit must trip inside one emission interval: reset-on-
+            # emit clears the packet count at each boundary (~850 packets
+            # per shard per 2s interval here).
+            runtime.add_tenant("doomed", ExplodingMidstream(400),
+                               SPECS["alpha"], emit=EMIT, phi=PHI,
+                               max_packets=9000)
+            runtime.add_tenant("healthy", "countmin-hh", SPECS["beta"],
+                               emit=EMIT, phi=PHI, max_packets=9000)
+            observed = {"doomed": [], "healthy": []}
+            for name, emission in runtime.run():
+                observed[name].append(_strip(emission))
+            assert "doomed" in runtime.failed
+            assert "exploded" in runtime.failed["doomed"]
+            assert "healthy" not in runtime.failed
+            assert observed["healthy"] == reference
+            # The pool is still serving: a fresh tenant opens and runs.
+            runtime.pool.open_tenant("fresh", partial(
+                make_detector, "countmin-hh"
+            ))
+            runtime.pool.close_tenant("fresh")
+
+    def test_registration_failures_do_not_leak_tenants(self):
+        with ServeRuntime(workers=1, chunk_size=CHUNK) as runtime:
+            with pytest.raises(ServeError, match="cannot enumerate"):
+                runtime.add_tenant("t", "countmin", SPECS["alpha"])
+            with pytest.raises(ValueError, match="max_packets"):
+                runtime.add_tenant("t", "countmin-hh", SPECS["alpha"],
+                                   max_packets=0)
+            # The name is free again after each failed registration.
+            runtime.add_tenant("t", "countmin-hh", SPECS["alpha"],
+                               max_packets=2000)
+            with pytest.raises(ServeError, match="already registered"):
+                runtime.add_tenant("t", "countmin-hh", SPECS["alpha"])
+
+
+class TestRuntimeWiring:
+    def test_injected_pool_capacity_must_cover_chunks(self):
+        with ServePool(1, chunk_capacity=256) as pool:
+            with pytest.raises(ServeError, match="batch boundaries"):
+                ServeRuntime(chunk_size=512, pool=pool)
+            runtime = ServeRuntime(chunk_size=256, pool=pool)
+            runtime.add_tenant("t", "countmin-hh", SPECS["alpha"],
+                               max_packets=1000)
+            list(runtime.run())
+            runtime.close()
+            # The injected pool outlives the runtime.
+            pool.open_tenant("still-alive", partial(
+                make_detector, "countmin-hh"
+            ))
+
+    def test_closed_runtime_fences_registration(self):
+        runtime = ServeRuntime(workers=1, chunk_size=CHUNK)
+        runtime.close()
+        runtime.close()
+        with pytest.raises(ServeError, match="closed"):
+            runtime.add_tenant("t", "countmin-hh", SPECS["alpha"])
