@@ -31,6 +31,15 @@ handoff, per-tenant checkpoints as the migration unit)::
               [--shards S] [--checkpoint-dir DIR]
               [--resume-dir DIR --fast-forward]
 
+The equivalence fuzz harness samples promised-equivalent plan pairs
+(chunking, sharding, checkpoint/resume, serve-vs-serial, merge-order),
+runs both sides through the real stack, and shrinks any divergence to a
+minimal replayable artifact::
+
+    repro-hhh fuzz [--budget-s S] [--seed N] [--pairs N]
+              [--detector NAME ...] [--axis AXIS ...]
+              [--cases-dir DIR] [--replay FILE] [--json FILE]
+
 The paper's artefacts remain available as thin aliases over the same path
 (identical tables, same deterministic seeded presets)::
 
@@ -60,6 +69,7 @@ from repro.experiments import (
     get_experiment,
     run_experiment,
 )
+from repro.fuzz.plan import AXES as _FUZZ_AXES
 from repro.packet.pcap import write_pcap
 from repro.trace.spec import TraceSpec, TraceSpecError, get_scenario, scenario_names
 from repro.trace.stats import compute_stats
@@ -541,6 +551,98 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+# -- the equivalence fuzz harness ---------------------------------------------
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.fuzz import (
+        FuzzError,
+        FuzzHarness,
+        case_filename,
+        read_case,
+        replay_case,
+        write_case,
+    )
+
+    if args.replay:
+        try:
+            case = read_case(args.replay)
+        except (OSError, ValueError) as exc:
+            return _fail(f"cannot read fuzz case {args.replay}: {exc}")
+        print(f"replaying {case.describe()}")
+        try:
+            divergence = replay_case(case)
+        except (FuzzError, ValueError, RuntimeError) as exc:
+            return _fail(f"replay failed to execute: {exc}")
+        if divergence is None:
+            print("no divergence: the recorded case no longer reproduces")
+            return 1
+        print(f"reproduced: {divergence}")
+        return 0
+
+    def on_pair(index, pair, divergence):
+        if divergence is not None:
+            print(f"pair {index:>4}  {pair.describe()}  DIVERGED: "
+                  f"{divergence.kind}")
+        elif args.verbose:
+            print(f"pair {index:>4}  {pair.describe()}  ok")
+
+    try:
+        harness = FuzzHarness(
+            seed=args.seed,
+            budget_s=args.budget_s,
+            max_pairs=args.pairs,
+            detectors=args.detector or None,
+            axes=args.axis or None,
+            shrink=not args.no_shrink,
+            on_pair=on_pair,
+        )
+        report = harness.run()
+    except (FuzzError, KeyError) as exc:
+        return _fail(str(exc))
+
+    print()
+    print(format_table(report.rows()))
+    print()
+    head = report.headline()
+    print(
+        f"fuzz: seed {head['seed']}, {head['pairs']} pairs in "
+        f"{head['elapsed_s']}s ({head['pairs_per_s']}/s), "
+        f"{len(report.axes_covered)} axes x "
+        f"{len(report.detectors_covered)} detectors, "
+        f"{head['divergences']} divergences, {head['errors']} errors"
+    )
+    for error in report.errors:
+        print(f"  error: {error}")
+    for case in report.cases:
+        print(f"  case: {case.describe()}")
+
+    if args.cases_dir and report.cases:
+        for case in report.cases:
+            path = Path(args.cases_dir) / case_filename(case)
+            write_case(case, path)
+            print(f"wrote {path}")
+    if args.json_out:
+        headline = dict(head)
+        if report.cases:
+            headline["cases"] = [case.to_dict() for case in report.cases]
+        result = ExperimentResult(
+            experiment="fuzz",
+            params={
+                "budget_s": args.budget_s, "seed": args.seed,
+                "pairs": args.pairs,
+                "detectors": ",".join(args.detector or ()),
+                "axes": ",".join(args.axis or ()),
+                "shrink": not args.no_shrink,
+            },
+            rows=report.rows(),
+            headline=headline,
+        )
+        _emit_json(result, args.json_out)
+    return 1 if report.divergences else 0
+
+
 # -- paper-artefact aliases (thin wrappers over the registry path) -----------
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -798,6 +900,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", dest="json_out", metavar="FILE",
                    help="also write the emission table as a JSON artifact")
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="fuzz the promised layer equivalences over sampled plan pairs",
+    )
+    p.add_argument("--budget-s", type=_positive_float, default=20.0,
+                   metavar="S",
+                   help="wall-clock fuzz budget in seconds (default 20)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="plan-space seed; the run is a pure function of it")
+    p.add_argument("--pairs", type=_min1_int, default=None, metavar="N",
+                   help="additional cap on executed plan pairs")
+    p.add_argument("--detector", action="append", metavar="NAME",
+                   help="restrict the plan space to this registry detector "
+                        "(repeatable; default: all eligible)")
+    p.add_argument("--axis", action="append", metavar="AXIS",
+                   choices=_FUZZ_AXES,
+                   help="restrict to this equivalence axis (repeatable; "
+                        f"one of {', '.join(_FUZZ_AXES)})")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="report raw diverging pairs without minimisation")
+    p.add_argument("--cases-dir", metavar="DIR",
+                   help="write each divergence as a repro-hhh/fuzz-case/v1 "
+                        "JSON artifact under DIR")
+    p.add_argument("--replay", metavar="FILE",
+                   help="replay a recorded fuzz-case artifact instead of "
+                        "fuzzing (exit 0 when it still reproduces)")
+    p.add_argument("--verbose", action="store_true",
+                   help="print every executed pair, not just divergences")
+    p.add_argument("--json", dest="json_out", metavar="FILE",
+                   help="write the run summary as a JSON result artifact")
+    p.set_defaults(func=_cmd_fuzz)
 
     p = sub.add_parser("experiments", help="list the experiment registry")
     p.add_argument("--names", action="store_true",

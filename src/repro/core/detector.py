@@ -183,7 +183,116 @@ class Detector(abc.ABC):
         self.__dict__.clear()
         self.__dict__.update(payload)  # type: ignore[arg-type]
 
+    def state_digest(self) -> str:
+        """A short stable hash of the complete detector state.
+
+        SHA-256 over a *canonical* walk of the :meth:`save_state` payload
+        (schema tag, detector class, then every counter table, candidate
+        map, and hash-function parameter by structure and value).  This is
+        the cheap pre-check the equivalence fuzz harness (:mod:`repro.fuzz`)
+        runs before diffing full emission sequences: plans promised
+        bit-identical (checkpoint/resume vs uninterrupted, serve vs serial)
+        must converge to the same digest, and a mismatch pins the
+        divergence to detector state even when every emitted report
+        happens to agree.
+
+        The walk deliberately does *not* hash raw pickle bytes: pickle
+        memoization encodes object-identity accidents (e.g. interned
+        ``__dict__`` key strings shared across sub-objects in a fresh
+        detector but distinct after a restore round-trip) that are
+        observationally meaningless.  Dict *insertion order* is hashed —
+        it is observable through ``query`` report order.
+        """
+        import hashlib
+
+        state = self.save_state()
+        h = hashlib.sha256()
+        _canonical_update(h, state)
+        return h.hexdigest()
+
     @property
     @abc.abstractmethod
     def num_counters(self) -> int:
         """Counters allocated (for resource accounting)."""
+
+
+def _canonical_update(h, obj, _depth: int = 0) -> None:
+    """Feed ``obj`` into hash ``h`` by structure and value, not identity.
+
+    Handles the types detector state is made of (numpy arrays, dicts,
+    sequences, primitives, plain-``__dict__`` objects such as hash
+    families and flat tables); nested ``repro-hhh/detector-state/v1``
+    envelopes (the sharded engine's payload) are unpickled and walked
+    rather than hashed as opaque bytes, so the digest stays canonical
+    through composition.  Unknown leaves fall back to their own pickle
+    (fresh memo, so the cross-object identity accidents cannot leak in).
+    """
+    import pickle
+    import struct
+
+    if _depth > 50:  # cycles / pathological nesting: opaque fallback
+        h.update(b"deep")
+        h.update(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+        return
+    if obj is None:
+        h.update(b"N")
+    elif isinstance(obj, bool):
+        h.update(b"T" if obj else b"F")
+    elif isinstance(obj, int):
+        h.update(b"i" + str(obj).encode())
+    elif isinstance(obj, float):
+        h.update(b"f" + struct.pack("<d", obj))
+    elif isinstance(obj, str):
+        h.update(b"s" + obj.encode())
+    elif isinstance(obj, bytes):
+        h.update(b"b" + obj)
+    elif isinstance(obj, np.ndarray):
+        h.update(b"a" + str(obj.dtype).encode() + str(obj.shape).encode())
+        h.update(np.ascontiguousarray(obj).tobytes())
+    elif isinstance(obj, np.generic):
+        h.update(b"g" + str(obj.dtype).encode() + obj.tobytes())
+    elif isinstance(obj, dict):
+        from repro.core.checkpoint import STATE_SCHEMA
+
+        if obj.get("schema") == STATE_SCHEMA and isinstance(
+            obj.get("payload"), bytes
+        ):
+            h.update(b"E" + str(obj.get("detector")).encode())
+            _canonical_update(
+                h, pickle.loads(obj["payload"]), _depth + 1
+            )
+            return
+        h.update(b"{")
+        for key, value in obj.items():
+            _canonical_update(h, key, _depth + 1)
+            h.update(b":")
+            _canonical_update(h, value, _depth + 1)
+        h.update(b"}")
+    elif isinstance(obj, (list, tuple)):
+        h.update(b"[" if isinstance(obj, list) else b"(")
+        for item in obj:
+            _canonical_update(h, item, _depth + 1)
+        h.update(b"]")
+    elif isinstance(obj, (set, frozenset)):
+        import hashlib
+
+        # Order-insensitive: combine sorted per-element digests.
+        parts = []
+        for item in obj:
+            sub = hashlib.sha256()
+            _canonical_update(sub, item, _depth + 1)
+            parts.append(sub.digest())
+        h.update(b"<")
+        for part in sorted(parts):
+            h.update(part)
+        h.update(b">")
+    else:
+        h.update(b"O" + type(obj).__qualname__.encode())
+        try:
+            attrs = vars(obj)
+        except TypeError:
+            h.update(
+                pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+            )
+        else:
+            _canonical_update(h, attrs, _depth + 1)

@@ -1,0 +1,103 @@
+"""Registered meta-experiment: a budgeted equivalence-fuzz run.
+
+Adapts :class:`repro.fuzz.FuzzHarness` to the uniform
+:class:`Experiment` contract so the harness rides every registry-driven
+surface — ``repro-hhh run equivalence-fuzz --set budget_s=30``, the CI
+smoke loop (which archives ``BENCH_equivalence-fuzz.json``), and the
+JSON result artifact.  Rows are per-(axis, detector) coverage cells; the
+headline carries pair throughput and the divergence count — plus, when
+anything diverged, the full ``repro-hhh/fuzz-case/v1`` documents under
+``headline["cases"]``, so an archived ``BENCH_equivalence-fuzz.json``
+alone is enough to replay a failure.  The in-process
+:class:`~repro.fuzz.FuzzReport` rides in ``extras["report"]``.
+
+The input trace is *ignored* — the plan space samples its own seeded
+stream specs (that is the point: many workloads, not one).
+``default_trace`` is a tiny calm preset so the uniform spec-to-artifact
+path stays cheap.  The dedicated ``repro-hhh fuzz`` subcommand is the
+full-featured driver (artifact directory, replay, exit codes).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import (
+    Experiment,
+    ExperimentError,
+    Param,
+    check_positive,
+)
+from repro.experiments.registry import register_experiment
+from repro.experiments.result import ExperimentResult
+from repro.fuzz.harness import FuzzHarness
+from repro.fuzz.plan import AXES, FuzzError
+from repro.trace.container import Trace
+
+
+def _check_axes(value: object) -> None:
+    for axis in _split(value):
+        if axis not in AXES:
+            raise ValueError(
+                f"unknown axis {axis!r}; known: {', '.join(AXES)}"
+            )
+
+
+def _split(value: object) -> list[str]:
+    return [part.strip() for part in str(value).split(",") if part.strip()]
+
+
+@register_experiment
+class EquivalenceFuzzExperiment(Experiment):
+    """Fuzz the promised equivalences across sampled interleavings (meta)."""
+
+    name = "equivalence-fuzz"
+    description = (
+        "meta-experiment: sample promised-equivalent plan pairs (chunking, "
+        "sharding, checkpoint/resume, serve-vs-serial, merge-order), run "
+        "both sides through the real stack, and shrink any divergence"
+    )
+    PARAMS = (
+        Param("budget_s", "float", 20.0,
+              "wall-clock fuzz budget in seconds", check=check_positive),
+        Param("seed", "int", 0, "plan-space seed"),
+        Param("pairs", "int", 0,
+              "additional cap on plan pairs (0 = budget-bound only)"),
+        Param("detectors", "str", "",
+              "comma-separated registry names restricting the plan space "
+              "(empty = all eligible)"),
+        Param("axes", "str", "",
+              "comma-separated equivalence axes (empty = all)",
+              check=_check_axes),
+        Param("shrink", "choice", "on",
+              "minimise divergences before reporting",
+              choices=("on", "off")),
+    )
+    default_trace = "calm:duration=2"
+    smoke_trace = "calm:duration=2"
+    smoke_overrides = {"budget_s": 5.0, "pairs": 40}
+
+    def run(self, trace: Trace, label: str = "trace") -> ExperimentResult:
+        params = self.bound_params
+        detectors = _split(params["detectors"]) or None
+        axes = _split(params["axes"]) or None
+        pairs = int(params["pairs"])
+        try:
+            harness = FuzzHarness(
+                seed=int(params["seed"]),
+                budget_s=float(params["budget_s"]),
+                max_pairs=pairs if pairs > 0 else None,
+                detectors=detectors,
+                axes=axes,
+                shrink=params["shrink"] == "on",
+            )
+            report = harness.run()
+        except (FuzzError, KeyError) as exc:
+            raise ExperimentError(str(exc)) from None
+        headline = report.headline()
+        if report.cases:
+            # The serialized artifact must be self-sufficient for replay.
+            headline["cases"] = [case.to_dict() for case in report.cases]
+        return self._finish(
+            trace, label, report.rows(),
+            headline=headline,
+            extras={"report": report},
+        )

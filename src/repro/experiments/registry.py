@@ -40,6 +40,7 @@ def _ensure_populated() -> None:
     from repro.experiments import (  # noqa: F401
         accuracy,
         decay,
+        fuzz,
         hidden,
         sensitivity,
         shard_scaling,

@@ -1,0 +1,90 @@
+"""Equivalence fuzzing: systematic interleaving/commutativity testing.
+
+The repo's layer contracts each promise some *observational equivalence*
+— batch ≡ scalar, shard-merge ≡ single-stream, checkpoint/resume ≡
+uninterrupted, serve-pool ≡ serial pipeline — and each is enforced by a
+hand-written test probing one fixed interleaving.  This package is the
+systematic version, in the spirit of the Scalable Commutativity Rule's
+Commuter harness: enumerate the interleaving space (chunk boundaries,
+shard counts, checkpoint points, merge orders, worker layouts), execute
+both sides of every promised equivalence through the *real* stack, diff
+the full observable behaviour, and shrink any divergence to a minimal,
+deterministically-replayable ``repro-hhh/fuzz-case/v1`` artifact.
+
+Layers:
+
+- :mod:`repro.fuzz.plan` — :class:`ExecutionPlan` (one pinned way to run
+  a workload) and :class:`PlanSpace` (seeded sampling of promised-equal
+  plan pairs along the equivalence axes);
+- :mod:`repro.fuzz.executor` — runs plans through
+  ``StreamPipeline``/``ShardedDetector``/``ServeRuntime`` and diffs
+  outcomes under per-axis contracts;
+- :mod:`repro.fuzz.shrink` — greedy minimisation (packet-range
+  bisection, plan-delta reduction) of diverging pairs;
+- :mod:`repro.fuzz.artifact` — the versioned fuzz-case document and its
+  deterministic replay;
+- :mod:`repro.fuzz.harness` — the budgeted driver behind
+  ``repro-hhh fuzz`` and the ``equivalence-fuzz`` experiment.
+"""
+
+from repro.fuzz.artifact import (
+    FUZZ_CASE_SCHEMA,
+    FuzzCase,
+    case_filename,
+    read_case,
+    replay_case,
+    validate_fuzz_case_dict,
+    write_case,
+)
+from repro.fuzz.executor import (
+    CONTRACTS,
+    AxisContract,
+    Divergence,
+    EmissionRecord,
+    FuzzExecutionError,
+    PlanOutcome,
+    ProbeReportDetector,
+    diff_outcomes,
+    run_pair,
+    run_plan,
+)
+from repro.fuzz.harness import FuzzHarness, FuzzReport
+from repro.fuzz.plan import (
+    AXES,
+    ExecutionPlan,
+    FuzzError,
+    PlanPair,
+    PlanSpace,
+    eligible_detectors,
+)
+from repro.fuzz.shrink import ShrinkResult, shrink_pair
+
+__all__ = [
+    "AXES",
+    "CONTRACTS",
+    "FUZZ_CASE_SCHEMA",
+    "AxisContract",
+    "Divergence",
+    "EmissionRecord",
+    "ExecutionPlan",
+    "FuzzCase",
+    "FuzzError",
+    "FuzzExecutionError",
+    "FuzzHarness",
+    "FuzzReport",
+    "PlanOutcome",
+    "PlanPair",
+    "PlanSpace",
+    "ProbeReportDetector",
+    "ShrinkResult",
+    "case_filename",
+    "diff_outcomes",
+    "eligible_detectors",
+    "read_case",
+    "replay_case",
+    "run_pair",
+    "run_plan",
+    "shrink_pair",
+    "validate_fuzz_case_dict",
+    "write_case",
+]

@@ -1,0 +1,163 @@
+"""Versioned fuzz-case artifacts: serialize, validate, replay.
+
+A divergence the harness finds (and shrinks) is only useful if it
+survives the process that found it.  :class:`FuzzCase` is the durable
+form — a small JSON document under the ``repro-hhh/fuzz-case/v1`` schema
+carrying the minimised plan pair, the original pair it was shrunk from,
+the divergence observed, and the plan-space coordinates (seed, pair
+index) that produced it::
+
+    {
+      "schema": "repro-hhh/fuzz-case/v1",
+      "axis": "chunking",
+      "seed": 0, "pair_index": 17,
+      "divergence": {"kind": "report", "emission": 0, "detail": "..."},
+      "plan_a": {...}, "plan_b": {...},
+      "original_a": {...}, "original_b": {...},
+      "shrink": {"executions": 42, "shrunk": true}
+    }
+
+Because every plan carries a fully-seeded stream spec (the
+:class:`repro.stream.ScenarioSource` seed normalisation guarantees it),
+:func:`replay_case` needs nothing but the artifact: it re-executes both
+minimised plans through the real stack and reports whether the
+divergence still reproduces — deterministically, on any machine.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.fuzz.executor import Divergence, diff_outcomes, run_plan
+from repro.fuzz.plan import AXES, ExecutionPlan, FuzzError, PlanPair
+
+#: Version tag embedded in every fuzz-case artifact.
+FUZZ_CASE_SCHEMA = "repro-hhh/fuzz-case/v1"
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One serialized equivalence violation with its minimal reproducer."""
+
+    axis: str
+    seed: int
+    pair_index: int
+    divergence: Divergence
+    plan_a: ExecutionPlan
+    plan_b: ExecutionPlan
+    original_a: ExecutionPlan
+    original_b: ExecutionPlan
+    shrink_executions: int = 0
+    shrunk: bool = False
+
+    @property
+    def pair(self) -> PlanPair:
+        """The minimised pair, ready to hand to the executor."""
+        return PlanPair(self.axis, self.plan_a, self.plan_b)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "schema": FUZZ_CASE_SCHEMA,
+            "axis": self.axis,
+            "seed": self.seed,
+            "pair_index": self.pair_index,
+            "divergence": self.divergence.to_dict(),
+            "plan_a": self.plan_a.to_dict(),
+            "plan_b": self.plan_b.to_dict(),
+            "original_a": self.original_a.to_dict(),
+            "original_b": self.original_b.to_dict(),
+            "shrink": {
+                "executions": self.shrink_executions,
+                "shrunk": self.shrunk,
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: object) -> "FuzzCase":
+        validate_fuzz_case_dict(data)
+        assert isinstance(data, dict)
+        shrink = data.get("shrink") or {}
+        return cls(
+            axis=str(data["axis"]),
+            seed=int(data["seed"]),  # type: ignore[arg-type]
+            pair_index=int(data["pair_index"]),  # type: ignore[arg-type]
+            divergence=Divergence.from_dict(data["divergence"]),
+            plan_a=ExecutionPlan.from_dict(data["plan_a"]),
+            plan_b=ExecutionPlan.from_dict(data["plan_b"]),
+            original_a=ExecutionPlan.from_dict(data["original_a"]),
+            original_b=ExecutionPlan.from_dict(data["original_b"]),
+            shrink_executions=int(shrink.get("executions", 0)),
+            shrunk=bool(shrink.get("shrunk", False)),
+        )
+
+    def describe(self) -> str:
+        return (
+            f"{self.pair.describe()} (seed {self.seed}, pair "
+            f"{self.pair_index}, take {self.plan_a.take}): "
+            f"{self.divergence}"
+        )
+
+
+def validate_fuzz_case_dict(data: object) -> None:
+    """Raise :class:`FuzzError` unless ``data`` is a well-formed artifact."""
+    if not isinstance(data, dict):
+        raise FuzzError(
+            f"fuzz case must be a dict, got {type(data).__name__}"
+        )
+    schema = data.get("schema")
+    if schema != FUZZ_CASE_SCHEMA:
+        raise FuzzError(
+            f"unknown fuzz-case schema {schema!r}; "
+            f"expected {FUZZ_CASE_SCHEMA!r}"
+        )
+    for field in ("axis", "seed", "pair_index", "divergence",
+                  "plan_a", "plan_b", "original_a", "original_b"):
+        if field not in data:
+            raise FuzzError(f"fuzz case is missing {field!r}")
+    if data["axis"] not in AXES:
+        raise FuzzError(
+            f"unknown axis {data['axis']!r}; known: {', '.join(AXES)}"
+        )
+    if not isinstance(data["divergence"], dict):
+        raise FuzzError("fuzz-case divergence must be a dict")
+
+
+def write_case(case: FuzzCase, path: str | Path) -> Path:
+    """Write the artifact as JSON; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(case.to_dict(), indent=2, sort_keys=True))
+    return path
+
+
+def read_case(path: str | Path) -> FuzzCase:
+    """Read and validate a fuzz-case artifact from disk."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise FuzzError(f"{path} is not valid JSON: {exc}") from exc
+    return FuzzCase.from_dict(data)
+
+
+def case_filename(case: FuzzCase) -> str:
+    """A stable, collision-free filename for the artifact."""
+    return (
+        f"fuzz-case-{case.axis}-{case.plan_a.detector}"
+        f"-s{case.seed}-p{case.pair_index}.json"
+    )
+
+
+def replay_case(case: FuzzCase) -> Divergence | None:
+    """Re-execute the minimised pair; the divergence seen now, or ``None``.
+
+    Deterministic: the plans carry fully-seeded stream specs, so a
+    replay observes exactly what the original run observed (``None``
+    therefore means the underlying bug is gone, not that the dice fell
+    differently).
+    """
+    pair = case.pair
+    a = run_plan(pair.a)
+    b = run_plan(pair.b)
+    return diff_outcomes(a, b, pair.axis)

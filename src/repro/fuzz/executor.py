@@ -1,0 +1,460 @@
+"""Run both plans of a pair through the real stack and diff observations.
+
+The executor is deliberately thin glue over the production code paths —
+:class:`repro.stream.StreamPipeline`, :class:`repro.engine.ShardedDetector`,
+:class:`repro.stream.ServeRuntime`, ``save_state``/``load_state`` — so a
+divergence it finds is a divergence a deployment would hit, not a harness
+artifact.  Each plan produces a :class:`PlanOutcome`: the normalised
+emission sequence (reports *with their dict order*, trace-time window
+edges, packet/byte offsets, partial flags) plus a final
+:meth:`repro.core.Detector.state_digest`.
+
+Diffing is contract-aware.  Axes the test suite promises bit-identical
+(checkpoint/resume, serve-vs-serial) are compared strictly — report item
+order and state digests included.  Axes promised equal only up to float
+rounding on the decayed structures (chunking via batch≡scalar, merge-based
+axes) compare reports order-insensitively with the same ``1e-9`` relative
+tolerance ``tests/core/test_batch_equivalence.py`` uses.  Everything
+non-semantic (``wall_s``, ``chunk_index`` — both legitimately vary across
+equivalent plans) is excluded from the normalised record.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.detector import Detector
+from repro.core.registry import DetectorSpec, get_spec
+from repro.fuzz.plan import (
+    AXES,
+    ExecutionPlan,
+    FuzzError,
+    PlanPair,
+)
+from repro.stream.emission import Emission, parse_emission_policy
+from repro.stream.pipeline import StreamPipeline
+from repro.stream.source import (
+    StreamSource,
+    parse_stream_spec,
+    skip_packets,
+)
+
+#: Float tolerance for axes equal "up to rounding" on decayed structures
+#: (mirrors the batch-equivalence suite).
+REL_TOL = 1e-9
+ABS_TOL = 1e-9
+
+
+class FuzzExecutionError(RuntimeError):
+    """A plan failed to execute at all (infrastructure, not divergence)."""
+
+
+@dataclass(frozen=True)
+class AxisContract:
+    """How strictly an equivalence axis is allowed to be compared."""
+
+    order_sensitive: bool   #: compare report item *order*, not just content
+    exact_values: bool      #: exact float equality (vs 1e-9 tolerance)
+    compare_digest: bool    #: final detector state digests must match
+
+
+#: Per-axis comparison strictness, straight from the layer contracts.
+CONTRACTS: dict[str, AxisContract] = {
+    "chunking": AxisContract(False, False, False),
+    "sharding": AxisContract(False, False, False),
+    "checkpoint": AxisContract(True, True, True),
+    "serve": AxisContract(True, True, True),
+    "merge-order": AxisContract(False, False, False),
+}
+assert set(CONTRACTS) == set(AXES)
+
+
+@dataclass(frozen=True)
+class EmissionRecord:
+    """One emission reduced to its observationally-meaningful fields."""
+
+    index: int
+    t0: float
+    t1: float
+    packets: int
+    bytes: int
+    start_packet: int
+    end_packet: int
+    partial: bool
+    report: tuple[tuple[int, float], ...]   #: items in emission dict order
+
+
+def normalize_emission(emission: Emission) -> EmissionRecord:
+    """Project an :class:`Emission` onto the comparable record.
+
+    ``wall_s`` (wall clock) and ``chunk_index`` (changes with chunk size
+    by construction) are dropped; everything else is part of the
+    observable behaviour some axis promises to preserve.
+    """
+    return EmissionRecord(
+        index=emission.index,
+        t0=float(emission.window.t0),
+        t1=float(emission.window.t1),
+        packets=emission.packets,
+        bytes=emission.bytes,
+        start_packet=emission.start_packet,
+        end_packet=emission.end_packet,
+        partial=emission.partial,
+        report=tuple(
+            (int(k), float(v)) for k, v in emission.report.items()
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class PlanOutcome:
+    """Everything observable about one executed plan."""
+
+    plan: ExecutionPlan
+    emissions: tuple[EmissionRecord, ...]
+    digest: str | None
+    packets: int
+    bytes: int
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One observed violation of an equivalence contract."""
+
+    axis: str
+    kind: str                   #: emission-count | field | report | digest
+    detail: str
+    emission: int | None = None
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "axis": self.axis,
+            "kind": self.kind,
+            "detail": self.detail,
+            "emission": self.emission,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "Divergence":
+        return cls(
+            axis=str(data["axis"]),
+            kind=str(data["kind"]),
+            detail=str(data["detail"]),
+            emission=(
+                None if data.get("emission") is None
+                else int(data["emission"])  # type: ignore[arg-type]
+            ),
+        )
+
+    def __str__(self) -> str:
+        where = "" if self.emission is None else f" @emission {self.emission}"
+        return f"[{self.axis}] {self.kind}{where}: {self.detail}"
+
+
+class ProbeReportDetector(Detector):
+    """Merge-axis query adapter: probed estimates over observed keys.
+
+    Thresholded ``query`` reports are only promised stable for enumerable
+    detectors; the merge contract (``tests/core/test_merge_equivalence.py``)
+    instead promises *point estimates* of the folded shards match the
+    single-stream detector — for every key, enumerable or not.  This
+    wrapper makes that observable through the unmodified pipeline: it
+    tracks the keys seen in the current interval and answers ``query``
+    with each one's probed estimate, folding shards via ``merged()``
+    (optionally in an explicit ``merge_order``) first.  No thresholding,
+    so a key straddling ``phi`` by one float ulp cannot fake a divergence.
+    """
+
+    def __init__(
+        self,
+        target: Detector,
+        spec: DetectorSpec,
+        merge_order: tuple[int, ...] | None = None,
+    ) -> None:
+        self.target = target
+        self.spec = spec
+        self.merge_order = merge_order
+        self._observed: set[int] = set()
+
+    def update(self, key: int, weight: float = 1,
+               ts: float | None = None) -> None:
+        self._observed.add(int(key))
+        if ts is None:
+            self.target.update(key, weight)
+        else:
+            self.target.update(key, weight, ts)
+
+    def update_batch(self, keys, weights=None, ts=None) -> None:
+        self._observed.update(
+            int(k) for k in np.unique(np.asarray(keys)).tolist()
+        )
+        self.target.update_batch(keys, weights, ts)
+
+    def _query_target(self) -> Detector:
+        from repro.engine.sharded import ShardedDetector
+
+        if not isinstance(self.target, ShardedDetector):
+            return self.target
+        if self.merge_order is None:
+            return self.target.merged()
+        combined = self.target.detector_factory()
+        for shard_index in self.merge_order:
+            combined.merge(self.target.shards[shard_index])
+        return combined
+
+    def query(
+        self, threshold: float, now: float | None = None
+    ) -> dict[int, float]:
+        target = self._query_target()
+        return {
+            key: self.spec.estimate(target, key, now)  # type: ignore[arg-type]
+            for key in sorted(self._observed)
+        }
+
+    def reset(self) -> None:
+        self._observed.clear()
+        self.target.reset()
+
+    def save_state(self) -> dict[str, object]:
+        return self.target.save_state()
+
+    def load_state(self, state: dict[str, object]) -> None:
+        self.target.load_state(state)
+
+    @property
+    def num_counters(self) -> int:
+        return self.target.num_counters
+
+
+def _build_source(plan: ExecutionPlan) -> StreamSource:
+    return skip_packets(parse_stream_spec(plan.stream), plan.skip)
+
+
+def _build_detector(
+    plan: ExecutionPlan, spec: DetectorSpec
+) -> tuple[Detector, Detector]:
+    """``(pipeline_detector, digest_target)`` for a serial plan."""
+    from repro.engine.sharded import ShardedDetector
+
+    core: Detector = (
+        ShardedDetector(spec.factory, plan.shards)
+        if plan.shards > 1 else spec.factory()
+    )
+    if plan.probe:
+        return ProbeReportDetector(core, spec, plan.merge_order), core
+    return core, core
+
+
+def _check_plan(plan: ExecutionPlan) -> DetectorSpec:
+    spec = get_spec(plan.detector)
+    if plan.probe:
+        if plan.shards > 1 and not spec.mergeable:
+            raise FuzzError(
+                f"detector {plan.detector!r} is not mergeable; probe plans "
+                "with shards > 1 fold via merge"
+            )
+    elif not spec.enumerable:
+        raise FuzzError(
+            f"detector {plan.detector!r} cannot enumerate reports; "
+            "non-probe plans need an enumerable detector"
+        )
+    return spec
+
+
+def run_plan(plan: ExecutionPlan) -> PlanOutcome:
+    """Execute one plan through the real stack, normalising as it goes."""
+    spec = _check_plan(plan)
+    if plan.serve_workers:
+        return _run_serve(plan, spec)
+    return _run_serial(plan, spec)
+
+
+def _run_serial(plan: ExecutionPlan, spec: DetectorSpec) -> PlanOutcome:
+    records: list[EmissionRecord] = []
+
+    def make_pipeline() -> tuple[StreamPipeline, Detector]:
+        detector, digest_target = _build_detector(plan, spec)
+        pipeline = StreamPipeline(
+            detector,
+            parse_emission_policy(plan.emit),
+            phi=plan.phi,
+            key=plan.key,
+            timestamped=spec.timestamped,
+        )
+        return pipeline, digest_target
+
+    pipeline, digest_target = make_pipeline()
+    restarts = set(plan.restart_at)
+    remaining = plan.take
+    for chunk in _build_source(plan).chunks(plan.chunk):
+        if len(chunk) > remaining:
+            chunk = chunk.slice_index(0, remaining)
+        for emission in pipeline.push(chunk):
+            records.append(normalize_emission(emission))
+        remaining -= len(chunk)
+        if remaining <= 0:
+            break
+        if pipeline.chunk_index in restarts:
+            # The checkpoint/restore cycle under test: freeze the whole
+            # pipeline, discard it, rebuild around a *fresh* detector,
+            # and restore — exactly what a migrating deployment does.
+            state = pipeline.checkpoint()
+            pipeline, digest_target = make_pipeline()
+            pipeline.restore(state)
+    for emission in pipeline.finish():
+        records.append(normalize_emission(emission))
+    return PlanOutcome(
+        plan=plan,
+        emissions=tuple(records),
+        digest=digest_target.state_digest(),
+        packets=pipeline.packets,
+        bytes=pipeline.bytes,
+    )
+
+
+def _run_serve(plan: ExecutionPlan, spec: DetectorSpec) -> PlanOutcome:
+    from repro.stream.serve import ServeRuntime
+
+    records: list[EmissionRecord] = []
+    with ServeRuntime(
+        workers=plan.serve_workers,
+        shards=plan.shards,
+        chunk_size=plan.chunk,
+    ) as runtime:
+        pipeline = runtime.add_tenant(
+            "fuzz",
+            plan.detector,
+            _build_source(plan),
+            emit=plan.emit,
+            phi=plan.phi,
+            key=plan.key,
+            max_packets=plan.take,
+        )
+        for _, emission in runtime.run():
+            records.append(normalize_emission(emission))
+        if runtime.failed:
+            raise FuzzExecutionError(
+                f"serve tenant failed: {runtime.failed}"
+            )
+        digest = pipeline.detector.state_digest()
+        packets, total_bytes = pipeline.packets, pipeline.bytes
+    return PlanOutcome(
+        plan=plan,
+        emissions=tuple(records),
+        digest=digest,
+        packets=packets,
+        bytes=total_bytes,
+    )
+
+
+# -- diffing -----------------------------------------------------------------
+
+def _values_equal(a: float, b: float, exact: bool) -> bool:
+    if exact:
+        return a == b
+    return math.isclose(a, b, rel_tol=REL_TOL, abs_tol=ABS_TOL)
+
+
+def _diff_report(
+    axis: str,
+    index: int,
+    a: tuple[tuple[int, float], ...],
+    b: tuple[tuple[int, float], ...],
+    contract: AxisContract,
+) -> Divergence | None:
+    if contract.order_sensitive:
+        pairs_a, pairs_b = a, b
+        if [k for k, _ in a] != [k for k, _ in b]:
+            return Divergence(
+                axis, "report", emission=index,
+                detail=(
+                    f"report keys/order differ: "
+                    f"{[k for k, _ in a]} vs {[k for k, _ in b]}"
+                ),
+            )
+    else:
+        da, db = dict(a), dict(b)
+        if set(da) != set(db):
+            only_a = sorted(set(da) - set(db))
+            only_b = sorted(set(db) - set(da))
+            return Divergence(
+                axis, "report", emission=index,
+                detail=(
+                    f"report key sets differ: only-a={only_a} "
+                    f"only-b={only_b}"
+                ),
+            )
+        pairs_a = tuple(sorted(da.items()))
+        pairs_b = tuple(sorted(db.items()))
+    for (key, va), (_, vb) in zip(pairs_a, pairs_b):
+        if not _values_equal(va, vb, contract.exact_values):
+            return Divergence(
+                axis, "report", emission=index,
+                detail=f"estimate for key {key} differs: {va!r} vs {vb!r}",
+            )
+    return None
+
+
+_RECORD_FIELDS = (
+    "index", "t0", "t1", "packets", "bytes",
+    "start_packet", "end_packet", "partial",
+)
+
+
+def diff_outcomes(
+    a: PlanOutcome, b: PlanOutcome, axis: str
+) -> Divergence | None:
+    """The first contract violation between two outcomes, or ``None``."""
+    contract = CONTRACTS[axis]
+    if (a.packets, a.bytes) != (b.packets, b.bytes):
+        return Divergence(
+            axis, "totals",
+            detail=(
+                f"consumed (packets, bytes) differ: "
+                f"({a.packets}, {a.bytes}) vs ({b.packets}, {b.bytes})"
+            ),
+        )
+    if len(a.emissions) != len(b.emissions):
+        return Divergence(
+            axis, "emission-count",
+            detail=(
+                f"{len(a.emissions)} emissions vs {len(b.emissions)}"
+            ),
+        )
+    for rec_a, rec_b in zip(a.emissions, b.emissions):
+        for name in _RECORD_FIELDS:
+            va, vb = getattr(rec_a, name), getattr(rec_b, name)
+            if va != vb:
+                return Divergence(
+                    axis, "field", emission=rec_a.index,
+                    detail=f"{name} differs: {va!r} vs {vb!r}",
+                )
+        found = _diff_report(
+            axis, rec_a.index, rec_a.report, rec_b.report, contract
+        )
+        if found is not None:
+            return found
+    if contract.compare_digest and a.digest and b.digest:
+        if a.digest != b.digest:
+            return Divergence(
+                axis, "digest",
+                detail=(
+                    f"final state digests differ: "
+                    f"{a.digest[:16]}... vs {b.digest[:16]}..."
+                ),
+            )
+    return None
+
+
+def run_pair(
+    pair: PlanPair,
+) -> tuple[PlanOutcome, PlanOutcome, Divergence | None]:
+    """Execute both plans and return their outcomes plus the first diff."""
+    outcome_a = run_plan(pair.a)
+    outcome_b = run_plan(pair.b)
+    return outcome_a, outcome_b, diff_outcomes(
+        outcome_a, outcome_b, pair.axis
+    )

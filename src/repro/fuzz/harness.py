@@ -1,0 +1,213 @@
+"""The budgeted fuzz driver tying plan space, executor, and shrinker.
+
+:class:`FuzzHarness` is what the CLI and the ``equivalence-fuzz``
+experiment run: draw plan pairs from a seeded :class:`PlanSpace`, execute
+both sides through the real stack, diff under the axis contract, and —
+on divergence — shrink to a minimal :class:`FuzzCase`.  The run is
+bounded by wall-clock budget and/or a pair count, and the resulting
+:class:`FuzzReport` carries per-axis/per-detector coverage so CI can
+assert the harness actually exercised the space (not just that nothing
+diverged in zero pairs).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.fuzz.artifact import FuzzCase
+from repro.fuzz.executor import (
+    Divergence,
+    FuzzExecutionError,
+    diff_outcomes,
+    run_plan,
+)
+from repro.fuzz.plan import FuzzError, PlanPair, PlanSpace
+from repro.fuzz.shrink import shrink_pair
+
+
+@dataclass
+class FuzzReport:
+    """What a budgeted fuzz run covered and what it found."""
+
+    seed: int
+    pairs: int = 0
+    elapsed_s: float = 0.0
+    cases: list[FuzzCase] = field(default_factory=list)
+    errors: list[str] = field(default_factory=list)
+    axis_pairs: dict[str, int] = field(default_factory=dict)
+    axis_divergences: dict[str, int] = field(default_factory=dict)
+    detector_pairs: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def divergences(self) -> int:
+        return len(self.cases)
+
+    @property
+    def axes_covered(self) -> tuple[str, ...]:
+        return tuple(sorted(self.axis_pairs))
+
+    @property
+    def detectors_covered(self) -> tuple[str, ...]:
+        return tuple(sorted(self.detector_pairs))
+
+    @property
+    def pairs_per_s(self) -> float:
+        return self.pairs / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    #: (axis, detector) -> executed pair count, for the coverage rows.
+    cell_pairs: dict[tuple[str, str], int] = field(default_factory=dict)
+
+    def rows(self) -> list[dict[str, object]]:
+        """Per-(axis, detector) coverage rows for the experiment result."""
+        div: dict[tuple[str, str], int] = {}
+        for case in self.cases:
+            key = (case.axis, case.plan_a.detector)
+            div[key] = div.get(key, 0) + 1
+        return [
+            {
+                "axis": axis,
+                "detector": detector,
+                "pairs": pairs,
+                "divergences": div.get((axis, detector), 0),
+            }
+            for (axis, detector), pairs in sorted(self.cell_pairs.items())
+        ]
+
+    def record(self, pair: PlanPair) -> None:
+        self.pairs += 1
+        self.axis_pairs[pair.axis] = self.axis_pairs.get(pair.axis, 0) + 1
+        det = pair.a.detector
+        self.detector_pairs[det] = self.detector_pairs.get(det, 0) + 1
+        cell = (pair.axis, det)
+        self.cell_pairs[cell] = self.cell_pairs.get(cell, 0) + 1
+
+    def headline(self) -> dict[str, object]:
+        return {
+            "seed": self.seed,
+            "pairs": self.pairs,
+            "divergences": self.divergences,
+            "axes_covered": len(self.axes_covered),
+            "detectors_covered": len(self.detectors_covered),
+            "elapsed_s": round(self.elapsed_s, 3),
+            "pairs_per_s": round(self.pairs_per_s, 2),
+            "errors": len(self.errors),
+        }
+
+
+class FuzzHarness:
+    """One budgeted equivalence-fuzz run.
+
+    Parameters
+    ----------
+    seed:
+        Plan-space seed; the whole run is a pure function of it (plus
+        the budget, which only decides where the run stops).
+    budget_s / max_pairs:
+        Stop after this much wall clock and/or this many pairs.  At
+        least one bound is required; the first pair always runs, so a
+        tiny budget still produces signal.
+    detectors / axes:
+        Optional plan-space restrictions (see :class:`PlanSpace`).
+    shrink:
+        Minimise divergences before reporting (on by default; the raw
+        pair is kept in the case's ``original_*`` fields either way).
+    shrink_executions:
+        Execution budget per shrink (see :func:`shrink_pair`).
+    on_pair:
+        Optional callback ``(pair_index, pair, divergence | None)``
+        invoked after every executed pair — the CLI's progress hook.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        budget_s: float | None = None,
+        max_pairs: int | None = None,
+        detectors: Sequence[str] | None = None,
+        axes: Sequence[str] | None = None,
+        shrink: bool = True,
+        shrink_executions: int = 80,
+        on_pair: Callable[[int, PlanPair, Divergence | None], None]
+        | None = None,
+    ) -> None:
+        if budget_s is None and max_pairs is None:
+            raise FuzzError(
+                "bound the run: pass budget_s and/or max_pairs"
+            )
+        if budget_s is not None and budget_s <= 0:
+            raise FuzzError(f"budget_s must be positive, got {budget_s}")
+        if max_pairs is not None and max_pairs < 1:
+            raise FuzzError(f"max_pairs must be >= 1, got {max_pairs}")
+        self.space = PlanSpace(seed, detectors=detectors, axes=axes)
+        self.seed = seed
+        self.budget_s = budget_s
+        self.max_pairs = max_pairs
+        self.shrink = shrink
+        self.shrink_executions = shrink_executions
+        self.on_pair = on_pair
+
+    def run(self) -> FuzzReport:
+        """Fuzz until the budget runs out; returns the coverage report."""
+        report = FuzzReport(seed=self.seed)
+        start = time.monotonic()
+        index = 0
+        while True:
+            if self.max_pairs is not None and index >= self.max_pairs:
+                break
+            if (
+                index > 0
+                and self.budget_s is not None
+                and time.monotonic() - start >= self.budget_s
+            ):
+                break
+            pair = self.space.pair(index)
+            divergence = self._run_one(index, pair, report)
+            if self.on_pair is not None:
+                self.on_pair(index, pair, divergence)
+            index += 1
+        report.elapsed_s = time.monotonic() - start
+        return report
+
+    def _run_one(
+        self, index: int, pair: PlanPair, report: FuzzReport
+    ) -> Divergence | None:
+        try:
+            outcome_a = run_plan(pair.a)
+            outcome_b = run_plan(pair.b)
+        except (FuzzError, FuzzExecutionError) as exc:
+            report.errors.append(f"pair {index} ({pair.describe()}): {exc}")
+            return None
+        report.record(pair)
+        divergence = diff_outcomes(outcome_a, outcome_b, pair.axis)
+        if divergence is None:
+            return None
+        minimal, shrink_executions, shrunk = pair, 0, False
+        if self.shrink:
+            result = shrink_pair(
+                pair, divergence, max_executions=self.shrink_executions
+            )
+            minimal = result.pair
+            divergence = result.divergence
+            shrink_executions = result.executions
+            shrunk = result.shrunk
+        report.axis_divergences[pair.axis] = (
+            report.axis_divergences.get(pair.axis, 0) + 1
+        )
+        report.cases.append(
+            FuzzCase(
+                axis=pair.axis,
+                seed=self.seed,
+                pair_index=index,
+                divergence=divergence,
+                plan_a=minimal.a,
+                plan_b=minimal.b,
+                original_a=pair.a,
+                original_b=pair.b,
+                shrink_executions=shrink_executions,
+                shrunk=shrunk,
+            )
+        )
+        return divergence

@@ -1,0 +1,244 @@
+"""Greedy minimisation of a diverging plan pair.
+
+When the executor finds a divergence, the raw pair is usually far bigger
+than the bug: a thousand-packet stream, large chunks, several restart
+points.  The shrinker reduces it to a minimal reproducer with three
+greedy passes, each re-executing the candidate pair and keeping a change
+only if the divergence *persists* (any divergence on the same axis — the
+first-reported symptom may legitimately shift while shrinking):
+
+1. **take bisection** — binary-search the smallest packet budget that
+   still diverges (packet-range bisection over ``Trace.slice_index``,
+   since the pipeline truncates its final chunk to the budget);
+2. **skip advance** — push the window start forward with decreasing
+   strides, isolating the triggering packet range from the right *and*
+   left;
+3. **plan-delta minimisation** — walk every interleaving knob toward the
+   trivial value (chunk sizes toward each other and downward, shard
+   counts down, restart points dropped then halved, serve workers down,
+   the emission policy collapsed to a single end-of-stream flush).
+
+Passes 2 and 3 repeat until a full round makes no progress or the
+execution budget runs out.  Every candidate execution is deterministic
+(plans carry fully-seeded stream specs), so the result replays exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fuzz.executor import (
+    Divergence,
+    FuzzExecutionError,
+    diff_outcomes,
+    run_plan,
+)
+from repro.fuzz.plan import ExecutionPlan, FuzzError, PlanPair
+
+
+@dataclass
+class ShrinkResult:
+    """The minimised pair, its divergence, and how much work it took."""
+
+    pair: PlanPair
+    divergence: Divergence
+    executions: int     #: pair executions spent (including the final check)
+    shrunk: bool        #: whether any pass made the pair smaller
+
+
+class _Budget:
+    def __init__(self, executions: int) -> None:
+        self.remaining = executions
+        self.spent = 0
+
+    def take(self) -> bool:
+        if self.remaining <= 0:
+            return False
+        self.remaining -= 1
+        self.spent += 1
+        return True
+
+
+def _diverges(pair: PlanPair, budget: _Budget) -> Divergence | None:
+    """Execute ``pair`` if budget allows; its divergence or ``None``.
+
+    A candidate that fails to *execute* (e.g. a mutated plan the stack
+    rejects) is treated as not-diverging, so the shrinker simply keeps
+    the previous reproducer.
+    """
+    if not budget.take():
+        return None
+    try:
+        a = run_plan(pair.a)
+        b = run_plan(pair.b)
+    except (FuzzError, FuzzExecutionError, ValueError):
+        return None
+    return diff_outcomes(a, b, pair.axis)
+
+
+def shrink_pair(
+    pair: PlanPair,
+    divergence: Divergence,
+    *,
+    max_executions: int = 80,
+) -> ShrinkResult:
+    """Minimise a known-diverging pair; never returns a non-diverging one.
+
+    ``max_executions`` bounds the total pair executions across all
+    passes; the pair handed back always reproduced ``divergence``'s axis
+    on its most recent execution.
+    """
+    budget = _Budget(max_executions)
+    original = pair
+
+    pair, divergence = _shrink_take(pair, divergence, budget)
+    # Alternate the passes until a whole round makes no progress: a knob
+    # change (e.g. collapsing the emission policy) routinely unlocks a
+    # much smaller take, so the bisection re-runs inside the loop.
+    while True:
+        before = pair
+        pair, divergence = _shrink_skip(pair, divergence, budget)
+        pair, divergence = _shrink_knobs(pair, divergence, budget)
+        pair, divergence = _shrink_take(pair, divergence, budget)
+        if pair == before or budget.remaining <= 0:
+            break
+    return ShrinkResult(
+        pair=pair,
+        divergence=divergence,
+        executions=budget.spent,
+        shrunk=pair != original,
+    )
+
+
+def _shrink_take(
+    pair: PlanPair, divergence: Divergence, budget: _Budget
+) -> tuple[PlanPair, Divergence]:
+    """Binary-search the smallest ``take`` that still diverges."""
+    low, high = 1, pair.a.take          # high always diverges
+    while low < high:
+        mid = (low + high) // 2
+        candidate = pair.with_workload(take=mid)
+        found = _diverges(candidate, budget)
+        if found is not None:
+            pair, divergence, high = candidate, found, mid
+        else:
+            low = mid + 1
+        if budget.remaining <= 0:
+            break
+    return pair, divergence
+
+
+def _shrink_skip(
+    pair: PlanPair, divergence: Divergence, budget: _Budget
+) -> tuple[PlanPair, Divergence]:
+    """Advance ``skip`` with decreasing strides while divergence holds."""
+    stride = max(1, pair.a.take // 2)
+    while stride >= 1 and budget.remaining > 0:
+        candidate = pair.with_workload(skip=pair.a.skip + stride)
+        found = _diverges(candidate, budget)
+        if found is not None:
+            pair, divergence = candidate, found
+        else:
+            stride //= 2
+    return pair, divergence
+
+
+def _knob_candidates(pair: PlanPair) -> list[PlanPair]:
+    """Smaller-or-simpler variants of the pair, most aggressive first.
+
+    Every candidate stays *inside the axis's promised-equivalent family*
+    — e.g. a serve pair's shard counts move on both sides together,
+    because serve-vs-serial is only promised equivalent at equal shard
+    counts.  A mutation that left the family would "diverge" by
+    construction and lock the shrinker onto a fake reproducer.
+    """
+    out: list[PlanPair] = []
+    axis, a, b = pair.axis, pair.a, pair.b
+
+    def both(**changes: object) -> None:
+        try:
+            out.append(pair.with_workload(**changes))
+        except FuzzError:
+            pass
+
+    def sides(pa: ExecutionPlan, pb: ExecutionPlan) -> None:
+        try:
+            out.append(PlanPair(axis, pa, pb))
+        except FuzzError:
+            pass
+
+    # Collapse the emission policy: one end-of-stream flush is the
+    # simplest schedule that can still observe the divergence.
+    if a.emit != f"{a.take}p":
+        both(emit=f"{a.take}p")
+
+    if axis == "chunking":
+        # The chunk sizes are the delta under test: pull them together
+        # (adjacent sizes are the minimal delta), then toward 1-vs-2.
+        lo = min(a.chunk, b.chunk)
+        for pair_sizes in ((lo, lo + 1), (max(1, lo // 2),
+                                          max(1, lo // 2) + 1), (1, 2)):
+            if pair_sizes == tuple(sorted((a.chunk, b.chunk))):
+                continue
+            small, big = pair_sizes
+            if a.chunk <= b.chunk:
+                sides(a.with_(chunk=small), b.with_(chunk=big))
+            else:
+                sides(a.with_(chunk=big), b.with_(chunk=small))
+    else:
+        # Chunk size is workload here; shrink it on both sides together.
+        for smaller in (a.chunk // 2, 8, 1):
+            if 1 <= smaller < a.chunk:
+                both(chunk=smaller)
+
+    if axis == "sharding" and b.shards > 2:
+        sides(a, b.with_(shards=b.shards - 1))
+
+    if axis == "checkpoint":
+        # Keep at least one restart (the axis's delta); drop extras,
+        # then pull each point earlier.
+        for i, point in enumerate(b.restart_at):
+            fewer = b.restart_at[:i] + b.restart_at[i + 1:]
+            if fewer:
+                sides(a, b.with_(restart_at=fewer))
+            if point > 1:
+                halved = b.restart_at[:i] + (point // 2,) + \
+                    b.restart_at[i + 1:]
+                sides(a, b.with_(restart_at=halved))
+
+    if axis == "serve":
+        if a.shards > 2:
+            smaller = a.shards - 1
+            sides(
+                a.with_(shards=smaller),
+                b.with_(
+                    shards=smaller,
+                    serve_workers=min(b.serve_workers, smaller),
+                ),
+            )
+        if b.serve_workers > 1:
+            sides(a, b.with_(serve_workers=1))
+
+    # merge-order: the orders must stay permutations of the shared shard
+    # count, so only the workload knobs above shrink.
+    return out
+
+
+def _shrink_knobs(
+    pair: PlanPair, divergence: Divergence, budget: _Budget
+) -> tuple[PlanPair, Divergence]:
+    """Greedily apply knob simplifications until none sticks."""
+    progress = True
+    while progress and budget.remaining > 0:
+        progress = False
+        for candidate in _knob_candidates(pair):
+            if candidate == pair:
+                continue
+            found = _diverges(candidate, budget)
+            if found is not None:
+                pair, divergence = candidate, found
+                progress = True
+                break
+            if budget.remaining <= 0:
+                break
+    return pair, divergence

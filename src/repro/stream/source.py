@@ -176,7 +176,6 @@ class ScenarioSource(StreamSource):
         if cycles is not None and cycles < 1:
             raise ValueError(f"cycles must be >= 1, got {cycles}")
         scenario = get_scenario(spec.scenario)  # validates the name eagerly
-        self.spec = spec
         self.cycles = cycles
         self._reseedable = "seed" in scenario.param_names()
         if seed is not None:
@@ -186,6 +185,15 @@ class ScenarioSource(StreamSource):
         else:
             base = int(scenario.defaults().get("seed", 0))  # type: ignore[arg-type]
         self.seed = base
+        if self._reseedable and spec.params.get("seed") != base:
+            # Normalise the resolved base seed back into the spec, so
+            # ``spec.format()`` is a complete recipe for this stream: two
+            # sources built from the same spec string (or one rebuilt from
+            # a serialized fuzz-case artifact) yield identical chunks.
+            spec = TraceSpec(
+                spec.scenario, {**spec.params, "seed": base}
+            )
+        self.spec = spec
         self._repeat_cycle: Trace | None = None
 
     def _build_cycle(self, index: int) -> Trace:
@@ -429,6 +437,13 @@ def parse_stream_spec(text: str) -> StreamSource:
     A plain ``TRACESPEC`` builds the trace once and replays it
     (:class:`TraceSource`); the ``repeat:`` prefix wraps it in an infinite
     :class:`ScenarioSource`; the ``@x`` suffix rewrites the packet rate.
+
+    Scenario parameters ride inside the ``TRACESPEC``, including ``seed``
+    (``repeat:zipf:seed=7``), and :class:`ScenarioSource` normalises the
+    resolved seed back into its spec — so a stream spec string is a
+    complete, reproducible recipe: two sources parsed from the same string
+    yield identical chunks, which is what lets fuzz-case artifacts
+    (:mod:`repro.fuzz`) replay deterministically from the spec alone.
 
     ``+`` and ``&`` are structural everywhere, so a pcap path containing
     them cannot be expressed in a stream spec — replay such a file from

@@ -1,0 +1,189 @@
+"""The fuzz executor: plans run through the real stack, outcomes diff
+under the per-axis contracts."""
+
+import pytest
+
+from repro.core import get_spec
+from repro.fuzz import (
+    CONTRACTS,
+    Divergence,
+    ExecutionPlan,
+    FuzzError,
+    PlanOutcome,
+    PlanPair,
+    ProbeReportDetector,
+    diff_outcomes,
+    run_pair,
+    run_plan,
+)
+from repro.fuzz.executor import EmissionRecord
+
+STREAM = "zipf:duration=4,seed=1"
+
+
+def plan(**kwargs):
+    defaults = dict(
+        detector="spacesaving", stream=STREAM, take=256, emit="128p",
+    )
+    defaults.update(kwargs)
+    return ExecutionPlan(**defaults)
+
+
+class TestRunPlan:
+    def test_serial_outcome_shape(self):
+        outcome = run_plan(plan(chunk=64))
+        assert outcome.packets == 256
+        assert outcome.emissions and outcome.digest
+        first = outcome.emissions[0]
+        assert first.packets == 128 and first.start_packet == 0
+
+    def test_deterministic(self):
+        p = plan(chunk=48)
+        one, two = run_plan(p), run_plan(p)
+        assert one.emissions == two.emissions
+        assert one.digest == two.digest
+
+    def test_restart_plan_matches_uninterrupted(self):
+        base = plan(chunk=32, take=256)
+        plain = run_plan(base)
+        restarted = run_plan(base.with_(restart_at=(2, 5)))
+        assert diff_outcomes(plain, restarted, "checkpoint") is None
+
+    def test_non_enumerable_needs_probe(self):
+        with pytest.raises(FuzzError, match="cannot enumerate"):
+            run_plan(plan(detector="bloom"))
+
+    def test_probe_shards_need_mergeable(self):
+        with pytest.raises(FuzzError, match="not mergeable"):
+            run_plan(plan(detector="spacesaving", probe=True, shards=2))
+
+    def test_skip_shifts_the_window(self):
+        assert run_plan(plan()).emissions != run_plan(plan(skip=64)).emissions
+
+
+class TestAxisEquivalences:
+    """One sampled pair per axis through the real stack — the fuzz
+    harness's core claim, pinned at tier-1 speed."""
+
+    def test_chunking(self):
+        base = plan(chunk=64)
+        _, _, divergence = run_pair(
+            PlanPair("chunking", base, base.with_(chunk=48))
+        )
+        assert divergence is None
+
+    def test_sharding(self):
+        base = plan(detector="countmin", probe=True, chunk=64)
+        _, _, divergence = run_pair(
+            PlanPair("sharding", base, base.with_(shards=3))
+        )
+        assert divergence is None
+
+    def test_checkpoint(self):
+        base = plan(chunk=32)
+        _, _, divergence = run_pair(
+            PlanPair("checkpoint", base, base.with_(restart_at=(3,)))
+        )
+        assert divergence is None
+
+    def test_merge_order(self):
+        base = plan(detector="countsketch", probe=True, chunk=64, shards=3)
+        _, _, divergence = run_pair(
+            PlanPair(
+                "merge-order",
+                base.with_(merge_order=(0, 1, 2)),
+                base.with_(merge_order=(2, 0, 1)),
+            )
+        )
+        assert divergence is None
+
+    def test_serve(self):
+        base = plan(chunk=64, shards=2, emit="2s")
+        _, _, divergence = run_pair(
+            PlanPair("serve", base, base.with_(serve_workers=2))
+        )
+        assert divergence is None
+
+
+class TestProbeReportDetector:
+    def test_probes_observed_keys_sorted(self):
+        spec = get_spec("countmin")
+        probe = ProbeReportDetector(spec.factory(), spec)
+        probe.update_batch([5, 3, 5], [10, 1, 10])
+        report = probe.query(0.0)
+        assert list(report) == [3, 5]
+        assert report[5] >= 20.0
+
+    def test_reset_clears_observations(self):
+        spec = get_spec("countmin")
+        probe = ProbeReportDetector(spec.factory(), spec)
+        probe.update(1, 4)
+        probe.reset()
+        assert probe.query(0.0) == {}
+
+
+def record(report, **kwargs):
+    defaults = dict(
+        index=0, t0=0.0, t1=1.0, packets=10, bytes=100,
+        start_packet=0, end_packet=10, partial=False,
+    )
+    defaults.update(kwargs)
+    return EmissionRecord(report=tuple(report), **defaults)
+
+
+def outcome(records, digest="d0", packets=10, nbytes=100):
+    return PlanOutcome(
+        plan=plan(), emissions=tuple(records), digest=digest,
+        packets=packets, bytes=nbytes,
+    )
+
+
+class TestDiffOutcomes:
+    def test_totals_divergence(self):
+        d = diff_outcomes(
+            outcome([], packets=10), outcome([], packets=11), "chunking"
+        )
+        assert d is not None and d.kind == "totals"
+
+    def test_emission_count_divergence(self):
+        d = diff_outcomes(
+            outcome([record([])]), outcome([]), "chunking"
+        )
+        assert d is not None and d.kind == "emission-count"
+
+    def test_report_order_matters_only_when_promised(self):
+        a = outcome([record([(1, 5.0), (2, 3.0)])])
+        b = outcome([record([(2, 3.0), (1, 5.0)])])
+        assert diff_outcomes(a, b, "chunking") is None
+        strict = diff_outcomes(a, b, "checkpoint")
+        assert strict is not None and strict.kind == "report"
+
+    def test_tolerance_only_on_loose_axes(self):
+        a = outcome([record([(1, 1.0)])])
+        b = outcome([record([(1, 1.0 + 1e-12)])])
+        assert diff_outcomes(a, b, "chunking") is None
+        assert diff_outcomes(a, b, "serve") is not None
+
+    def test_value_beyond_tolerance_diverges(self):
+        a = outcome([record([(1, 1.0)])])
+        b = outcome([record([(1, 1.1)])])
+        d = diff_outcomes(a, b, "chunking")
+        assert d is not None and d.kind == "report" and d.emission == 0
+
+    def test_digest_compared_on_strict_axes(self):
+        a, b = outcome([], digest="aaaa"), outcome([], digest="bbbb")
+        assert diff_outcomes(a, b, "chunking") is None
+        d = diff_outcomes(a, b, "checkpoint")
+        assert d is not None and d.kind == "digest"
+
+    def test_contracts_cover_every_axis(self):
+        from repro.fuzz import AXES
+
+        assert set(CONTRACTS) == set(AXES)
+
+
+class TestDivergenceSerialization:
+    def test_round_trip(self):
+        d = Divergence("serve", "report", "key 5 differs", emission=3)
+        assert Divergence.from_dict(d.to_dict()) == d
+        assert "serve" in str(d) and "@emission 3" in str(d)

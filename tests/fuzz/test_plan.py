@@ -1,0 +1,167 @@
+"""Execution plans and the seeded plan space: validation, round-trip,
+determinism, and axis/detector coverage."""
+
+import pytest
+
+from repro.core import get_spec
+from repro.fuzz import (
+    AXES,
+    ExecutionPlan,
+    FuzzError,
+    PlanPair,
+    PlanSpace,
+    eligible_detectors,
+)
+
+STREAM = "zipf:duration=4,seed=1"
+
+
+def plan(**kwargs):
+    defaults = dict(detector="spacesaving", stream=STREAM)
+    defaults.update(kwargs)
+    return ExecutionPlan(**defaults)
+
+
+class TestExecutionPlan:
+    def test_defaults_validate(self):
+        p = plan()
+        assert p.take == 512 and p.shards == 1 and not p.probe
+
+    @pytest.mark.parametrize("bad", [
+        dict(take=0),
+        dict(skip=-1),
+        dict(chunk=0),
+        dict(shards=0),
+        dict(serve_workers=-1),
+        dict(phi=0.0),
+        dict(phi=1.5),
+        dict(restart_at=(0,)),
+        dict(merge_order=(0, 1)),                      # needs probe
+        dict(shards=2, probe=True, merge_order=(0, 2)),  # not a perm
+        dict(probe=True, restart_at=(1,)),
+        dict(shards=2, serve_workers=1, probe=True),
+        dict(shards=2, serve_workers=1, restart_at=(1,)),
+        dict(shards=2, serve_workers=3),               # workers > shards
+    ])
+    def test_invalid_plans_rejected(self, bad):
+        with pytest.raises(FuzzError):
+            plan(**bad)
+
+    def test_restart_points_sorted_deduped(self):
+        p = plan(restart_at=(3, 1, 3))
+        assert p.restart_at == (1, 3)
+
+    def test_dict_round_trip(self):
+        p = plan(
+            take=300, skip=7, chunk=32, shards=3, probe=True,
+            merge_order=(2, 0, 1), phi=0.05, key="dst",
+        )
+        assert ExecutionPlan.from_dict(p.to_dict()) == p
+
+    def test_round_trip_serve_and_restarts(self):
+        for p in (
+            plan(shards=2, serve_workers=2, chunk=64),
+            plan(restart_at=(1, 4), emit="250p"),
+        ):
+            assert ExecutionPlan.from_dict(p.to_dict()) == p
+
+    def test_from_dict_rejects_unknown_fields(self):
+        data = plan().to_dict()
+        data["bogus"] = 1
+        with pytest.raises(FuzzError, match="unknown plan fields"):
+            ExecutionPlan.from_dict(data)
+
+    def test_describe_names_the_interleaving(self):
+        label = plan(
+            shards=3, probe=True, merge_order=(2, 1, 0), chunk=16
+        ).describe()
+        assert "spacesaving" in label
+        assert "chunk=16" in label and "shards=3" in label
+        assert "order=210" in label
+
+
+class TestPlanPair:
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(FuzzError, match="unknown axis"):
+            PlanPair("warp", plan(), plan())
+
+    def test_workload_must_match(self):
+        with pytest.raises(FuzzError, match="must share"):
+            PlanPair("chunking", plan(take=100), plan(take=200))
+
+    def test_with_workload_changes_both_sides(self):
+        pair = PlanPair("chunking", plan(chunk=16), plan(chunk=64))
+        smaller = pair.with_workload(take=50)
+        assert smaller.a.take == smaller.b.take == 50
+        assert (smaller.a.chunk, smaller.b.chunk) == (16, 64)
+
+
+class TestEligibility:
+    def test_report_axes_need_enumerable(self):
+        for axis in ("chunking", "checkpoint", "serve"):
+            names = eligible_detectors(axis)
+            assert names and all(get_spec(n).enumerable for n in names)
+
+    def test_merge_axes_need_mergeable(self):
+        for axis in ("sharding", "merge-order"):
+            names = eligible_detectors(axis)
+            assert names and all(get_spec(n).mergeable for n in names)
+
+    def test_unknown_axis(self):
+        with pytest.raises(FuzzError):
+            eligible_detectors("warp")
+
+
+class TestPlanSpace:
+    def test_pair_is_pure_function_of_seed_and_index(self):
+        one, two = PlanSpace(7), PlanSpace(7)
+        for i in range(12):
+            assert one.pair(i) == two.pair(i)
+
+    def test_different_seeds_differ(self):
+        assert PlanSpace(0).pair(0) != PlanSpace(1).pair(0)
+
+    def test_axes_round_robin_covers_all(self):
+        space = PlanSpace(0)
+        seen = {space.pair(i).axis for i in range(len(AXES))}
+        assert seen == set(AXES)
+
+    def test_detectors_rotate_within_axis(self):
+        space = PlanSpace(0, axes=["chunking"])
+        pool = space.pools["chunking"]
+        seen = {space.pair(i).a.detector for i in range(len(pool))}
+        assert seen == set(pool)
+
+    def test_pairs_validate_by_construction(self):
+        space = PlanSpace(3)
+        for i in range(15):
+            pair = space.pair(i)
+            assert pair.axis in AXES
+            # Frozen dataclass __post_init__ already validated both plans;
+            # round-tripping re-validates from plain data.
+            assert ExecutionPlan.from_dict(pair.a.to_dict()) == pair.a
+
+    def test_detector_restriction(self):
+        space = PlanSpace(0, detectors=["countmin"])
+        # countmin is mergeable but not enumerable: report axes drop out.
+        assert set(space.axes) == {"sharding", "merge-order"}
+        for i in range(4):
+            assert space.pair(i).a.detector == "countmin"
+
+    def test_unknown_detector_rejected_eagerly(self):
+        with pytest.raises(ValueError, match="unknown detector"):
+            PlanSpace(0, detectors=["nope"])
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(FuzzError, match="unknown axis"):
+            PlanSpace(0, axes=["warp"])
+
+    def test_empty_space_rejected(self):
+        # bloom cannot enumerate: restricting to it kills report axes.
+        with pytest.raises(FuzzError, match="no .* combination"):
+            PlanSpace(0, detectors=["bloom"], axes=["chunking"])
+
+    def test_stream_specs_carry_explicit_seeds(self):
+        space = PlanSpace(0)
+        for i in range(10):
+            assert "seed=" in space.pair(i).a.stream

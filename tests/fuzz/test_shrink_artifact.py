@@ -1,0 +1,194 @@
+"""The shrinker and the fuzz-case artifact, exercised against a toy
+detector with a deliberately injected batch/scalar divergence."""
+
+import json
+
+import pytest
+
+from repro.core.detector import Detector, as_batch
+from repro.core.registry import _REGISTRY, register_detector
+from repro.fuzz import (
+    FUZZ_CASE_SCHEMA,
+    ExecutionPlan,
+    FuzzCase,
+    FuzzError,
+    PlanPair,
+    case_filename,
+    diff_outcomes,
+    read_case,
+    replay_case,
+    run_plan,
+    shrink_pair,
+    validate_fuzz_case_dict,
+    write_case,
+)
+
+STREAM = "zipf:duration=4,seed=1"
+
+
+class BrokenCounter(Detector):
+    """Exact counter whose batch path drops the last packet of any batch
+    of >= 40 packets — the injected off-by-one the harness must find."""
+
+    def __init__(self):
+        self.counts = {}
+
+    def update(self, key, weight=1, ts=None):
+        self.counts[key] = self.counts.get(key, 0) + weight
+
+    def update_batch(self, keys, weights=None, ts=None):
+        keys, weights, _ = as_batch(keys, weights, ts)
+        if len(keys) >= 40:
+            keys, weights = keys[:-1], weights[:-1]
+        for key, weight in zip(keys.tolist(), weights.tolist()):
+            self.update(key, weight)
+
+    def query(self, threshold, now=None):
+        return {
+            key: float(count)
+            for key, count in sorted(self.counts.items())
+            if count >= threshold
+        }
+
+    def reset(self):
+        self.counts = {}
+
+    @property
+    def num_counters(self):
+        return len(self.counts)
+
+
+@pytest.fixture
+def broken_toy():
+    register_detector(
+        "broken-toy", BrokenCounter,
+        description="test-only: batch path drops packets",
+    )
+    try:
+        yield "broken-toy"
+    finally:
+        _REGISTRY.pop("broken-toy", None)
+
+
+def broken_pair(take=512, small=16, big=64):
+    base = ExecutionPlan(
+        detector="broken-toy", stream=STREAM, take=take, emit="2s",
+    )
+    return PlanPair(
+        "chunking", base.with_(chunk=small), base.with_(chunk=big)
+    )
+
+
+class TestShrinker:
+    def test_minimises_the_injected_divergence(self, broken_toy):
+        pair = broken_pair()
+        a, b = run_plan(pair.a), run_plan(pair.b)
+        divergence = diff_outcomes(a, b, pair.axis)
+        assert divergence is not None
+
+        result = shrink_pair(pair, divergence, max_executions=80)
+        assert result.shrunk
+        assert result.divergence.axis == "chunking"
+        # A 40-packet chunk triggers the bug, so the reproducer needs at
+        # most a couple of chunks' worth of stream.
+        assert result.pair.a.take < pair.a.take
+        assert result.pair.a.take <= 64
+        # The minimal pair must itself still diverge.
+        ra, rb = run_plan(result.pair.a), run_plan(result.pair.b)
+        assert diff_outcomes(ra, rb, "chunking") is not None
+
+    def test_shrunk_pair_stays_in_family(self, broken_toy):
+        pair = broken_pair()
+        divergence = diff_outcomes(
+            run_plan(pair.a), run_plan(pair.b), pair.axis
+        )
+        result = shrink_pair(pair, divergence, max_executions=60)
+        # Workload knobs stay shared — still a valid chunking pair.
+        assert result.pair.a.take == result.pair.b.take
+        assert result.pair.a.stream == result.pair.b.stream
+        assert result.pair.a.chunk != result.pair.b.chunk
+
+    def test_budget_bounds_executions(self, broken_toy):
+        pair = broken_pair()
+        divergence = diff_outcomes(
+            run_plan(pair.a), run_plan(pair.b), pair.axis
+        )
+        result = shrink_pair(pair, divergence, max_executions=5)
+        assert result.executions <= 5
+        assert result.divergence is not None
+
+
+def make_case(pair, divergence, **kwargs):
+    defaults = dict(
+        axis=pair.axis, seed=0, pair_index=3, divergence=divergence,
+        plan_a=pair.a, plan_b=pair.b,
+        original_a=pair.a, original_b=pair.b,
+    )
+    defaults.update(kwargs)
+    return FuzzCase(**defaults)
+
+
+class TestArtifact:
+    def test_write_read_round_trip(self, broken_toy, tmp_path):
+        pair = broken_pair(take=48)
+        divergence = diff_outcomes(
+            run_plan(pair.a), run_plan(pair.b), pair.axis
+        )
+        assert divergence is not None
+        case = make_case(pair, divergence, shrink_executions=7, shrunk=True)
+
+        path = write_case(case, tmp_path / "case.json")
+        loaded = read_case(path)
+        assert loaded == case
+        assert json.loads(path.read_text())["schema"] == FUZZ_CASE_SCHEMA
+
+    def test_replay_reproduces_deterministically(self, broken_toy):
+        pair = broken_pair(take=48)
+        divergence = diff_outcomes(
+            run_plan(pair.a), run_plan(pair.b), pair.axis
+        )
+        case = make_case(pair, divergence)
+        assert replay_case(case) is not None
+        assert replay_case(case) == replay_case(case)
+
+    def test_replay_clean_pair_returns_none(self):
+        base = ExecutionPlan(
+            detector="spacesaving", stream=STREAM, take=128, emit="2s",
+        )
+        pair = PlanPair("chunking", base.with_(chunk=16), base.with_(chunk=48))
+        from repro.fuzz import Divergence
+
+        case = make_case(pair, Divergence("chunking", "report", "stale"))
+        assert replay_case(case) is None
+
+    def test_case_filename_is_stable(self, broken_toy):
+        pair = broken_pair(take=48)
+        from repro.fuzz import Divergence
+
+        case = make_case(pair, Divergence("chunking", "report", "x"))
+        assert case_filename(case) == \
+            "fuzz-case-chunking-broken-toy-s0-p3.json"
+
+    @pytest.mark.parametrize("mangle", [
+        lambda d: d.pop("schema"),
+        lambda d: d.update(schema="repro-hhh/fuzz-case/v2"),
+        lambda d: d.pop("plan_b"),
+        lambda d: d.update(axis="warp"),
+        lambda d: d.update(divergence="not-a-dict"),
+    ])
+    def test_validation_rejects_mangled_documents(self, mangle):
+        base = ExecutionPlan(detector="spacesaving", stream=STREAM)
+        from repro.fuzz import Divergence
+
+        pair = PlanPair("chunking", base, base.with_(chunk=64))
+        case = make_case(pair, Divergence("chunking", "report", "x"))
+        document = case.to_dict()
+        mangle(document)
+        with pytest.raises(FuzzError):
+            validate_fuzz_case_dict(document)
+
+    def test_read_rejects_non_json(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("{nope")
+        with pytest.raises(FuzzError, match="not valid JSON"):
+            read_case(path)

@@ -1,0 +1,133 @@
+"""Randomized property: the equivalence fuzz harness, end to end.
+
+Two claims, both over the *real* stack:
+
+1. **Sensitivity** — against a toy detector with a deliberately injected
+   batch/scalar off-by-one, a seeded fuzz run finds the divergence,
+   shrinks it to a small (<= 64-packet) reproducer, and the serialized
+   ``repro-hhh/fuzz-case/v1`` artifact replays it deterministically from
+   disk alone.
+2. **Specificity** — a full seeded budget run over the actual detector
+   registry covers every equivalence axis and many detectors and finds
+   *zero* divergences (the acceptance gate ``repro-hhh fuzz --budget-s 5
+   --seed 0`` enforces in CI).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.detector import Detector, as_batch
+from repro.core.registry import _REGISTRY, register_detector
+from repro.fuzz import (
+    FuzzHarness,
+    read_case,
+    replay_case,
+    write_case,
+)
+
+pytestmark = pytest.mark.slow
+
+
+class BrokenCounter(Detector):
+    """Exact counter whose batch path drops the last packet of any batch
+    of >= 40 packets."""
+
+    def __init__(self):
+        self.counts = {}
+
+    def update(self, key, weight=1, ts=None):
+        self.counts[key] = self.counts.get(key, 0) + weight
+
+    def update_batch(self, keys, weights=None, ts=None):
+        keys, weights, _ = as_batch(keys, weights, ts)
+        if len(keys) >= 40:
+            keys, weights = keys[:-1], weights[:-1]
+        for key, weight in zip(keys.tolist(), weights.tolist()):
+            self.update(key, weight)
+
+    def query(self, threshold, now=None):
+        return {
+            key: float(count)
+            for key, count in sorted(self.counts.items())
+            if count >= threshold
+        }
+
+    def reset(self):
+        self.counts = {}
+
+    @property
+    def num_counters(self):
+        return len(self.counts)
+
+
+@pytest.fixture
+def broken_toy():
+    register_detector(
+        "broken-toy", BrokenCounter,
+        description="test-only: batch path drops packets",
+    )
+    try:
+        yield "broken-toy"
+    finally:
+        _REGISTRY.pop("broken-toy", None)
+
+
+class TestInjectedDivergence:
+    def test_harness_finds_shrinks_and_replays(self, broken_toy, tmp_path):
+        harness = FuzzHarness(
+            seed=3, max_pairs=8,
+            detectors=["broken-toy"], axes=["chunking"],
+        )
+        report = harness.run()
+        assert report.pairs == 8
+        assert report.cases, "injected off-by-one was not detected"
+
+        # The bug triggers on one >= 40-packet chunk, so at least one
+        # minimised reproducer needs no more than 64 packets.
+        takes = [case.plan_a.take for case in report.cases]
+        assert min(takes) <= 64
+        assert any(case.shrunk for case in report.cases)
+
+        # Serialize, reload, replay: the artifact alone reproduces it.
+        case = min(report.cases, key=lambda c: c.plan_a.take)
+        path = write_case(case, tmp_path / "case.json")
+        loaded = read_case(path)
+        first = replay_case(loaded)
+        assert first is not None
+        assert first.axis == "chunking"
+        assert replay_case(loaded) == first   # deterministic
+
+    def test_divergences_counted_per_axis(self, broken_toy):
+        report = FuzzHarness(
+            seed=3, max_pairs=6,
+            detectors=["broken-toy"], axes=["chunking"],
+        ).run()
+        assert report.axis_divergences.get("chunking", 0) == len(report.cases)
+        assert report.divergences == len(report.cases)
+
+
+class TestRegistryIsClean:
+    def test_budget_run_finds_nothing(self):
+        # The acceptance gate, in-process: a 5-second seeded budget must
+        # cover the space (>= 20 pairs, >= 5 detectors, every axis) and
+        # observe zero equivalence violations across the real registry.
+        report = FuzzHarness(seed=0, budget_s=5.0).run()
+        assert report.pairs >= 20
+        assert len(report.detectors_covered) >= 5
+        assert set(report.axes_covered) == {
+            "chunking", "sharding", "checkpoint", "serve", "merge-order",
+        }
+        assert report.divergences == 0, [
+            case.describe() for case in report.cases
+        ]
+        assert not report.errors
+
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_other_seeds_also_clean(self, seed):
+        report = FuzzHarness(seed=seed, max_pairs=25).run()
+        assert report.pairs == 25
+        assert report.divergences == 0, [
+            case.describe() for case in report.cases
+        ]
+        assert not report.errors

@@ -1,0 +1,168 @@
+"""The ``repro-hhh fuzz`` subcommand: budgeted runs, exit codes, case
+artifacts, replay, and the JSON summary."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import validate_result_dict
+from repro.fuzz import read_case
+
+
+def _run(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+@pytest.fixture
+def broken_toy():
+    from repro.core.detector import Detector, as_batch
+    from repro.core.registry import _REGISTRY, register_detector
+
+    class BrokenCounter(Detector):
+        """Batch path drops the last packet of any batch of >= 40."""
+
+        def __init__(self):
+            self.counts = {}
+
+        def update(self, key, weight=1, ts=None):
+            self.counts[key] = self.counts.get(key, 0) + weight
+
+        def update_batch(self, keys, weights=None, ts=None):
+            keys, weights, _ = as_batch(keys, weights, ts)
+            if len(keys) >= 40:
+                keys, weights = keys[:-1], weights[:-1]
+            for key, weight in zip(keys.tolist(), weights.tolist()):
+                self.update(key, weight)
+
+        def query(self, threshold, now=None):
+            return {
+                key: float(count)
+                for key, count in sorted(self.counts.items())
+                if count >= threshold
+            }
+
+        def reset(self):
+            self.counts = {}
+
+        @property
+        def num_counters(self):
+            return len(self.counts)
+
+    register_detector(
+        "broken-toy", BrokenCounter,
+        description="test-only: batch path drops packets",
+    )
+    try:
+        yield "broken-toy"
+    finally:
+        _REGISTRY.pop("broken-toy", None)
+
+
+class TestFuzzCommand:
+    def test_clean_run_exits_zero(self, capsys):
+        code, out = _run(
+            capsys, "fuzz", "--pairs", "10", "--budget-s", "60", "--seed", "0",
+        )
+        assert code == 0
+        assert "10 pairs" in out
+        assert "0 divergences" in out
+
+    def test_axis_and_detector_restriction(self, capsys):
+        code, out = _run(
+            capsys, "fuzz", "--pairs", "4", "--budget-s", "60",
+            "--axis", "chunking", "--detector", "spacesaving",
+        )
+        assert code == 0
+        assert "chunking" in out
+        assert "sharding" not in out
+
+    def test_verbose_prints_every_pair(self, capsys):
+        code, out = _run(
+            capsys, "fuzz", "--pairs", "3", "--budget-s", "60", "--verbose",
+        )
+        assert code == 0
+        assert out.count("  ok") == 3
+
+    def test_json_summary_validates(self, capsys, tmp_path):
+        path = tmp_path / "fuzz.json"
+        code, _ = _run(
+            capsys, "fuzz", "--pairs", "5", "--budget-s", "60",
+            "--json", str(path),
+        )
+        assert code == 0
+        document = json.loads(path.read_text())
+        validate_result_dict(document)
+        assert document["experiment"] == "fuzz"
+        assert document["headline"]["pairs"] == 5
+        assert document["rows"]
+
+    def test_unknown_detector_fails_cleanly(self, capsys):
+        code = main(["fuzz", "--pairs", "1", "--detector", "nope"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "error:" in err and "unknown detector" in err
+
+    def test_divergence_exits_one_and_writes_cases(
+        self, capsys, tmp_path, broken_toy
+    ):
+        cases_dir = tmp_path / "cases"
+        code, out = _run(
+            capsys, "fuzz", "--pairs", "4", "--budget-s", "120",
+            "--detector", "broken-toy", "--axis", "chunking",
+            "--cases-dir", str(cases_dir),
+        )
+        assert code == 1
+        assert "DIVERGED" in out
+        written = sorted(cases_dir.glob("fuzz-case-*.json"))
+        assert written
+        case = read_case(written[0])
+        assert case.axis == "chunking"
+        assert case.plan_a.detector == "broken-toy"
+
+    def test_replay_reproduces(self, capsys, tmp_path, broken_toy):
+        cases_dir = tmp_path / "cases"
+        code, _ = _run(
+            capsys, "fuzz", "--pairs", "4", "--budget-s", "120",
+            "--detector", "broken-toy", "--axis", "chunking",
+            "--cases-dir", str(cases_dir),
+        )
+        assert code == 1
+        artifact = sorted(cases_dir.glob("fuzz-case-*.json"))[0]
+
+        code, out = _run(capsys, "fuzz", "--replay", str(artifact))
+        assert code == 0
+        assert "reproduced:" in out
+
+    def test_replay_missing_file_fails(self, capsys):
+        code = main(["fuzz", "--replay", "/nonexistent/case.json"])
+        assert code == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_replay_stale_case_exits_one(self, capsys, tmp_path):
+        # A hand-built "divergence" on a healthy detector: replay must
+        # report that it no longer reproduces.
+        from repro.fuzz import (
+            Divergence,
+            ExecutionPlan,
+            FuzzCase,
+            write_case,
+        )
+
+        base = ExecutionPlan(
+            detector="spacesaving", stream="zipf:duration=4,seed=1",
+            take=128, emit="2s",
+        )
+        case = FuzzCase(
+            axis="chunking", seed=0, pair_index=0,
+            divergence=Divergence("chunking", "report", "stale"),
+            plan_a=base.with_(chunk=16), plan_b=base.with_(chunk=48),
+            original_a=base.with_(chunk=16), original_b=base.with_(chunk=48),
+        )
+        path = write_case(case, tmp_path / "stale.json")
+
+        code, out = _run(capsys, "fuzz", "--replay", str(path))
+        assert code == 1
+        assert "no longer reproduces" in out
