@@ -1,0 +1,101 @@
+"""Serve-engine crash-recovery latency (the ISSUE 10 supervision path).
+
+Streams a small tenant fleet through the supervised runtime, SIGKILLs one
+worker mid-run, and records what the recovery machinery costs:
+
+- ``recovery_s`` — respawn + checkpoint-restore time, straight from
+  :attr:`ServeRuntime.recoveries` (the replay that follows runs at normal
+  streaming speed inside ``run()`` and is charged to the run, not the
+  recovery);
+- the end-to-end overhead of the crashed run vs an identical clean run,
+  which bounds checkpoint cadence + replay cost together.
+
+The run must also stay *correct*: every tenant's emission stream is
+compared byte-identically against the clean run's.  Count-Min again, so
+the numbers measure the engine, not detector variance.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+from benchmarks.conftest import write_result
+
+from repro.analysis.render import format_table
+from repro.stream.serve import ServeRuntime
+
+WORKERS = 2
+SHARDS = 4
+CHUNK = 4096
+MAX_PACKETS = 60_000
+CHECKPOINT_EVERY = 1
+KILL_TURN = 8
+#: Generous absolute bound on respawn + state-restore time; the committed
+#: perf ceiling (benchmarks/perf_floors.json) gates the smoke artifact at
+#: the same 5s.
+MAX_RECOVERY_S = 5.0
+
+TENANTS = {
+    "alpha": "drift:duration=30,seed=3",
+    "beta": "zipf:duration=30,seed=9",
+    "gamma": "caida:day=0,duration=30",
+}
+
+
+def _run_fleet(kill_turn=None):
+    """One full fleet run; returns (emissions, wall_s, recoveries)."""
+    with ServeRuntime(
+        workers=WORKERS, shards=SHARDS, chunk_size=CHUNK
+    ) as runtime:
+        for name, spec in TENANTS.items():
+            runtime.add_tenant(
+                name, "countmin-hh", spec, emit="2s", phi=0.02,
+                max_packets=MAX_PACKETS,
+                checkpoint_every=CHECKPOINT_EVERY,
+            )
+        if kill_turn is not None:
+            runtime.on_turn = (
+                lambda turn: runtime.pool.kill_worker(0)
+                if turn == kill_turn else None
+            )
+        t0 = time.perf_counter()
+        emissions = {name: [] for name in TENANTS}
+        for name, emission in runtime.run():
+            emissions[name].append(
+                dataclasses.replace(emission, wall_s=0.0)
+            )
+        wall_s = time.perf_counter() - t0
+        assert not runtime.failed, runtime.failed
+        recoveries = list(runtime.recoveries)
+    return emissions, wall_s, recoveries
+
+
+def test_crash_recovery_latency():
+    clean, clean_s, none = _run_fleet()
+    assert not none
+    crashed, crashed_s, recoveries = _run_fleet(kill_turn=KILL_TURN)
+
+    assert len(recoveries) == 1
+    assert recoveries[0]["failed"] == ()
+    recovery_s = float(recoveries[0]["seconds"])
+    # Correctness first: the crash must be observationally invisible.
+    assert crashed == clean
+
+    write_result(
+        "serve_recovery.txt",
+        "Serve-engine crash recovery (countmin-hh, "
+        f"{len(TENANTS)} tenants, {WORKERS} workers, {SHARDS} shards, "
+        f"chunk {CHUNK}, checkpoint every {CHECKPOINT_EVERY} emission)\n"
+        + format_table([{
+            "packets_per_tenant": MAX_PACKETS,
+            "clean_run_s": round(clean_s, 3),
+            "crashed_run_s": round(crashed_s, 3),
+            "recovery_s": round(recovery_s, 4),
+            "overhead": round(crashed_s / clean_s, 2),
+        }]),
+    )
+    assert recovery_s < MAX_RECOVERY_S, (
+        f"respawn + restore took {recovery_s:.2f}s "
+        f"(bound {MAX_RECOVERY_S}s)"
+    )

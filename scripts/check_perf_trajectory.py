@@ -2,18 +2,24 @@
 """Gate CI on the performance trajectory of archived smoke artifacts.
 
 The experiment-smoke job archives one ``BENCH_<experiment>.json`` per
-registered experiment.  This script compares the throughput metrics named
-in ``benchmarks/perf_floors.json`` against their committed floors and
-exits non-zero when any observed value regresses more than the configured
-tolerance below its floor (default: 20%).
+registered experiment.  This script compares the metrics named in
+``benchmarks/perf_floors.json`` against their committed bounds and exits
+non-zero when any observed value crosses its bound by more than the
+configured tolerance (default: 20%).
 
-Floor entries address a metric either on the artifact's ``headline``
-(dotted path) or on a single ``rows`` entry selected by a key/value match::
+An entry carries either a ``floor`` (higher-is-better metrics such as
+throughput: fail when the value drops below ``floor * (1 - tolerance)``)
+or a ``ceiling`` (lower-is-better metrics such as recovery latency: fail
+when the value exceeds ``ceiling * (1 + tolerance)``).  It addresses a
+metric either on the artifact's ``headline`` (dotted path) or on a single
+``rows`` entry selected by a key/value match::
 
     {"artifact": "batch-throughput", "metric": "headline.max_batch_pps",
      "floor": 3000000}
     {"artifact": "batch-throughput", "row": {"detector": "countmin"},
      "metric": "speedup", "floor": 20.0}
+    {"artifact": "serve-recovery", "metric": "headline.recovery_s",
+     "ceiling": 5.0}
 
 A missing artifact, row, or metric is itself a failure — renaming an
 experiment or a metric must be accompanied by a floors update, otherwise
@@ -67,8 +73,11 @@ def check(artifacts_dir: pathlib.Path, floors_path: pathlib.Path) -> int:
     failures = []
     for entry in config["floors"]:
         name = _describe(entry)
-        floor = float(entry["floor"])
-        cutoff = floor * (1.0 - tolerance)
+        lower_is_better = "ceiling" in entry
+        bound = float(entry["ceiling" if lower_is_better else "floor"])
+        cutoff = bound * (
+            (1.0 + tolerance) if lower_is_better else (1.0 - tolerance)
+        )
         path = artifacts_dir / f"BENCH_{entry['artifact']}.json"
         try:
             document = json.loads(path.read_text())
@@ -81,17 +90,24 @@ def check(artifacts_dir: pathlib.Path, floors_path: pathlib.Path) -> int:
             failures.append(f"{name}: {exc.args[0]}")
             print(f"FAIL {name}: {exc.args[0]}")
             continue
-        if value < cutoff:
+        if lower_is_better and value > cutoff:
+            failures.append(
+                f"{name}: {value:g} > {cutoff:g} "
+                f"(ceiling {bound:g} + {tolerance:.0%})"
+            )
+            status = "FAIL"
+        elif not lower_is_better and value < cutoff:
             failures.append(
                 f"{name}: {value:g} < {cutoff:g} "
-                f"(floor {floor:g} - {tolerance:.0%})"
+                f"(floor {bound:g} - {tolerance:.0%})"
             )
             status = "FAIL"
         else:
             status = "ok"
+        kind = "ceiling" if lower_is_better else "floor"
         print(
             f"{status:4s} {name}: observed {value:g}, "
-            f"floor {floor:g}, cutoff {cutoff:g}"
+            f"{kind} {bound:g}, cutoff {cutoff:g}"
         )
     if failures:
         print(f"\n{len(failures)} perf-trajectory regression(s):")

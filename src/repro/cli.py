@@ -32,9 +32,10 @@ handoff, per-tenant checkpoints as the migration unit)::
               [--resume-dir DIR --fast-forward]
 
 The equivalence fuzz harness samples promised-equivalent plan pairs
-(chunking, sharding, checkpoint/resume, serve-vs-serial, merge-order),
-runs both sides through the real stack, and shrinks any divergence to a
-minimal replayable artifact::
+(chunking, sharding, checkpoint/resume, serve-vs-serial, merge-order,
+serve tenant churn, serve worker crash), runs both sides through the
+real stack, and shrinks any divergence to a minimal replayable
+artifact::
 
     repro-hhh fuzz [--budget-s S] [--seed N] [--pairs N]
               [--detector NAME ...] [--axis AXIS ...]
@@ -447,6 +448,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             workers=args.workers,
             shards=args.shards,
             chunk_size=args.chunk,
+            recover=args.recover,
         ) as runtime:
             for name, spec in tenants:
                 runtime.add_tenant(
@@ -464,6 +466,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     max_packets=args.max_packets,
                     resume=resumes.get(name),
                     fast_forward=args.fast_forward,
+                    checkpoint_every=args.checkpoint_every,
                 )
                 if name in resumes:
                     pipeline = runtime.pipeline(name)
@@ -512,6 +515,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     ))
                     print(f"{name}: checkpoint -> {path}")
             failed = dict(runtime.failed)
+            recoveries = len(runtime.recoveries)
+            if recoveries:
+                print(f"recovered {recoveries} worker crash(es)")
     except (ValueError, ServeError) as exc:
         # TraceSpecError, bad emission policies, and ServeError (a
         # RuntimeError: bad pool shape, unknown/non-enumerable detectors)
@@ -542,6 +548,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             headline={
                 "tenants": len(tenants),
                 "failed": len(failed),
+                "recoveries": recoveries,
                 "num_emissions": total_emissions,
                 "stream_packets": total_packets,
                 "stream_bytes": total_bytes,
@@ -897,6 +904,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fast-forward", action="store_true",
                    help="with --resume-dir: skip the packets each "
                         "checkpoint already consumed")
+    p.add_argument("--checkpoint-every", type=_min1_int, default=None,
+                   metavar="N",
+                   help="auto-checkpoint each tenant every N emissions "
+                        "(and once at admission) so it survives worker "
+                        "crashes; without it a crash fails the tenant")
+    p.add_argument("--recover", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="supervise worker crashes: respawn dead workers "
+                        "and rebuild tenants from their last "
+                        "--checkpoint-every checkpoint (default on; "
+                        "--no-recover lets a crash fail the run)")
     p.add_argument("--json", dest="json_out", metavar="FILE",
                    help="also write the emission table as a JSON artifact")
     p.set_defaults(func=_cmd_serve)

@@ -21,7 +21,13 @@ from repro.engine.partition import (
     shard_of_key,
 )
 from repro.engine.runner import ParallelRunner
-from repro.engine.serve import ServeDetector, ServeError, ServePool, TenantError
+from repro.engine.serve import (
+    ServeDetector,
+    ServeError,
+    ServePool,
+    TenantError,
+    WorkerCrashError,
+)
 from repro.engine.sharded import ShardedDetector, sharded_factory
 from repro.engine.shm import ChunkRing
 
@@ -34,6 +40,7 @@ __all__ = [
     "ServePool",
     "ShardedDetector",
     "TenantError",
+    "WorkerCrashError",
     "partition_batch",
     "shard_ids",
     "shard_of_key",

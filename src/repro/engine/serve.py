@@ -33,6 +33,16 @@ same ``repro-hhh/detector-state/v1`` envelope a
 the serial pipeline (or on a pool with a *different worker count*)
 bit-identically, because the logical shard partition, not the worker
 layout, is what the artifact captures.
+
+Worker death is a *recoverable* condition, not a pool-fatal one: the
+first pipe failure (EOF/OSError) marks the worker dead, releases its
+in-flight slot reservations (so the partitioner can never hang waiting
+on acks that will not arrive), and raises :class:`WorkerCrashError`.
+:meth:`ServePool.respawn_dead` then replaces the dead processes and
+re-opens every registered tenant's shard detectors on them — *empty*;
+rebuilding state from checkpoints is the caller's job (see
+:class:`repro.stream.serve.ServeRuntime`, which restores each tenant
+from its last auto-checkpoint and replays the gap).
 """
 
 from __future__ import annotations
@@ -67,6 +77,20 @@ class TenantError(ServeError):
     def __init__(self, tenant: object, message: str) -> None:
         self.tenant = tenant
         super().__init__(f"tenant {tenant!r}: {message}")
+
+
+class WorkerCrashError(ServeError):
+    """A worker process died mid-command.
+
+    Recoverable: the pool stays open, the dead worker's in-flight slot
+    reservations are already released, and :meth:`ServePool.respawn_dead`
+    brings a replacement up (with empty detectors — state rebuild is the
+    caller's job).  ``worker`` is the dead worker's index.
+    """
+
+    def __init__(self, worker: int, message: str) -> None:
+        self.worker = worker
+        super().__init__(message)
 
 
 # -- the worker process -------------------------------------------------------
@@ -228,9 +252,9 @@ class ServePool:
         self.owned: tuple[tuple[int, ...], ...] = tuple(
             tuple(range(w, shards, workers)) for w in range(workers)
         )
-        ctx = mp.get_context()
-        self._conns = []
-        self._procs = []
+        self._ctx = mp.get_context()
+        self._conns: list = [None] * workers
+        self._procs: list = [None] * workers
         #: Per-worker FIFO of in-flight async updates: (slot, tenant).
         self._pending: list[deque] = [deque() for _ in range(workers)]
         #: Per-slot count of workers still to ack the last write.
@@ -239,40 +263,85 @@ class ServePool:
         #: Async update failures, attributed per tenant and surfaced at
         #: the next sync point for that tenant or via take_tenant_errors.
         self._tenant_errors: list[tuple[object, str]] = []
-        self._tenants: set = set()
+        #: Registered tenants in registration order, with the factory each
+        #: was opened with — replayed onto respawned workers.
+        self._tenants: dict[object, Callable[[], Detector]] = {}
+        #: Indices of workers whose pipes have failed (crash detected).
+        self._dead: set[int] = set()
         self._closed = False
         try:
             for w in range(workers):
-                parent, child = ctx.Pipe()
-                proc = ctx.Process(
-                    target=_serve_worker,
-                    args=(child, self.ring.name, chunk_capacity, slots,
-                          self.owned[w]),
-                    daemon=True,
-                    name=f"repro-serve-{w}",
-                )
-                proc.start()
-                child.close()
-                self._conns.append(parent)
-                self._procs.append(proc)
+                self._spawn_worker(w)
         except Exception:
             self.close()
             raise
         _LIVE_POOLS.add(self)
 
+    def _spawn_worker(self, w: int) -> None:
+        """Start (or restart) worker ``w`` with a fresh pipe and no state."""
+        parent, child = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_serve_worker,
+            args=(child, self.ring.name, self.chunk_capacity,
+                  self.ring.num_slots, self.owned[w]),
+            daemon=True,
+            name=f"repro-serve-{w}",
+        )
+        proc.start()
+        child.close()
+        self._conns[w] = parent
+        self._procs[w] = proc
+
     # -- reply plumbing ---------------------------------------------------
 
+    def _mark_dead(self, w: int, exc: BaseException) -> None:
+        """Record worker ``w``'s death and raise :class:`WorkerCrashError`.
+
+        Releases every slot reservation the dead worker still held — its
+        acks will never arrive, so leaving them pending would eventually
+        hang :meth:`_acquire_slot` on a slot that cannot drain.
+        """
+        if w not in self._dead:
+            self._dead.add(w)
+            while self._pending[w]:
+                slot, _ = self._pending[w].popleft()
+                self._slot_users[slot] -= 1
+        raise WorkerCrashError(
+            w, f"serve worker {w} died: {exc}"
+        ) from None
+
+    def _send(self, w: int, msg: tuple) -> None:
+        if w in self._dead:
+            raise WorkerCrashError(w, f"serve worker {w} is dead")
+        try:
+            self._conns[w].send(msg)
+        except (OSError, EOFError, ValueError) as exc:
+            self._mark_dead(w, exc)
+
     def _recv(self, w: int) -> tuple:
+        if w in self._dead:
+            raise WorkerCrashError(w, f"serve worker {w} is dead")
         try:
             return self._conns[w].recv()
         except (EOFError, OSError) as exc:
-            raise ServeError(f"serve worker {w} died: {exc}") from None
+            self._mark_dead(w, exc)
+
+    def _poll(self, w: int) -> bool:
+        try:
+            return self._conns[w].poll(0)
+        except (OSError, EOFError) as exc:
+            self._mark_dead(w, exc)
 
     def _consume_async(self, w: int) -> None:
         """Consume one in-flight update ack from worker ``w`` (blocking)."""
         slot, tenant = self._pending[w].popleft()
-        status, payload = self._recv(w)
-        self._slot_users[slot] -= 1
+        try:
+            status, payload = self._recv(w)
+        finally:
+            # Even when the worker died mid-ack, the reservation must be
+            # released — a leaked count would let _acquire_slot wait
+            # forever on a slot that can no longer drain.
+            self._slot_users[slot] -= 1
         if status == "error":
             self._tenant_errors.append((tenant, payload))
 
@@ -280,24 +349,46 @@ class ServePool:
         while self._pending[w]:
             self._consume_async(w)
 
-    def _broadcast(self, tenant: object, msg: tuple) -> list:
+    def _fanout(self, tenant: object, msg_for: Callable[[int], tuple]
+                ) -> list:
         """Synchronous fan-out: drain each worker's update acks, send, and
-        gather one reply per worker (workers compute concurrently)."""
+        gather one reply per worker (workers compute concurrently).
+
+        Crash-safe: a dead worker never desyncs the survivors' FIFO reply
+        streams — replies are only awaited from workers the send actually
+        reached, and the first crash is re-raised once the survivors'
+        replies are in.
+        """
         self._check_open()
+        crash: WorkerCrashError | None = None
+        sent: list[int] = []
         for w in range(self.num_workers):
-            self._drain(w)
-            self._conns[w].send(msg)
+            try:
+                self._drain(w)
+                self._send(w, msg_for(w))
+                sent.append(w)
+            except WorkerCrashError as exc:
+                crash = crash if crash is not None else exc
         payloads = []
         errors = []
-        for w in range(self.num_workers):
-            status, payload = self._recv(w)
+        for w in sent:
+            try:
+                status, payload = self._recv(w)
+            except WorkerCrashError as exc:
+                crash = crash if crash is not None else exc
+                continue
             if status == "error":
                 errors.append(payload)
             else:
                 payloads.append(payload)
+        if crash is not None:
+            raise crash
         if errors:
             raise TenantError(tenant, "; ".join(sorted(set(errors))))
         return payloads
+
+    def _broadcast(self, tenant: object, msg: tuple) -> list:
+        return self._fanout(tenant, lambda w: msg)
 
     def _check_open(self) -> None:
         if self._closed:
@@ -319,20 +410,76 @@ class ServePool:
         if tenant in self._tenants:
             raise ServeError(f"tenant {tenant!r} already open")
         self._broadcast(tenant, ("open", tenant, factory))
-        self._tenants.add(tenant)
+        self._tenants[tenant] = factory
         return ServeDetector(self, tenant)
 
     def close_tenant(self, tenant: object) -> None:
         """Drop one tenant's detectors everywhere; siblings are untouched."""
         if self._closed:
             return
+        self._tenants.pop(tenant, None)
         self._broadcast(tenant, ("close_tenant", tenant))
-        self._tenants.discard(tenant)
 
     @property
     def tenants(self) -> tuple:
-        """The currently open tenant ids (registration order not kept)."""
+        """The currently open tenant ids, in registration order."""
         return tuple(self._tenants)
+
+    # -- crash recovery ----------------------------------------------------
+
+    @property
+    def dead_workers(self) -> tuple[int, ...]:
+        """Indices of workers whose death has been detected (unrespawned)."""
+        return tuple(sorted(self._dead))
+
+    def kill_worker(self, w: int) -> None:
+        """Crash-injection hook (tests/CI): SIGKILL one worker process.
+
+        Deliberately does *not* mark the worker dead — the detection path
+        (pipe EOF at the next send/recv) is part of what gets exercised.
+        """
+        self._check_open()
+        if not 0 <= w < self.num_workers:
+            raise ValueError(f"no such worker {w}")
+        proc = self._procs[w]
+        proc.kill()
+        proc.join(timeout=5)
+
+    def respawn_dead(self) -> tuple[int, ...]:
+        """Replace every detected-dead worker; returns the revived indices.
+
+        Each replacement re-attaches to the same shared ring and re-opens
+        every registered tenant with its original factory — i.e. *empty*
+        detectors.  Rebuilding their state (from a checkpoint plus replay)
+        is the caller's responsibility; surviving workers' state is
+        untouched.  Raises :class:`WorkerCrashError` if another worker
+        dies during the respawn — the call is idempotent, so retry.
+        """
+        self._check_open()
+        revived = tuple(sorted(self._dead))
+        for w in revived:
+            try:
+                self._conns[w].close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+            proc = self._procs[w]
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - kill raced the join
+                proc.terminate()
+                proc.join(timeout=1)
+            self._spawn_worker(w)
+            self._dead.discard(w)
+        for w in revived:
+            for tenant, factory in self._tenants.items():
+                self._send(w, ("open", tenant, factory))
+            for tenant in self._tenants:
+                status, payload = self._recv(w)
+                if status == "error":
+                    raise ServeError(
+                        f"respawned worker {w} failed to reopen tenant: "
+                        f"{payload}"
+                    )
+        return revived
 
     # -- the data path -----------------------------------------------------
 
@@ -393,14 +540,21 @@ class ServePool:
                     ids[order], np.arange(num_shards + 1)
                 ).tolist()
         msg = ("update", tenant, slot, bounds, n, ts is not None)
+        crash: WorkerCrashError | None = None
         for w in range(self.num_workers):
-            conn = self._conns[w]
-            conn.send(msg)
-            self._pending[w].append((slot, tenant))
-            self._slot_users[slot] += 1
-            # Opportunistic non-blocking drain keeps ack queues shallow.
-            while self._pending[w] and conn.poll(0):
-                self._consume_async(w)
+            try:
+                self._send(w, msg)
+                self._pending[w].append((slot, tenant))
+                self._slot_users[slot] += 1
+                # Opportunistic non-blocking drain keeps ack queues shallow.
+                while self._pending[w] and self._poll(w):
+                    self._consume_async(w)
+            except WorkerCrashError as exc:
+                # Keep shipping to the survivors (their FIFO accounting
+                # stays uniform), then surface the first crash.
+                crash = crash if crash is not None else exc
+        if crash is not None:
+            raise crash
 
     def _acquire_slot(self) -> int:
         """A slot with no in-flight readers, blocking only when every slot
@@ -512,19 +666,9 @@ class ServePool:
                 f"serves {self.num_shards}"
             )
         shards = payload["shards"]
-        self._check_open()
-        for w in range(self.num_workers):
-            self._drain(w)
-            self._conns[w].send((
-                "load", tenant, {s: shards[s] for s in self.owned[w]}
-            ))
-        errors = []
-        for w in range(self.num_workers):
-            status, reply = self._recv(w)
-            if status == "error":
-                errors.append(reply)
-        if errors:
-            raise TenantError(tenant, "; ".join(sorted(set(errors))))
+        self._fanout(tenant, lambda w: (
+            "load", tenant, {s: shards[s] for s in self.owned[w]}
+        ))
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -534,6 +678,8 @@ class ServePool:
             return
         self._closed = True
         for w, conn in enumerate(self._conns):
+            if conn is None:
+                continue
             try:
                 self._drain(w)
                 conn.send(("shutdown",))
@@ -543,6 +689,8 @@ class ServePool:
             finally:
                 conn.close()
         for proc in self._procs:
+            if proc is None:
+                continue
             proc.join(timeout=5)
             if proc.is_alive():  # pragma: no cover - hung worker backstop
                 proc.terminate()

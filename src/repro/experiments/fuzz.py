@@ -52,8 +52,9 @@ class EquivalenceFuzzExperiment(Experiment):
     name = "equivalence-fuzz"
     description = (
         "meta-experiment: sample promised-equivalent plan pairs (chunking, "
-        "sharding, checkpoint/resume, serve-vs-serial, merge-order), run "
-        "both sides through the real stack, and shrink any divergence"
+        "sharding, checkpoint/resume, serve-vs-serial, merge-order, "
+        "serve tenant churn, serve worker crash), run both sides through "
+        "the real stack, and shrink any divergence"
     )
     PARAMS = (
         Param("budget_s", "float", 20.0,

@@ -43,6 +43,7 @@ def _ensure_populated() -> None:
         fuzz,
         hidden,
         sensitivity,
+        serve_recovery,
         shard_scaling,
         stats,
         stream_replay,

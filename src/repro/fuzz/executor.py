@@ -68,6 +68,10 @@ CONTRACTS: dict[str, AxisContract] = {
     "checkpoint": AxisContract(True, True, True),
     "serve": AxisContract(True, True, True),
     "merge-order": AxisContract(False, False, False),
+    # Sibling-tenant churn and crash-recovery replay both promise the
+    # tenant under test is untouched — as strict as serve-vs-serial.
+    "serve-churn": AxisContract(True, True, True),
+    "serve-crash": AxisContract(True, True, True),
 }
 assert set(CONTRACTS) == set(AXES)
 
@@ -332,10 +336,14 @@ def _run_serve(plan: ExecutionPlan, spec: DetectorSpec) -> PlanOutcome:
             phi=plan.phi,
             key=plan.key,
             max_packets=plan.take,
+            checkpoint_every=plan.checkpoint_every or None,
         )
-        for _, emission in runtime.run():
-            records.append(normalize_emission(emission))
-        if runtime.failed:
+        if plan.crash_at or plan.churn:
+            runtime.on_turn = _serve_turn_hook(plan, runtime)
+        for name, emission in runtime.run():
+            if name == "fuzz":
+                records.append(normalize_emission(emission))
+        if "fuzz" in runtime.failed:
             raise FuzzExecutionError(
                 f"serve tenant failed: {runtime.failed}"
             )
@@ -348,6 +356,41 @@ def _run_serve(plan: ExecutionPlan, spec: DetectorSpec) -> PlanOutcome:
         packets=packets,
         bytes=total_bytes,
     )
+
+
+def _serve_turn_hook(plan: ExecutionPlan, runtime) -> "callable":
+    """Deterministic churn/crash orchestration for serve-axis b-plans.
+
+    Everything keys off the scheduler turn counter, which is itself a
+    pure function of the plan: sibling tenants are admitted at the
+    ``churn`` turns (fixed specs seeded from the turn, retired two turns
+    later), and ``crash_at`` SIGKILLs worker ``crash_at % serve_workers``
+    once.  The tenant under test must come out untouched.
+    """
+    churn = set(plan.churn)
+    retire_at: dict[int, str] = {}
+
+    def on_turn(turn: int) -> None:
+        if plan.crash_at and turn == plan.crash_at:
+            runtime.pool.kill_worker(plan.crash_at % plan.serve_workers)
+        if turn in churn:
+            name = f"churn-{turn}"
+            runtime.add_tenant(
+                name,
+                plan.detector,
+                f"zipf:duration=2,seed={900 + turn}",
+                emit="1s",
+                phi=0.5,
+                key=plan.key,
+                max_packets=96,
+            )
+            retire_at[turn + 2] = name
+        name = retire_at.pop(turn, None)
+        if name is not None and name in runtime.tenants \
+                and name not in runtime.failed:
+            runtime.retire_tenant(name, checkpoint=False)
+
+    return on_turn
 
 
 # -- diffing -----------------------------------------------------------------

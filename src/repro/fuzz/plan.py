@@ -35,6 +35,14 @@ many sampled interleavings:
     ``merge`` is order-insensitive: folding shards in any permutation
     yields the same detector (up to float rounding for decayed
     structures).
+``serve-churn``
+    A serve tenant's emissions are independent of sibling tenant churn:
+    admitting and retiring other tenants mid-``run()`` never perturbs it
+    (``tests/stream/test_serve.py``, the tenant-isolation contract).
+``serve-crash``
+    A worker SIGKILLed mid-run is recovered from the tenant's
+    ``checkpoint_every`` auto-checkpoint bit-identically to a run with
+    no crash at all (``tests/engine/test_serve_recovery.py``).
 
 Axis eligibility comes from registry metadata: report-comparing axes
 (chunking, checkpoint, serve) need ``enumerable`` detectors; merge-based
@@ -51,10 +59,12 @@ from typing import Iterator, Sequence
 from repro.core.registry import detector_names, get_spec
 
 #: The equivalence axes the plan space samples, in round-robin order.
-AXES = ("chunking", "sharding", "checkpoint", "serve", "merge-order")
+AXES = ("chunking", "sharding", "checkpoint", "serve", "merge-order",
+        "serve-churn", "serve-crash")
 
 #: Axes whose plans threshold-query and diff full emission reports.
-REPORT_AXES = ("chunking", "checkpoint", "serve")
+REPORT_AXES = ("chunking", "checkpoint", "serve", "serve-churn",
+               "serve-crash")
 
 #: Axes whose plans fold shards via ``merge`` and diff probed estimates.
 MERGE_AXES = ("sharding", "merge-order")
@@ -92,7 +102,14 @@ class ExecutionPlan:
     - ``merge_order`` — the shard fold order for ``probe`` plans
       (``None`` = natural order);
     - ``serve_workers`` — run through a :class:`repro.stream.ServeRuntime`
-      with this many pool workers (0 = serial pipeline).
+      with this many pool workers (0 = serial pipeline);
+    - ``checkpoint_every`` — per-tenant auto-checkpoint cadence in
+      emissions (serve plans only; 0 = off);
+    - ``crash_at`` — SIGKILL one worker at this scheduler turn (serve
+      plans only, requires ``checkpoint_every``; 0 = no crash);
+    - ``churn`` — scheduler turns at which a sibling tenant is admitted
+      (and retired two turns later), exercising live tenant churn around
+      the tenant under test (serve plans only).
     """
 
     detector: str
@@ -108,6 +125,9 @@ class ExecutionPlan:
     restart_at: tuple[int, ...] = field(default_factory=tuple)
     merge_order: tuple[int, ...] | None = None
     serve_workers: int = 0
+    checkpoint_every: int = 0
+    crash_at: int = 0
+    churn: tuple[int, ...] = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
         if self.take < 1:
@@ -158,6 +178,28 @@ class ExecutionPlan:
                     f"serve_workers {self.serve_workers} exceeds shards "
                     f"{self.shards}"
                 )
+        if self.checkpoint_every < 0:
+            raise FuzzError(
+                f"checkpoint_every must be >= 0, got {self.checkpoint_every}"
+            )
+        if self.crash_at < 0:
+            raise FuzzError(f"crash_at must be >= 0, got {self.crash_at}")
+        object.__setattr__(self, "churn", tuple(sorted(set(self.churn))))
+        if any(t < 1 for t in self.churn):
+            raise FuzzError(
+                f"churn turns must be >= 1, got {self.churn}"
+            )
+        if (self.checkpoint_every or self.crash_at or self.churn) \
+                and not self.serve_workers:
+            raise FuzzError(
+                "checkpoint_every/crash_at/churn require a serve plan "
+                "(serve_workers >= 1)"
+            )
+        if self.crash_at and not self.checkpoint_every:
+            raise FuzzError(
+                "crash_at requires checkpoint_every >= 1 (a tenant "
+                "without auto-checkpoints cannot survive the crash)"
+            )
 
     def with_(self, **changes: object) -> "ExecutionPlan":
         """A copy with ``changes`` applied (shrinker mutation helper)."""
@@ -181,6 +223,9 @@ class ExecutionPlan:
                 None if self.merge_order is None else list(self.merge_order)
             ),
             "serve_workers": self.serve_workers,
+            "checkpoint_every": self.checkpoint_every,
+            "crash_at": self.crash_at,
+            "churn": list(self.churn),
         }
 
     @classmethod
@@ -199,6 +244,8 @@ class ExecutionPlan:
             kwargs["restart_at"] = tuple(kwargs["restart_at"])  # type: ignore[arg-type]
         if kwargs.get("merge_order") is not None:
             kwargs["merge_order"] = tuple(kwargs["merge_order"])  # type: ignore[arg-type]
+        if kwargs.get("churn") is not None:
+            kwargs["churn"] = tuple(kwargs["churn"])  # type: ignore[arg-type]
         return cls(**kwargs)  # type: ignore[arg-type]
 
     def describe(self) -> str:
@@ -214,6 +261,12 @@ class ExecutionPlan:
             parts.append(f"order={''.join(map(str, self.merge_order))}")
         if self.serve_workers:
             parts.append(f"serve={self.serve_workers}w")
+        if self.checkpoint_every:
+            parts.append(f"ckpt={self.checkpoint_every}")
+        if self.crash_at:
+            parts.append(f"crash@{self.crash_at}")
+        if self.churn:
+            parts.append(f"churn@{','.join(map(str, self.churn))}")
         return f"{self.detector}[{' '.join(parts)}]"
 
 
@@ -426,6 +479,37 @@ class PlanSpace:
         workers = rng.randrange(1, shards + 1)
         base = base.with_(chunk=chunk, shards=shards)
         return PlanPair("serve", base, base.with_(serve_workers=workers))
+
+    def _pair_serve_churn(
+        self, rng: random.Random, base: ExecutionPlan
+    ) -> PlanPair:
+        chunk = rng.choice((64, 128, 256))
+        shards = rng.choice((2, 3))
+        workers = rng.randrange(1, shards + 1)
+        base = base.with_(chunk=chunk, shards=shards, serve_workers=workers)
+        # Churn turns must land while the tenant under test still has
+        # chunks to stream, or nothing interleaves with it.
+        nturns = max(2, base.take // chunk)
+        count = min(rng.choice((1, 2)), nturns)
+        turns = tuple(sorted(rng.sample(range(1, nturns + 1), count)))
+        return PlanPair("serve-churn", base, base.with_(churn=turns))
+
+    def _pair_serve_crash(
+        self, rng: random.Random, base: ExecutionPlan
+    ) -> PlanPair:
+        chunk = rng.choice((64, 128, 256))
+        shards = rng.choice((2, 3))
+        workers = rng.randrange(1, shards + 1)
+        base = base.with_(
+            chunk=chunk, shards=shards, serve_workers=workers,
+            checkpoint_every=rng.choice((1, 2)),
+        )
+        # The kill must fire before the stream ends to interrupt anything.
+        nturns = max(2, base.take // chunk)
+        return PlanPair(
+            "serve-crash", base,
+            base.with_(crash_at=rng.randrange(1, nturns + 1)),
+        )
 
     def _pair_merge_order(
         self, rng: random.Random, base: ExecutionPlan

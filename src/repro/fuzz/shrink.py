@@ -16,7 +16,8 @@ first-reported symptom may legitimately shift while shrinking):
 3. **plan-delta minimisation** — walk every interleaving knob toward the
    trivial value (chunk sizes toward each other and downward, shard
    counts down, restart points dropped then halved, serve workers down,
-   the emission policy collapsed to a single end-of-stream flush).
+   churn points dropped then pulled earlier, crash turns halved, the
+   emission policy collapsed to a single end-of-stream flush).
 
 Passes 2 and 3 repeat until a full round makes no progress or the
 execution budget runs out.  Every candidate execution is deterministic
@@ -218,6 +219,34 @@ def _knob_candidates(pair: PlanPair) -> list[PlanPair]:
             )
         if b.serve_workers > 1:
             sides(a, b.with_(serve_workers=1))
+
+    if axis in ("serve-churn", "serve-crash"):
+        # Both sides run under serve here; the pool shape is workload, so
+        # it shrinks on both sides together.
+        if a.serve_workers > 1:
+            both(serve_workers=1)
+        if a.shards > 1:
+            both(shards=1, serve_workers=1)
+
+    if axis == "serve-churn":
+        # Drop churn points one at a time (at least one must remain —
+        # it is the axis's delta), then pull each one earlier.
+        for i, point in enumerate(b.churn):
+            fewer = b.churn[:i] + b.churn[i + 1:]
+            if fewer:
+                sides(a, b.with_(churn=fewer))
+            if point > 1:
+                sides(
+                    a,
+                    b.with_(churn=b.churn[:i] + (point // 2,)
+                            + b.churn[i + 1:]),
+                )
+
+    if axis == "serve-crash":
+        if b.crash_at > 1:
+            sides(a, b.with_(crash_at=b.crash_at // 2))
+        if a.checkpoint_every > 1:
+            both(checkpoint_every=1)
 
     # merge-order: the orders must stay permutations of the shared shard
     # count, so only the workload knobs above shrink.

@@ -25,6 +25,31 @@ A tenant failure (:class:`repro.engine.TenantError`) retires that tenant
 — recorded in :attr:`ServeRuntime.failed`, its shard detectors dropped —
 without killing workers or sibling tenants.
 
+The runtime is churn-tolerant and supervised:
+
+* **Live admission/retirement** — :meth:`ServeRuntime.add_tenant` and
+  :meth:`ServeRuntime.retire_tenant` are legal while :meth:`run` is
+  iterating; the round-robin scheduler picks new tenants up (and drops
+  retired ones) at turn boundaries, and every yield point leaves all
+  pipelines at a chunk boundary, so mid-run checkpoints stay on the
+  serial batch grid.
+
+* **Worker crash recovery** — a dead worker process surfaces as
+  :class:`repro.engine.serve.WorkerCrashError`; with ``recover=True``
+  (the default) the runtime respawns it and rebuilds each tenant from
+  its last auto-checkpoint (``add_tenant(..., checkpoint_every=N)``
+  checkpoints every N emissions), replaying the packets since the
+  checkpoint from the deterministic source.  Already-delivered emissions
+  are suppressed during replay, so the emission stream the consumer sees
+  is bit-identical to an uninterrupted run.  Tenants with no recoverable
+  checkpoint are retired into :attr:`failed` instead of killing the
+  pool.  With an *injected* pool shared by several runtimes, recovery
+  only rebuilds this runtime's tenants.
+
+* **Rebalance** — :meth:`rebalance` checkpoints a tenant, retires it
+  here, and resumes it on a new worker layout (same or another runtime
+  with equal shard count) bit-identically, without stopping siblings.
+
 Checkpoints are the migration unit: :meth:`ServeRuntime.checkpoint_tenant`
 emits the standard ``repro-hhh/stream-checkpoint/v1`` artifact, so a
 tenant frozen here resumes bit-identically on another pool (any worker
@@ -34,11 +59,17 @@ count, same shard count), under the serial pipeline, or back here via
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable, Iterator
 
 from repro.core.detector import Detector
 from repro.core.registry import get_enumerable_spec
-from repro.engine.serve import ServeError, ServePool, TenantError
+from repro.engine.serve import (
+    ServeError,
+    ServePool,
+    TenantError,
+    WorkerCrashError,
+)
 from repro.stream.emission import Emission, parse_emission_policy
 from repro.stream.pipeline import StreamPipeline
 from repro.stream.source import StreamSource, parse_stream_spec, skip_packets
@@ -47,20 +78,41 @@ from repro.stream.source import StreamSource, parse_stream_spec, skip_packets
 class _TenantRun:
     """One tenant's live streaming state inside the runtime."""
 
-    __slots__ = ("name", "pipeline", "chunks", "remaining", "done")
+    __slots__ = (
+        "name", "pipeline", "chunks", "remaining", "done",
+        # crash recovery: the source feeding the pipeline since admission,
+        # the packet count at admission (the source's position 0), the
+        # checkpoint cadence (emissions), and the last checkpoint taken.
+        "source", "base_packets", "checkpoint_every", "ckpt",
+        "ckpt_emissions",
+        # delivered-emission high-water mark (replay suppression).
+        "yielded",
+        # the add_tenant settings, for rebalance re-admission.
+        "settings",
+    )
 
     def __init__(
         self,
         name: str,
         pipeline: StreamPipeline,
+        source: StreamSource,
         chunks: Iterator,
         remaining: int | None,
+        checkpoint_every: int | None,
+        settings: dict[str, object],
     ) -> None:
         self.name = name
         self.pipeline = pipeline
+        self.source = source
         self.chunks = chunks
         self.remaining = remaining
         self.done = False
+        self.base_packets = pipeline.packets
+        self.checkpoint_every = checkpoint_every
+        self.ckpt: dict[str, object] | None = None
+        self.ckpt_emissions = pipeline.emissions
+        self.yielded = pipeline.emissions
+        self.settings = settings
 
 
 class ServeRuntime:
@@ -77,6 +129,25 @@ class ServeRuntime:
     pool:
         An existing pool to multiplex onto instead of owning one; the
         caller keeps responsibility for closing it.
+    recover:
+        Supervise worker crashes (the default): respawn dead workers and
+        rebuild tenants from their last ``checkpoint_every`` checkpoint,
+        failing only the tenants that have none.  With ``recover=False``
+        a crash propagates as :class:`WorkerCrashError` out of ``run()``.
+
+    Attributes
+    ----------
+    on_turn:
+        Optional hook called as ``on_turn(turn)`` after every scheduler
+        turn (a monotonically increasing count across all tenants).  The
+        runtime is at a chunk boundary when it fires, so the hook may
+        admit/retire/rebalance tenants — or inject crashes, which is how
+        the tests and the fuzz harness drive deterministic churn.
+    recoveries:
+        One record per completed crash recovery:
+        ``{"workers": (...), "failed": (...), "seconds": float}``
+        (respawn + state-restore time; the replay that follows runs at
+        normal streaming speed inside ``run()``).
     """
 
     def __init__(
@@ -87,6 +158,7 @@ class ServeRuntime:
         chunk_size: int = 8192,
         slots: int = 4,
         pool: ServePool | None = None,
+        recover: bool = True,
     ) -> None:
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
@@ -101,9 +173,13 @@ class ServeRuntime:
         self.pool = pool if pool is not None else ServePool(
             workers, shards, chunk_capacity=chunk_size, slots=slots
         )
+        self.recover = recover
         self._tenants: dict[str, _TenantRun] = {}
         #: Tenant failures observed so far: name -> error message.
         self.failed: dict[str, str] = {}
+        self.on_turn: Callable[[int], None] | None = None
+        self.recoveries: list[dict[str, object]] = []
+        self._turns = 0
         self._closed = False
 
     # -- tenant lifecycle --------------------------------------------------
@@ -123,6 +199,7 @@ class ServeRuntime:
         max_packets: int | None = None,
         resume: dict[str, object] | None = None,
         fast_forward: bool = False,
+        checkpoint_every: int | None = None,
     ) -> StreamPipeline:
         """Register one tenant stream; returns its pipeline.
 
@@ -134,10 +211,22 @@ class ServeRuntime:
         artifact already consumed (for deterministic sources replayed from
         the start).  ``max_packets`` bounds this tenant; with ``resume`` it
         counts the checkpointed packets as already consumed.
+
+        ``checkpoint_every=N`` auto-checkpoints the tenant every ``N``
+        emissions (and once at admission), which is what makes it
+        recoverable after a worker crash; without it a crash retires the
+        tenant into :attr:`failed`.
+
+        Legal while :meth:`run` is iterating: the scheduler picks the new
+        tenant up at the next turn boundary.
         """
         self._check_open()
         if name in self._tenants:
             raise ServeError(f"tenant {name!r} already registered")
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
         if isinstance(detector, str):
             spec = get_enumerable_spec(detector, ServeError)
             factory: Callable[[], Detector] = spec.factory
@@ -177,17 +266,118 @@ class ServeRuntime:
                         f"{pipeline.packets}, at or past max_packets "
                         f"{max_packets}"
                     )
+            settings = {
+                "detector": detector,
+                "emit": emit,
+                "phi": phi,
+                "key": key,
+                "timestamped": timestamped,
+                "reset_on_emit": reset_on_emit,
+                "emit_partial": emit_partial,
+                "max_packets": max_packets,
+                "checkpoint_every": checkpoint_every,
+            }
+            run = _TenantRun(
+                name, pipeline, source, source.chunks(self.chunk_size),
+                remaining, checkpoint_every, settings,
+            )
+            if checkpoint_every is not None:
+                # Admission-time checkpoint: the tenant is recoverable
+                # from its very first turn, not only after N emissions.
+                run.ckpt = pipeline.checkpoint()
+                run.ckpt_emissions = pipeline.emissions
         except BaseException:
             self.pool.close_tenant(name)
             raise
-        run = _TenantRun(name, pipeline, source.chunks(self.chunk_size),
-                         remaining)
         self._tenants[name] = run
         return pipeline
 
+    def retire_tenant(
+        self, name: str, *, checkpoint: bool = True
+    ) -> dict[str, object] | None:
+        """Drop one tenant now (legal mid-``run``); siblings are untouched.
+
+        Returns the tenant's final ``repro-hhh/stream-checkpoint/v1``
+        artifact (its migration unit — resume it anywhere) unless
+        ``checkpoint=False``.  The name becomes free for re-admission.
+        """
+        self._check_open()
+        run = self._tenants.get(name)
+        if run is None:
+            raise ServeError(f"unknown tenant {name!r}")
+        if name in self.failed:
+            raise ServeError(
+                f"tenant {name!r} failed: {self.failed[name]}"
+            )
+        artifact = run.pipeline.checkpoint() if checkpoint else None
+        run.done = True
+        del self._tenants[name]
+        self.pool.close_tenant(name)
+        return artifact
+
+    def rebalance(
+        self, name: str, target: "ServeRuntime | None" = None
+    ) -> StreamPipeline:
+        """Move one live tenant to a new shard/worker layout, bit-exactly.
+
+        Checkpoints the tenant, retires it here, and re-admits it on
+        ``target`` (default: this runtime, e.g. after its pool gained
+        respawned workers) with the same settings, resuming from the
+        checkpoint.  Siblings keep streaming; the moved tenant continues
+        bit-identically when the target's shard count and chunk size
+        match this runtime's (the checkpoint pins the shard count; the
+        chunk grid pins batch boundaries).
+        """
+        self._check_open()
+        target = self if target is None else target
+        run = self._tenants.get(name)
+        if run is None:
+            raise ServeError(f"unknown tenant {name!r}")
+        if name in self.failed:
+            raise ServeError(
+                f"tenant {name!r} failed: {self.failed[name]}"
+            )
+        target._check_open()
+        if target.pool.num_shards != self.pool.num_shards:
+            raise ServeError(
+                f"rebalance target serves {target.pool.num_shards} shards; "
+                f"tenant {name!r} is checkpointed at "
+                f"{self.pool.num_shards} (the shard count is the "
+                "checkpoint-compatibility unit)"
+            )
+        if target is not self and name in target._tenants:
+            raise ServeError(
+                f"tenant {name!r} already registered on the target runtime"
+            )
+        settings = dict(run.settings)
+        consumed = run.pipeline.packets - run.base_packets
+        feed = skip_packets(run.source, consumed)
+        artifact = self.retire_tenant(name, checkpoint=True)
+        return target.add_tenant(
+            name,
+            settings["detector"],  # type: ignore[arg-type]
+            feed,
+            emit=settings["emit"],  # type: ignore[arg-type]
+            phi=settings["phi"],  # type: ignore[arg-type]
+            key=settings["key"],  # type: ignore[arg-type]
+            timestamped=settings["timestamped"],  # type: ignore[arg-type]
+            reset_on_emit=settings["reset_on_emit"],  # type: ignore[arg-type]
+            emit_partial=settings["emit_partial"],  # type: ignore[arg-type]
+            max_packets=settings["max_packets"],  # type: ignore[arg-type]
+            resume=artifact,
+            checkpoint_every=settings["checkpoint_every"],  # type: ignore[arg-type]
+        )
+
     def pipeline(self, name: str) -> StreamPipeline:
-        """The named tenant's pipeline (live or finished, not failed)."""
-        return self._tenants[name].pipeline
+        """The named tenant's pipeline (live or finished — not failed)."""
+        if name in self.failed:
+            raise ServeError(
+                f"tenant {name!r} failed: {self.failed[name]}"
+            )
+        try:
+            return self._tenants[name].pipeline
+        except KeyError:
+            raise ServeError(f"unknown tenant {name!r}") from None
 
     @property
     def tenants(self) -> tuple[str, ...]:
@@ -196,7 +386,7 @@ class ServeRuntime:
 
     def checkpoint_tenant(self, name: str) -> dict[str, object]:
         """Freeze one tenant into a stream-checkpoint migration artifact."""
-        return self._tenants[name].pipeline.checkpoint()
+        return self.pipeline(name).checkpoint()
 
     # -- the run loop ------------------------------------------------------
 
@@ -206,7 +396,11 @@ class ServeRuntime:
         Each turn feeds one chunk to one tenant, so concurrent streams
         interleave fairly while the pool overlaps their partition and
         update stages.  Yields ``(tenant_name, emission)`` as boundaries
-        fall; returns when every tenant is finished or failed.
+        fall; returns when every tenant is finished or failed.  Every
+        yield point leaves all pipelines at a chunk boundary, so the
+        consumer may admit, retire, or rebalance tenants between
+        emissions.  Worker crashes are recovered in place when
+        ``recover`` is set (see the class docstring).
         """
         self._check_open()
         while True:
@@ -214,34 +408,149 @@ class ServeRuntime:
                 run for run in self._tenants.values() if not run.done
             ]
             if not live:
-                break
-            for run in live:
-                yield from self._step(run)
+                # Final barrier: flush outstanding acks (which may be the
+                # first observation of a crash) before declaring done.
+                try:
+                    self.pool.barrier()
+                except WorkerCrashError as exc:
+                    self._handle_crash(exc)
+                    continue
                 self._sweep_deferred()
-        self.pool.barrier()
-        self._sweep_deferred()
+                if any(
+                    not run.done for run in self._tenants.values()
+                ):
+                    continue  # recovery rewound someone; keep going
+                return
+            for run in live:
+                if run.done:
+                    continue  # retired/failed mid-round by the consumer
+                out: list[tuple[str, Emission]] = []
+                try:
+                    self._step(run, out)
+                except WorkerCrashError as exc:
+                    self._handle_crash(exc)
+                self._turns += 1
+                if self.on_turn is not None:
+                    self.on_turn(self._turns)
+                # Emissions collected before a crash came from completed
+                # sync queries, so they are valid and delivered; replay
+                # suppression keeps them exactly-once.
+                yield from out
+                self._sweep_deferred()
 
-    def _step(self, run: _TenantRun) -> Iterator[tuple[str, Emission]]:
+    def _step(
+        self, run: _TenantRun, out: list[tuple[str, Emission]]
+    ) -> None:
         """Feed one chunk to one tenant, retiring it on error or EOS."""
         try:
             chunk = next(run.chunks, None)
-            if chunk is not None and run.remaining is not None:
+            while chunk is not None and not len(chunk):
+                # A composed source may legally yield a zero-length chunk
+                # (e.g. at a splice boundary); only None is end-of-stream.
+                chunk = next(run.chunks, None)
+            if chunk is None:
+                self._finish_run(run, out)
+                return
+            if run.remaining is not None:
                 if len(chunk) > run.remaining:
                     chunk = chunk.slice_index(0, run.remaining)
                 run.remaining -= len(chunk)
-            if chunk is None or not len(chunk):
-                for emission in run.pipeline.finish():
-                    yield run.name, emission
-                run.done = True
-                return
             for emission in run.pipeline.push(chunk):
-                yield run.name, emission
+                self._collect(run, emission, out)
             if run.remaining is not None and run.remaining <= 0:
-                for emission in run.pipeline.finish():
-                    yield run.name, emission
-                run.done = True
+                self._finish_run(run, out)
+            elif (
+                run.checkpoint_every is not None
+                and run.pipeline.emissions - run.ckpt_emissions
+                >= run.checkpoint_every
+            ):
+                run.ckpt = run.pipeline.checkpoint()
+                run.ckpt_emissions = run.pipeline.emissions
         except TenantError as exc:
             self._fail(run.name, str(exc))
+
+    def _finish_run(
+        self, run: _TenantRun, out: list[tuple[str, Emission]]
+    ) -> None:
+        for emission in run.pipeline.finish():
+            self._collect(run, emission, out)
+        run.done = True
+
+    def _collect(
+        self,
+        run: _TenantRun,
+        emission: Emission,
+        out: list[tuple[str, Emission]],
+    ) -> None:
+        if emission.index < run.yielded:
+            return  # crash-recovery replay of an already-delivered emission
+        run.yielded = emission.index + 1
+        out.append((run.name, emission))
+
+    # -- crash recovery ----------------------------------------------------
+
+    def _handle_crash(self, exc: WorkerCrashError) -> None:
+        """Respawn dead workers and rewind tenants to their checkpoints.
+
+        Tenants with an auto-checkpoint are restored from it and their
+        chunk iterators rebuilt from the deterministic source at the
+        checkpoint offset; the scheduler then replays the gap (emissions
+        already delivered are suppressed).  Tenants without one retire
+        into :attr:`failed`.  Retries if another worker dies mid-recovery.
+        """
+        if not self.recover:
+            raise exc
+        started = perf_counter()
+        revived: tuple[int, ...] = ()
+        newly_failed: list[str] = []
+        for _ in range(self.pool.num_workers + 2):
+            try:
+                revived = tuple(
+                    sorted(set(revived) | set(self.pool.respawn_dead()))
+                )
+                for run in list(self._tenants.values()):
+                    if run.name in self.failed:
+                        continue
+                    if run.ckpt is None:
+                        newly_failed.append(run.name)
+                        self._fail(
+                            run.name,
+                            f"worker crash ({exc}) with no recoverable "
+                            "checkpoint; admit with checkpoint_every=N "
+                            "to survive crashes",
+                        )
+                        continue
+                    try:
+                        self._restore_run(run)
+                    except TenantError as err:
+                        newly_failed.append(run.name)
+                        self._fail(run.name, str(err))
+                break
+            except WorkerCrashError as again:
+                exc = again
+        else:  # pragma: no cover - workers dying faster than respawns
+            raise exc
+        self.recoveries.append({
+            "workers": revived,
+            "failed": tuple(newly_failed),
+            "seconds": perf_counter() - started,
+        })
+
+    def _restore_run(self, run: _TenantRun) -> None:
+        """Rewind one tenant to its last checkpoint and re-aim its source."""
+        run.pipeline.restore(run.ckpt)
+        run.chunks = skip_packets(
+            run.source, run.pipeline.packets - run.base_packets
+        ).chunks(self.chunk_size)
+        max_packets = run.settings["max_packets"]
+        run.remaining = (
+            None if max_packets is None
+            else max_packets - run.pipeline.packets  # type: ignore[operator]
+        )
+        # Replay even previously-finished tenants: their emissions are
+        # all suppressed, but the final detector/pipeline state must be
+        # rebuilt for post-run checkpoints and queries.
+        run.done = False
 
     def _sweep_deferred(self) -> None:
         """Retire tenants whose *asynchronous* updates failed.

@@ -42,6 +42,13 @@ class TestExecutionPlan:
         dict(shards=2, serve_workers=1, probe=True),
         dict(shards=2, serve_workers=1, restart_at=(1,)),
         dict(shards=2, serve_workers=3),               # workers > shards
+        dict(checkpoint_every=-1),
+        dict(crash_at=-2),
+        dict(churn=(0,)),
+        dict(checkpoint_every=1),                      # needs serve
+        dict(churn=(2,)),                              # needs serve
+        dict(crash_at=3),                              # needs serve
+        dict(shards=2, serve_workers=2, crash_at=2),   # needs checkpoints
     ])
     def test_invalid_plans_rejected(self, bad):
         with pytest.raises(FuzzError):
@@ -50,6 +57,10 @@ class TestExecutionPlan:
     def test_restart_points_sorted_deduped(self):
         p = plan(restart_at=(3, 1, 3))
         assert p.restart_at == (1, 3)
+
+    def test_churn_points_sorted_deduped(self):
+        p = plan(shards=2, serve_workers=2, churn=(5, 2, 5))
+        assert p.churn == (2, 5)
 
     def test_dict_round_trip(self):
         p = plan(
@@ -62,6 +73,8 @@ class TestExecutionPlan:
         for p in (
             plan(shards=2, serve_workers=2, chunk=64),
             plan(restart_at=(1, 4), emit="250p"),
+            plan(shards=2, serve_workers=2, churn=(1, 3),
+                 checkpoint_every=2, crash_at=2),
         ):
             assert ExecutionPlan.from_dict(p.to_dict()) == p
 

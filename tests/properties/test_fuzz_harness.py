@@ -117,6 +117,7 @@ class TestRegistryIsClean:
         assert len(report.detectors_covered) >= 5
         assert set(report.axes_covered) == {
             "chunking", "sharding", "checkpoint", "serve", "merge-order",
+            "serve-churn", "serve-crash",
         }
         assert report.divergences == 0, [
             case.describe() for case in report.cases

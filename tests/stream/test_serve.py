@@ -14,6 +14,7 @@ from repro.stream import (
     parse_emission_policy,
     parse_stream_spec,
 )
+from repro.stream.source import StreamSource
 
 CHUNK = 1024
 EMIT = "2s"
@@ -57,6 +58,22 @@ class ExplodingMidstream:
         from tests.engine.test_serve_pool import ExplodingDetector
 
         return ExplodingDetector(self.limit)
+
+
+class EmptyChunkSource(StreamSource):
+    """Wraps a source, interleaving a zero-length chunk before every real
+    one — legal under the source contract (only ``None`` is EOS)."""
+
+    def __init__(self, inner):
+        self.inner = inner
+
+    def segments(self):
+        return self.inner.segments()
+
+    def chunks(self, chunk_size):
+        for chunk in self.inner.chunks(chunk_size):
+            yield chunk.slice_index(0, 0)
+            yield chunk
 
 
 class TestEquivalence:
@@ -195,6 +212,127 @@ class TestFailureIsolation:
                                max_packets=2000)
             with pytest.raises(ServeError, match="already registered"):
                 runtime.add_tenant("t", "countmin-hh", SPECS["alpha"])
+
+
+class TestLiveLifecycle:
+    def test_empty_midstream_chunks_are_not_eos(self):
+        """A zero-length chunk between real ones must be skipped, not
+        treated as end-of-stream (the regression this PR fixes): the
+        emission sequence still equals the serial reference."""
+        reference = _serial_emissions(SPECS["alpha"], shards=2)
+        with ServeRuntime(workers=2, shards=2, chunk_size=CHUNK) as runtime:
+            source = EmptyChunkSource(parse_stream_spec(SPECS["alpha"]))
+            runtime.add_tenant("t", "countmin-hh", source, emit=EMIT,
+                               phi=PHI, max_packets=9000)
+            observed = [_strip(e) for _, e in runtime.run()]
+            assert not runtime.failed
+        assert observed == reference
+        assert observed  # the pre-fix behavior produced an empty stream
+
+    def test_admission_while_running(self):
+        """A tenant admitted from the on_turn hook mid-run joins the
+        round-robin and still matches its serial reference."""
+        reference = {
+            name: _serial_emissions(spec, shards=2)
+            for name, spec in SPECS.items()
+        }
+        with ServeRuntime(workers=2, shards=2, chunk_size=CHUNK) as runtime:
+            runtime.add_tenant("alpha", "countmin-hh", SPECS["alpha"],
+                               emit=EMIT, phi=PHI, max_packets=9000)
+
+            def admit(turn):
+                if turn == 3:
+                    runtime.add_tenant("beta", "countmin-hh",
+                                       SPECS["beta"], emit=EMIT, phi=PHI,
+                                       max_packets=9000)
+
+            runtime.on_turn = admit
+            observed = {"alpha": [], "beta": []}
+            for name, emission in runtime.run():
+                observed[name].append(_strip(emission))
+            assert not runtime.failed
+        for name in SPECS:
+            assert observed[name] == reference[name]
+
+    def test_retire_while_running_resumes_elsewhere(self):
+        """Retiring a tenant from the on_turn hook stops it at a chunk
+        boundary; its returned checkpoint resumes on a fresh runtime and
+        the stitched stream equals one uninterrupted serial run."""
+        uninterrupted = _serial_emissions(SPECS["alpha"], shards=2)
+        artifact = {}
+        with ServeRuntime(workers=2, shards=2, chunk_size=CHUNK) as runtime:
+            runtime.add_tenant("m", "countmin-hh", SPECS["alpha"],
+                               emit=EMIT, phi=PHI, max_packets=9000,
+                               emit_partial=False)
+
+            def retire(turn):
+                if turn == 4:
+                    artifact["ckpt"] = runtime.retire_tenant("m")
+
+            runtime.on_turn = retire
+            first = [_strip(e) for _, e in runtime.run()]
+            assert runtime.tenants == ()
+        assert artifact["ckpt"]["offsets"]["packets"] == 4 * CHUNK
+        with ServeRuntime(workers=1, shards=2, chunk_size=CHUNK) as runtime:
+            runtime.add_tenant("m", "countmin-hh", SPECS["alpha"],
+                               emit=EMIT, phi=PHI, max_packets=9000,
+                               resume=artifact["ckpt"], fast_forward=True)
+            second = [_strip(e) for _, e in runtime.run()]
+        assert first + second == uninterrupted
+
+    def test_rebalance_to_other_runtime_is_bit_identical(self):
+        """rebalance() moves a live tenant onto another runtime (new
+        worker layout, same shard count) mid-run; the combined emission
+        stream equals one uninterrupted serial run and siblings keep
+        streaming untouched."""
+        uninterrupted = _serial_emissions(SPECS["alpha"], shards=2)
+        sibling_ref = _serial_emissions(SPECS["beta"], shards=2)
+        with ServeRuntime(workers=1, shards=2, chunk_size=CHUNK) as a, \
+                ServeRuntime(workers=2, shards=2, chunk_size=CHUNK) as b:
+            a.add_tenant("moved", "countmin-hh", SPECS["alpha"],
+                         emit=EMIT, phi=PHI, max_packets=9000)
+            a.add_tenant("sibling", "countmin-hh", SPECS["beta"],
+                         emit=EMIT, phi=PHI, max_packets=9000)
+
+            def move(turn):
+                if turn == 5:
+                    a.rebalance("moved", target=b)
+
+            a.on_turn = move
+            observed = {"moved": [], "sibling": []}
+            for name, emission in a.run():
+                observed[name].append(_strip(emission))
+            assert a.tenants == ("sibling",)
+            assert b.tenants == ("moved",)
+            for name, emission in b.run():
+                observed[name].append(_strip(emission))
+            assert not a.failed and not b.failed
+        assert observed["moved"] == uninterrupted
+        assert observed["sibling"] == sibling_ref
+
+    def test_rebalance_rejects_mismatched_shard_count(self):
+        with ServeRuntime(workers=1, shards=2, chunk_size=CHUNK) as a, \
+                ServeRuntime(workers=1, shards=3, chunk_size=CHUNK) as b:
+            a.add_tenant("m", "countmin-hh", SPECS["alpha"],
+                         max_packets=2000)
+            with pytest.raises(ServeError, match="shard"):
+                a.rebalance("m", target=b)
+            # The tenant was not retired by the failed validation.
+            assert a.tenants == ("m",)
+
+    def test_pipeline_raises_for_failed_and_unknown_tenants(self):
+        with ServeRuntime(workers=1, shards=2, chunk_size=CHUNK) as runtime:
+            runtime.add_tenant("doomed", ExplodingMidstream(400),
+                               SPECS["alpha"], emit=EMIT, phi=PHI,
+                               max_packets=9000)
+            list(runtime.run())
+            assert "doomed" in runtime.failed
+            with pytest.raises(ServeError, match="failed"):
+                runtime.pipeline("doomed")
+            with pytest.raises(ServeError, match="failed"):
+                runtime.checkpoint_tenant("doomed")
+            with pytest.raises(ServeError, match="unknown"):
+                runtime.pipeline("ghost")
 
 
 class TestRuntimeWiring:

@@ -97,3 +97,45 @@ class TestServeCommand:
         assert args.chunk == 8192
         assert args.emit_every == "2s"
         assert args.detector == "countmin-hh"
+        assert args.checkpoint_every is None
+        assert args.recover is True
+
+
+class TestCrashSupervision:
+    def test_checkpoint_every_run_reports_zero_recoveries(
+        self, capsys, tmp_path
+    ):
+        """A supervised run with auto-checkpoints on and no crash: clean
+        exit, ``recoveries: 0`` in the artifact headline."""
+        out_path = tmp_path / "serve.json"
+        code, out = _run(
+            capsys, "serve", "--tenant", f"a={SPEC_A}",
+            "--workers", "2", "--shards", "2",
+            "--chunk", "2048", "--max-packets", "6000",
+            "--checkpoint-every", "1", "--json", str(out_path),
+        )
+        assert code == 0
+        assert "recovered" not in out   # only printed after actual crashes
+        document = json.loads(out_path.read_text())
+        assert document["headline"]["recoveries"] == 0
+        assert document["headline"]["failed"] == 0
+
+    def test_no_recover_flag_parses(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--tenant", "a=drift:duration=4", "--no-recover",
+             "--checkpoint-every", "3"]
+        )
+        assert args.recover is False
+        assert args.checkpoint_every == 3
+
+    def test_checkpoint_every_must_be_positive(self, capsys):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve", "--tenant", "a=drift:duration=4",
+                 "--checkpoint-every", "0"]
+            )
+        capsys.readouterr()
